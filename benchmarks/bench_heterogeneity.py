@@ -1,0 +1,17 @@
+"""Worker heterogeneity: one downclocked GPU, sync vs async."""
+
+from repro.experiments import heterogeneity_study
+
+
+def test_heterogeneity_straggler_study(benchmark, run_once):
+    result = run_once(heterogeneity_study.run)
+    print()
+    print(result.render())
+    for model, r in result.results.items():
+        benchmark.extra_info[model] = {
+            "sync_slowdown": round(r.sync_degradation, 2),
+            "async_slowdown": round(r.async_degradation, 2),
+        }
+        # Async absorbs the straggler; sync pays for it on every task.
+        assert r.async_degradation < 1.1
+        assert r.sync_degradation > r.async_degradation

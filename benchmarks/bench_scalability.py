@@ -1,0 +1,16 @@
+"""Scaling study: epoch time and efficiency from 1 to 16 nodes."""
+
+from repro.experiments import scalability
+
+
+def test_weak_scaling(benchmark, run_once):
+    result = run_once(scalability.run)
+    print()
+    print(result.render())
+    for system in result.epoch_times:
+        benchmark.extra_info[system] = round(result.efficiency(system)[-1], 2)
+    # Compression keeps VGG16 near-linear out to 16 nodes; full precision
+    # saturates on inter-node bandwidth.
+    assert result.efficiency("BAGUA-qsgd")[-1] > 0.85
+    assert result.efficiency("PyTorch-DDP")[-1] < 0.6
+    assert result.efficiency("BAGUA-allreduce")[-1] >= result.efficiency("PyTorch-DDP")[-1]

@@ -1,0 +1,15 @@
+"""The "no silver bullet" grid (paper §4.3 Summary)."""
+
+from repro.experiments import silver_bullet
+
+
+def test_no_silver_bullet(benchmark, run_once):
+    result = run_once(silver_bullet.run)
+    print()
+    print(result.render())
+    winners = result.distinct_winners()
+    benchmark.extra_info["distinct_winners"] = sorted(winners)
+    # The paper's core motivation: different cells want different algorithms.
+    assert len(winners) >= 3
+    # And the bandwidth trend: compression wins the slow-network BERT cells.
+    assert result.winners[("10gbps", "BERT-LARGE")] == "1bit-adam"

@@ -1,0 +1,12 @@
+"""Table 1: the relaxation support matrix."""
+
+from repro.experiments import table1_support
+
+
+def test_table1_support_matrix(benchmark, run_once):
+    result = run_once(table1_support.run)
+    print()
+    print(result.render())
+    bagua_count = sum(1 for r in result.rows if r["BAGUA"])
+    benchmark.extra_info["bagua_supported_combinations"] = bagua_count
+    assert bagua_count == 7

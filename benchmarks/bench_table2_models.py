@@ -1,0 +1,15 @@
+"""Table 2: model characteristics of the five evaluation tasks."""
+
+from repro.experiments import table2_models
+
+
+def test_table2_model_characteristics(benchmark, run_once):
+    result = run_once(table2_models.run)
+    print()
+    print(result.render())
+    for row in result.rows:
+        benchmark.extra_info[row["model"]] = {
+            "params_m": round(row["params_m"], 1),
+            "gflops": round(row["gflops"], 1),
+        }
+        assert abs(row["params_m"] - row["paper_params_m"]) / row["paper_params_m"] < 0.03

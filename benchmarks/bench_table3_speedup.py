@@ -1,0 +1,15 @@
+"""Table 3: BAGUA speedups over the best baseline at 100/25/10 Gbps."""
+
+from repro.experiments import table3_speedup
+
+
+def test_table3_speedups(benchmark, run_once):
+    result = run_once(table3_speedup.run)
+    print()
+    print(result.render())
+    print("winning baseline per cell:", result.best_baseline)
+    for network, by_model in result.speedups.items():
+        benchmark.extra_info[network] = {m: round(s, 2) for m, s in by_model.items()}
+    # Headline shape: the 10 Gbps column dominates the 100 Gbps column.
+    for model in result.speedups["10gbps"]:
+        assert result.speedups["10gbps"][model] >= result.speedups["100gbps"][model] - 0.05

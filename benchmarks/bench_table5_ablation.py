@@ -1,0 +1,12 @@
+"""Table 5: O/F/H ablation of the execution optimizer."""
+
+from repro.experiments import table5_ablation
+
+
+def test_table5_ablation(benchmark, run_once):
+    result = run_once(table5_ablation.run)
+    print()
+    print(result.render())
+    for model, times in result.epoch_times.items():
+        benchmark.extra_info[model] = {c: round(t) for c, t in times.items()}
+        assert min(times.values()) == times["O=1,F=1,H=1"]

@@ -1,0 +1,20 @@
+"""End-to-end time-to-loss (paper §4.2's closing claim).
+
+Combines both modes: functional convergence gives epochs-to-target, the
+timing simulator gives seconds-per-epoch; BAGUA's per-task algorithm must
+win the product on a slow network.
+"""
+
+from repro.experiments import time_to_loss
+
+
+def test_time_to_target_loss(benchmark, run_once):
+    report = run_once(lambda: time_to_loss.run(task_names=("VGG16", "BERT-BASE")))
+    print()
+    print(report.render())
+    for name, result in report.results.items():
+        benchmark.extra_info[name] = {
+            "speedup": round(result.speedup, 2) if result.speedup else None,
+        }
+        assert result.speedup is not None, name
+        assert result.speedup > 1.2, name

@@ -1,0 +1,22 @@
+"""Benchmark-suite configuration.
+
+Every paper table/figure has one bench; each runs its experiment once
+(``benchmark.pedantic`` with a single round — the experiments are themselves
+deterministic simulations, not microbenchmarks) and prints the rendered
+table/series so ``pytest benchmarks/ --benchmark-only -s`` regenerates the
+paper's evaluation in one command.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Execute a function exactly once under pytest-benchmark timing."""
+
+    def runner(fn):
+        return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+    return runner

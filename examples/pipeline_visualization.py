@@ -1,0 +1,51 @@
+"""Render the execution pipelines of Figures 2 and 3 as ASCII Gantt charts.
+
+Figure 2 contrasts how Vanilla / DDP / BytePS place communication around the
+compute stream; Figure 3 shows the relaxed algorithms' different shapes
+(compression kernels, model-update-before-communication for decentralized).
+This example regenerates both from the timing simulator.
+
+Run:  python examples/pipeline_visualization.py
+"""
+
+from repro.cluster import paper_cluster
+from repro.models import vgg16_spec
+from repro.simulation import CommCostModel, bagua_system, byteps_system, pytorch_ddp_system, vanilla_system
+from repro.simulation.timeline import compare_systems
+
+
+def main() -> None:
+    cluster = paper_cluster("25gbps")
+    cost = CommCostModel(cluster)
+    model = vgg16_spec()
+
+    print("=== Figure 2: how each system schedules DP-SG ===\n")
+    print(
+        compare_systems(
+            model,
+            cluster,
+            [
+                vanilla_system(cost),
+                pytorch_ddp_system(cost),
+                byteps_system(cost),
+                bagua_system(cost, "allreduce"),
+            ],
+        )
+    )
+
+    print("\n\n=== Figure 3: relaxed algorithms under BAGUA ===\n")
+    print(
+        compare_systems(
+            model,
+            cluster,
+            [
+                bagua_system(cost, "allreduce"),
+                bagua_system(cost, "qsgd"),
+                bagua_system(cost, "decentralized-8bit"),
+            ],
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Regenerate every table and figure of the paper's evaluation.
+
+Timing-mode results (Tables 3-5, Figure 7, heterogeneity) run at full paper
+scale (16 nodes x 8 GPUs) in seconds.  Functional convergence results
+(Figures 5-6) really train the proxy tasks on 8 simulated workers and take
+a few minutes; pass --skip-convergence to leave them out.
+
+Run:  python examples/reproduce_paper.py [--skip-convergence]
+"""
+
+import argparse
+import sys
+import time
+
+from repro.experiments import (
+    fig5_convergence_systems,
+    fig6_convergence_algorithms,
+    fig7_network_conditions,
+    heterogeneity_study,
+    table1_support,
+    table2_models,
+    table3_speedup,
+    table4_epoch_time,
+    table5_ablation,
+)
+
+
+def section(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--skip-convergence",
+        action="store_true",
+        help="skip the functional-mode convergence runs (Figures 5 and 6)",
+    )
+    args = parser.parse_args(argv)
+
+    experiments = [
+        ("Table 1: relaxation support matrix", table1_support.run),
+        ("Table 2: model characteristics", table2_models.run),
+        ("Table 3: speedups over best baseline", table3_speedup.run),
+        ("Table 4: centralized full-precision epoch times", table4_epoch_time.run),
+        ("Table 5: O/F/H ablation", table5_ablation.run),
+        ("Figure 7: network-condition sweeps", fig7_network_conditions.run),
+        ("Heterogeneity: straggler study", heterogeneity_study.run),
+    ]
+    if not args.skip_convergence:
+        experiments += [
+            ("Figure 5: convergence across systems", lambda: fig5_convergence_systems.run(epochs=4)),
+            ("Figure 6: convergence across algorithms", lambda: fig6_convergence_algorithms.run(epochs=5)),
+        ]
+
+    for title, runner in experiments:
+        section(title)
+        started = time.time()
+        result = runner()
+        print(result.render())
+        print(f"[{time.time() - started:.1f}s]")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The environment has no network access and no ``wheel`` package, so
+``pip install -e .`` (which builds an editable wheel under PEP 517) cannot
+run.  ``python setup.py develop`` performs the equivalent editable install
+with only setuptools.
+"""
+
+from setuptools import setup
+
+setup()

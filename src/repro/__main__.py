@@ -1,0 +1,90 @@
+"""Command-line entry point: ``python -m repro <experiment> [options]``.
+
+Regenerates individual tables/figures of the paper's evaluation, runs the
+auto-tuner, or prints the system inventory.  ``python -m repro all`` is the
+same as ``examples/reproduce_paper.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict
+
+from .cluster.topology import paper_cluster
+from .core.autotune import recommend
+from .experiments import (
+    fig5_convergence_systems,
+    fig6_convergence_algorithms,
+    fig7_network_conditions,
+    heterogeneity_study,
+    scalability,
+    silver_bullet,
+    table1_support,
+    table2_models,
+    table3_speedup,
+    table4_epoch_time,
+    table5_ablation,
+    time_to_loss,
+)
+from .models.zoo_specs import all_specs
+
+EXPERIMENTS: Dict[str, Callable[[], object]] = {
+    "table1": table1_support.run,
+    "table2": table2_models.run,
+    "table3": table3_speedup.run,
+    "table4": table4_epoch_time.run,
+    "table5": table5_ablation.run,
+    "fig5": lambda: fig5_convergence_systems.run(epochs=4),
+    "fig6": lambda: fig6_convergence_algorithms.run(epochs=5),
+    "fig7": fig7_network_conditions.run,
+    "heterogeneity": heterogeneity_study.run,
+    "scalability": scalability.run,
+    "time-to-loss": time_to_loss.run,
+    "silver-bullet": silver_bullet.run,
+}
+
+
+def _run_autotune(args) -> int:
+    specs = all_specs()
+    if args.model not in specs:
+        print(f"unknown model {args.model!r}; options: {sorted(specs)}", file=sys.stderr)
+        return 2
+    report = recommend(specs[args.model], paper_cluster(args.network))
+    print(report.render())
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = subparsers.add_parser(
+        "run", help="regenerate one experiment (or 'all')"
+    )
+    run_parser.add_argument(
+        "experiment", choices=sorted(EXPERIMENTS) + ["all"],
+    )
+
+    tune_parser = subparsers.add_parser(
+        "autotune", help="recommend the best algorithm for a model/network"
+    )
+    tune_parser.add_argument("model", help="VGG16 | BERT-LARGE | BERT-BASE | Transformer | LSTM+AlexNet")
+    tune_parser.add_argument(
+        "--network", default="25gbps", choices=["10gbps", "25gbps", "100gbps"]
+    )
+
+    args = parser.parse_args(argv)
+    if args.command == "autotune":
+        return _run_autotune(args)
+
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        print(f"== {name} ==")
+        print(EXPERIMENTS[name]().render())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

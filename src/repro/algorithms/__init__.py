@@ -1,0 +1,36 @@
+"""The BAGUA training-algorithm zoo (paper §4.1, 'BAGUA Algorithms')."""
+
+from .allreduce import AllreduceSGD
+from .async_compositions import AsyncDecentralizedSGD, AsyncQSGD
+from .async_sgd import AsyncSGD
+from .decentralized import DecentralizedSGD
+from .decentralized_lp import LowPrecisionDecentralizedSGD
+from .local_sgd import LocalSGD
+from .onebit_adam import OneBitAdam
+from .qsgd_sgd import QSGD
+from .qsparse_local_sgd import QSparseLocalSGD
+from .registry import (
+    ALGORITHM_REGISTRY,
+    SUPPORT_MATRIX,
+    RelaxationProfile,
+    make_algorithm,
+    support_matrix_rows,
+)
+
+__all__ = [
+    "AllreduceSGD",
+    "QSGD",
+    "OneBitAdam",
+    "DecentralizedSGD",
+    "LowPrecisionDecentralizedSGD",
+    "AsyncSGD",
+    "LocalSGD",
+    "AsyncQSGD",
+    "AsyncDecentralizedSGD",
+    "QSparseLocalSGD",
+    "ALGORITHM_REGISTRY",
+    "SUPPORT_MATRIX",
+    "RelaxationProfile",
+    "make_algorithm",
+    "support_matrix_rows",
+]

@@ -1,0 +1,26 @@
+"""Standard synchronous DP-SG via the C_FP_S primitive ("BAGUA AllReduce")."""
+
+from __future__ import annotations
+
+from ..core.engine import Algorithm, BaguaEngine
+from ..core.primitives import c_fp_s
+
+
+class AllreduceSGD(Algorithm):
+    """Textbook data-parallel SGD: average gradients, then step.
+
+    Every bucket's gradients are summed across workers with the centralized
+    full-precision primitive and divided by the world size, after which each
+    worker applies its own optimizer — replicas stay bit-identical.
+    """
+
+    name = "allreduce"
+
+    def on_backward_done(self, engine: BaguaEngine, step: int) -> None:
+        n = engine.world_size
+        for k in range(engine.num_buckets):
+            grads = engine.grads_of_bucket(k)
+            summed = c_fp_s(grads, engine.group, hierarchical=engine.hierarchical)
+            engine.set_grads_of_bucket(k, [s / n for s in summed])
+        for worker in engine.workers:
+            worker.optimizer_step_on_buckets()

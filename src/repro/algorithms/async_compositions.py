@@ -1,0 +1,142 @@
+"""Composed asynchronous relaxations (Table 1's starred BAGUA cells).
+
+The paper's Table 1 credits BAGUA with asynchronous *low-precision*
+centralized training ("Async + QSGD") and asynchronous *decentralized*
+training ("Async + decentralized"), both built by composing the synchronous
+primitives with a non-blocking communication loop (§3.2).  These classes
+make the compositions concrete in the lock-step simulation:
+
+* :class:`AsyncQSGD` — the serialized parameter server of
+  :class:`~repro.algorithms.async_sgd.AsyncSGD`, but pushes travel
+  quantized: workers upload ``Q(g)`` and download quantized model deltas,
+  cutting async traffic the same 4x as sync QSGD.
+* :class:`AsyncDecentralizedSGD` — gossip against *stale snapshots*: every
+  worker publishes its weights to a mailbox every ``publish_interval``
+  steps and averages with a random peer's last published (possibly old)
+  snapshot, never blocking on the peer's progress.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..cluster.transport import Message
+from ..compression.base import Compressor
+from ..compression.qsgd import QSGDCompressor
+from ..core.engine import Algorithm, BaguaEngine
+
+
+class AsyncQSGD(Algorithm):
+    """Asynchronous centralized DP-SG with quantized pushes and pulls."""
+
+    name = "async-qsgd"
+
+    def __init__(
+        self,
+        lr: float | None = None,
+        bits: int = 8,
+        compressor: Compressor | None = None,
+        scale_by_world: bool = True,
+    ) -> None:
+        self.lr = lr
+        self.compressor = compressor or QSGDCompressor(bits=bits)
+        self.scale_by_world = scale_by_world
+
+    def setup(self, engine: BaguaEngine) -> None:
+        self._server: List[np.ndarray] = [
+            b.flat_data().copy() for b in engine.workers[0].buckets
+        ]
+        if self.lr is None:
+            lr = getattr(engine.workers[0].optimizer, "lr", None)
+            if lr is None:
+                raise ValueError("AsyncQSGD needs lr (optimizer exposes none)")
+            self.lr = float(lr)
+        if self.scale_by_world:
+            self.lr /= engine.world_size
+        self._server_rank = engine.group.ranks[0]
+
+    def on_backward_done(self, engine: BaguaEngine, step: int) -> None:
+        group = engine.group
+        n = engine.world_size
+        order = [(step + i) % n for i in range(n)]
+        for i in order:
+            worker = engine.workers[i]
+            # Push: quantized gradients (wire size = compressed size).
+            payloads = [
+                self.compressor.compress(b.flat_grad()) for b in worker.buckets
+            ]
+            if worker.rank != self._server_rank:
+                group.transport.exchange(
+                    [Message(worker.rank, self._server_rank, payloads)]
+                )
+            for server_x, payload in zip(self._server, payloads):
+                server_x -= self.lr * self.compressor.decompress(payload)
+            # Pull: quantized model *delta* against the worker's current copy
+            # (absolute weights do not survive aggressive quantization).
+            deltas = [
+                self.compressor.compress(server_x - bucket.flat_data())
+                for server_x, bucket in zip(self._server, worker.buckets)
+            ]
+            if worker.rank != self._server_rank:
+                group.transport.exchange(
+                    [Message(self._server_rank, worker.rank, deltas)]
+                )
+            for bucket, payload in zip(worker.buckets, deltas):
+                updated = bucket.flat_data() + self.compressor.decompress(payload)
+                bucket.set_flat_data(updated)
+
+
+class AsyncDecentralizedSGD(Algorithm):
+    """Gossip averaging against stale published snapshots (no blocking)."""
+
+    name = "async-decentralized"
+
+    def __init__(self, publish_interval: int = 1, seed: int = 0) -> None:
+        if publish_interval < 1:
+            raise ValueError(f"publish_interval must be >= 1, got {publish_interval}")
+        self.publish_interval = publish_interval
+        self.seed = seed
+
+    def setup(self, engine: BaguaEngine) -> None:
+        # mailbox[i][k] = worker i's last published weights for bucket k.
+        self._mailbox: List[List[np.ndarray]] = [
+            [b.flat_data().copy() for b in worker.buckets]
+            for worker in engine.workers
+        ]
+
+    def on_backward_done(self, engine: BaguaEngine, step: int) -> None:
+        n = engine.world_size
+        group = engine.group
+
+        # Local optimizer step — never waits for anyone.
+        for worker in engine.workers:
+            worker.optimizer_step_on_buckets()
+
+        # Publish (possibly stale from then on) snapshots.
+        if step % self.publish_interval == 0:
+            for i, worker in enumerate(engine.workers):
+                for k, bucket in enumerate(worker.buckets):
+                    self._mailbox[i][k] = bucket.flat_data().copy()
+
+        # Each worker averages with one random peer's published snapshot.
+        rng = np.random.default_rng(np.random.SeedSequence([self.seed, step]))
+        peers = rng.permutation(n)
+        messages = []
+        for i in range(n):
+            j = int(peers[i])
+            if j != i:
+                messages.append(
+                    Message(group.ranks[j], group.ranks[i], self._mailbox[j])
+                )
+        if messages:
+            group.transport.exchange(messages)
+        for i in range(n):
+            j = int(peers[i])
+            if j == i:
+                continue
+            worker = engine.workers[i]
+            for k, bucket in enumerate(worker.buckets):
+                averaged = 0.5 * (bucket.flat_data() + self._mailbox[j][k])
+                bucket.set_flat_data(averaged)

@@ -1,0 +1,36 @@
+"""QSGD: 8-bit quantized synchronous DP-SG via C_LP_S (no error compensation).
+
+Matches the paper's configuration: "QSGD [4], a quantized (8-bit) DP-SG
+algorithm, implemented with C_LP_S primitive without error compensation."
+QSGD's stochastic rounding is unbiased, so no residual state is needed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..compression.base import Compressor
+from ..compression.qsgd import QSGDCompressor
+from ..core.engine import Algorithm, BaguaEngine
+from ..core.primitives import c_lp_s
+
+
+class QSGD(Algorithm):
+    name = "qsgd"
+
+    def __init__(self, bits: int = 8, compressor: Optional[Compressor] = None) -> None:
+        self.compressor = compressor or QSGDCompressor(bits=bits)
+
+    def on_backward_done(self, engine: BaguaEngine, step: int) -> None:
+        n = engine.world_size
+        for k in range(engine.num_buckets):
+            grads = engine.grads_of_bucket(k)
+            summed = c_lp_s(
+                grads,
+                engine.group,
+                compressor=self.compressor,
+                hierarchical=engine.hierarchical,
+            )
+            engine.set_grads_of_bucket(k, [s / n for s in summed])
+        for worker in engine.workers:
+            worker.optimizer_step_on_buckets()

@@ -1,0 +1,27 @@
+"""Re-implementations of the competing systems' strategies.
+
+Functional-mode algorithms here produce the convergence lines of Figure 5;
+their timing profiles live in :mod:`repro.simulation.systems`.
+"""
+
+from .byteps import BytePS
+from .horovod import Horovod
+from .parameter_server import ShardedParameterServer
+from .pytorch_ddp import PyTorchDDP
+from .vanilla import VanillaDPSG
+
+BASELINE_REGISTRY = {
+    "vanilla": VanillaDPSG,
+    "pytorch-ddp": PyTorchDDP,
+    "horovod": Horovod,
+    "byteps": BytePS,
+}
+
+__all__ = [
+    "VanillaDPSG",
+    "PyTorchDDP",
+    "Horovod",
+    "BytePS",
+    "ShardedParameterServer",
+    "BASELINE_REGISTRY",
+]

@@ -1,0 +1,85 @@
+"""BytePS baseline (Jiang et al., OSDI 2020; paper ref [29]).
+
+System strategy: parameters are partitioned into equal chunks spread over
+parameter servers (one per node here); workers push gradient chunks as they
+become ready and pull updated chunks, with a priority scheduler that favours
+chunks blocking the next forward pass.  Synchronous mode aggregates all
+workers' pushes before the pull; asynchronous mode applies each worker's
+push to the server state immediately (the paper's Table 1 credits BytePS
+with async centralized full-precision support).
+
+Functionally, sync BytePS is exact gradient averaging — same convergence as
+allreduce; async BytePS exhibits bounded staleness like
+:class:`~repro.algorithms.async_sgd.AsyncSGD`.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..core.engine import Algorithm, BaguaEngine
+from .parameter_server import ShardedParameterServer
+
+
+class BytePS(Algorithm):
+    def __init__(self, asynchronous: bool = False, lr: float | None = None) -> None:
+        self.asynchronous = asynchronous
+        self.name = "byteps-async" if asynchronous else "byteps"
+        self.lr = lr
+
+    def setup(self, engine: BaguaEngine) -> None:
+        self._servers: List[ShardedParameterServer] = [
+            ShardedParameterServer(engine.group, bucket.flat_data())
+            for bucket in engine.workers[0].buckets
+        ]
+        if self.asynchronous and self.lr is None:
+            lr = getattr(engine.workers[0].optimizer, "lr", None)
+            if lr is None:
+                raise ValueError("async BytePS needs lr (optimizer exposes none)")
+            # Per-push application: scale by 1/n to keep the per-sample
+            # learning rate aligned with synchronous averaging.
+            self.lr = float(lr) / engine.world_size
+
+    def on_backward_done(self, engine: BaguaEngine, step: int) -> None:
+        if self.asynchronous:
+            self._async_step(engine, step)
+        else:
+            self._sync_step(engine)
+
+    # ------------------------------------------------------------------
+    def _sync_step(self, engine: BaguaEngine) -> None:
+        n = engine.world_size
+        for k, server in enumerate(self._servers):
+            for worker in engine.workers:
+                server.push_gradients(worker.rank, worker.buckets[k].flat_grad())
+            # Server holds the summed gradient; workers pull it and average.
+            # (Parameters update on the workers: BytePS keeps the optimizer
+            # worker-side in its default configuration.)
+            grads = [shard_state.pop("acc") for shard_state in server.server_state]
+            full = np.concatenate(grads) / n
+            for worker in engine.workers:
+                server.pull_parameters(worker.rank)  # traffic accounting
+                worker.buckets[k].set_flat_grad(full)
+        for worker in engine.workers:
+            worker.optimizer_step_on_buckets()
+        # Keep server shards in sync with the (identical) worker replicas.
+        for k, server in enumerate(self._servers):
+            flat = engine.workers[0].buckets[k].flat_data()
+            for i, (lo, hi) in enumerate(server._bounds):
+                server.shards[i][...] = flat[lo:hi]
+
+    def _async_step(self, engine: BaguaEngine, step: int) -> None:
+        n = engine.world_size
+        order = [(step + i) % n for i in range(n)]
+        for i in order:
+            worker = engine.workers[i]
+            for k, server in enumerate(self._servers):
+                grad = worker.buckets[k].flat_grad()
+
+                def apply_now(shard_index: int, grad_shard: np.ndarray, _state: dict) -> None:
+                    server.shards[shard_index] -= self.lr * grad_shard
+
+                server.push_gradients(worker.rank, grad, apply_fn=apply_now)
+                worker.buckets[k].set_flat_data(server.pull_parameters(worker.rank))

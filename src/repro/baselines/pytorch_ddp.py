@@ -1,0 +1,30 @@
+"""PyTorch-DDP baseline (Li et al., VLDB 2020; paper ref [30]).
+
+System strategy: gradients are grouped into ~25 MB buckets in reverse
+registration order, each bucket is ring-allreduced as soon as its gradients
+are ready (overlapping with the rest of backward), and the optimizer steps
+once after all allreduces complete.  Functionally this is exact gradient
+averaging — identical convergence to BAGUA's Allreduce algorithm, which is
+Figure 5's observation; the differences are purely in the timing profile
+(:func:`repro.simulation.systems.pytorch_ddp_system`).
+"""
+
+from __future__ import annotations
+
+from ..comm.collectives import ring_allreduce
+from ..core.engine import Algorithm, BaguaEngine
+
+
+class PyTorchDDP(Algorithm):
+    name = "pytorch-ddp"
+
+    def on_backward_done(self, engine: BaguaEngine, step: int) -> None:
+        n = engine.world_size
+        # Buckets arrive in gradient-ready order = reverse layer order.
+        for k in range(engine.num_buckets):
+            grads = engine.grads_of_bucket(k)
+            summed = ring_allreduce(grads, engine.group)
+            engine.set_grads_of_bucket(k, [s / n for s in summed])
+        # Single optimizer step after all communication (DDP semantics).
+        for worker in engine.workers:
+            worker.optimizer_step_on_buckets()

@@ -1,0 +1,25 @@
+"""Vanilla DP-SG (Figure 2, "Vanilla"): per-tensor allreduce, no overlap.
+
+Numerically identical to synchronous allreduce SGD; its role is the timing
+baseline every optimized system improves on.  In functional mode it runs
+ring allreduce per parameter tensor, which also exercises the unfused code
+path end to end.
+"""
+
+from __future__ import annotations
+
+from ..comm.collectives import ring_allreduce
+from ..core.engine import Algorithm, BaguaEngine
+
+
+class VanillaDPSG(Algorithm):
+    name = "vanilla"
+
+    def on_backward_done(self, engine: BaguaEngine, step: int) -> None:
+        n = engine.world_size
+        for k in range(engine.num_buckets):
+            grads = engine.grads_of_bucket(k)
+            summed = ring_allreduce(grads, engine.group)
+            engine.set_grads_of_bucket(k, [s / n for s in summed])
+        for worker in engine.workers:
+            worker.optimizer_step_on_buckets()

@@ -1,0 +1,27 @@
+"""Simulated distributed cluster: clocks, links, topology, transport."""
+
+from .clock import EventQueue, VirtualClock
+from .netmodel import GBPS, Link, NVLINK, TCP_10G, TCP_25G, TCP_100G, preset
+from .topology import ClusterSpec, paper_cluster
+from .transport import Message, TrafficStats, Transport, payload_nbytes
+from .worker import WorkerContext, make_workers
+
+__all__ = [
+    "VirtualClock",
+    "EventQueue",
+    "Link",
+    "GBPS",
+    "NVLINK",
+    "TCP_10G",
+    "TCP_25G",
+    "TCP_100G",
+    "preset",
+    "ClusterSpec",
+    "paper_cluster",
+    "Message",
+    "Transport",
+    "TrafficStats",
+    "payload_nbytes",
+    "WorkerContext",
+    "make_workers",
+]

@@ -1,0 +1,101 @@
+"""Virtual time-keeping for the simulated cluster.
+
+Every worker owns a :class:`VirtualClock`; communication advances the clocks
+of the participants according to the network cost model, and compute advances
+a single worker's clock.  :class:`EventQueue` is the discrete-event core used
+by the pipeline simulator in :mod:`repro.simulation`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+
+class VirtualClock:
+    """A monotonically advancing simulated clock (seconds)."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, dt: float) -> float:
+        """Advance by ``dt`` seconds (must be non-negative)."""
+        if dt < 0:
+            raise ValueError(f"cannot advance clock by negative dt={dt}")
+        self._now += dt
+        return self._now
+
+    def advance_to(self, t: float) -> float:
+        """Move forward to absolute time ``t`` (no-op if already past it)."""
+        if t > self._now:
+            self._now = t
+        return self._now
+
+    def reset(self, t: float = 0.0) -> None:
+        self._now = float(t)
+
+    def __repr__(self) -> str:
+        return f"VirtualClock(now={self._now:.6f})"
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+    label: str = field(compare=False, default="")
+
+
+class EventQueue:
+    """A minimal discrete-event scheduler.
+
+    Events are callables executed in timestamp order; ties break by insertion
+    order, which keeps simulations deterministic.
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[_Event] = []
+        self._counter = itertools.count()
+        self.now = 0.0
+        self._processed = 0
+
+    def schedule(self, time: float, action: Callable[[], None], label: str = "") -> None:
+        if time < self.now:
+            raise ValueError(f"cannot schedule event at {time} before now={self.now}")
+        heapq.heappush(self._heap, _Event(time, next(self._counter), action, label))
+
+    def schedule_after(self, delay: float, action: Callable[[], None], label: str = "") -> None:
+        self.schedule(self.now + delay, action, label)
+
+    def empty(self) -> bool:
+        return not self._heap
+
+    def step(self) -> Optional[Tuple[float, str]]:
+        """Pop and run the next event; return (time, label) or None if empty."""
+        if not self._heap:
+            return None
+        event = heapq.heappop(self._heap)
+        self.now = event.time
+        self._processed += 1
+        event.action()
+        return (event.time, event.label)
+
+    def run(self, max_events: int = 10_000_000) -> float:
+        """Drain the queue; return the final simulated time."""
+        remaining = max_events
+        while self._heap:
+            if remaining <= 0:
+                raise RuntimeError("event budget exhausted; likely a scheduling loop")
+            self.step()
+            remaining -= 1
+        return self.now
+
+    @property
+    def processed(self) -> int:
+        return self._processed

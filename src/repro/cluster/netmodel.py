@@ -1,0 +1,91 @@
+"""Alpha-beta network cost model and the paper's network conditions.
+
+The evaluation (§4.1) uses 16 machines with 8 V100s each; intra-node GPUs
+are connected by NVLink, nodes by TCP at 10, 25 or 100 Gbps (mirroring AWS
+p3.8xlarge / p3.16xlarge / p3dn.24xlarge interconnects).  A transfer of
+``n`` bytes over a link costs ``latency + n / bandwidth`` seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+GBPS = 1e9 / 8  # bytes per second per Gbit/s
+
+
+@dataclass(frozen=True)
+class Link:
+    """A point-to-point link with latency, bandwidth and a message-size ramp.
+
+    A transfer of ``n`` bytes costs ``latency + (n + ramp) / bandwidth``.
+    The ``ramp`` term captures per-message protocol overhead and bandwidth
+    ramp-up (TCP slow start, NCCL protocol switching): messages much smaller
+    than ``ramp`` achieve a fraction of line rate, messages much larger
+    approach it.  This is what makes tensor fusion (the F optimization) and
+    fewer/larger partitions (the H optimization) matter, exactly as the
+    paper's ablation observes.
+
+    Attributes:
+        latency_s: one-way latency in seconds (the "alpha" term).
+        bandwidth_Bps: bandwidth in bytes/second (the "beta" term's inverse).
+        ramp_bytes: half-peak message size (bytes).
+        name: label used in reports.
+    """
+
+    latency_s: float
+    bandwidth_Bps: float
+    ramp_bytes: float = 0.0
+    name: str = "link"
+
+    def __post_init__(self) -> None:
+        if self.latency_s < 0:
+            raise ValueError(f"negative latency {self.latency_s}")
+        if self.bandwidth_Bps <= 0:
+            raise ValueError(f"non-positive bandwidth {self.bandwidth_Bps}")
+        if self.ramp_bytes < 0:
+            raise ValueError(f"negative ramp {self.ramp_bytes}")
+
+    def transfer_time(self, nbytes: float) -> float:
+        """Time to move ``nbytes`` over this link."""
+        if nbytes < 0:
+            raise ValueError(f"negative transfer size {nbytes}")
+        return self.latency_s + (nbytes + self.ramp_bytes) / self.bandwidth_Bps
+
+    def wire_time(self, nbytes: float) -> float:
+        """Serialization time on the NIC (no propagation latency)."""
+        if nbytes < 0:
+            raise ValueError(f"negative transfer size {nbytes}")
+        return (nbytes + self.ramp_bytes) / self.bandwidth_Bps
+
+    def with_latency(self, latency_s: float) -> "Link":
+        return replace(self, latency_s=latency_s)
+
+    def with_bandwidth_gbps(self, gbps: float) -> "Link":
+        return replace(self, bandwidth_Bps=gbps * GBPS, name=f"tcp-{gbps:g}g")
+
+
+# NVLink within a server: ~150 GB/s-class fabric, microsecond latency,
+# negligible per-message ramp (hardware DMA).
+NVLINK = Link(latency_s=3e-6, bandwidth_Bps=150e9, ramp_bytes=8 * 1024, name="nvlink")
+
+# TCP/IP between servers; latency and message ramp typical of a datacenter
+# TCP stack (~128 KB half-peak message size).
+_TCP_RAMP = 128 * 1024
+TCP_10G = Link(latency_s=50e-6, bandwidth_Bps=10 * GBPS, ramp_bytes=_TCP_RAMP, name="tcp-10g")
+TCP_25G = Link(latency_s=50e-6, bandwidth_Bps=25 * GBPS, ramp_bytes=_TCP_RAMP, name="tcp-25g")
+TCP_100G = Link(latency_s=50e-6, bandwidth_Bps=100 * GBPS, ramp_bytes=_TCP_RAMP, name="tcp-100g")
+
+NETWORK_PRESETS = {
+    "10gbps": TCP_10G,
+    "25gbps": TCP_25G,
+    "100gbps": TCP_100G,
+}
+
+
+def preset(name: str) -> Link:
+    """Look up an inter-node network preset by name ('10gbps', '25gbps', '100gbps')."""
+    key = name.lower()
+    if key not in NETWORK_PRESETS:
+        raise KeyError(f"unknown network preset {name!r}; options: {sorted(NETWORK_PRESETS)}")
+    return NETWORK_PRESETS[key]

@@ -1,0 +1,129 @@
+"""Cluster topology: nodes x workers, link selection, stragglers.
+
+A :class:`ClusterSpec` describes the machine layout the simulation runs on.
+Worker ranks are assigned node-major: ranks ``[0, g)`` on node 0, ``[g, 2g)``
+on node 1, and so on — matching how NCCL ranks map onto multi-GPU servers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from .netmodel import Link, NVLINK, TCP_25G
+
+# Sustained mixed-precision throughput assumed per V100-class worker, used to
+# convert model FLOPs into compute seconds.  The paper quotes 2 PFLOPS
+# aggregate over 128 GPUs with Tensor Cores; sustained training throughput is
+# far below peak, and only relative times matter for the reproduced shapes.
+DEFAULT_WORKER_FLOPS = 15.6e12
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Immutable description of the simulated cluster.
+
+    Attributes:
+        num_nodes: number of machines.
+        workers_per_node: GPUs per machine.
+        inter_node: link model between machines (TCP).
+        intra_node: link model within a machine (NVLink).
+        worker_flops: sustained FLOP/s per worker for compute-time estimates.
+        straggler_slowdown: rank -> multiplicative compute slowdown (>1 means
+            slower; models the paper's downclocked-GPU heterogeneity study).
+        compute_jitter_sigma: relative std-dev of per-iteration compute time
+            on one worker.  Synchronous algorithms pace on the slowest of all
+            workers each iteration, paying roughly ``sigma * sqrt(2 ln n)``
+            extra; asynchronous algorithms average the noise out.  This is
+            the system-level reason async wins even on fast networks.
+    """
+
+    num_nodes: int = 16
+    workers_per_node: int = 8
+    inter_node: Link = TCP_25G
+    intra_node: Link = NVLINK
+    worker_flops: float = DEFAULT_WORKER_FLOPS
+    straggler_slowdown: Dict[int, float] = field(default_factory=dict)
+    compute_jitter_sigma: float = 0.06
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise ValueError(f"num_nodes must be >= 1, got {self.num_nodes}")
+        if self.workers_per_node < 1:
+            raise ValueError(f"workers_per_node must be >= 1, got {self.workers_per_node}")
+        for rank, slow in self.straggler_slowdown.items():
+            if not 0 <= rank < self.world_size:
+                raise ValueError(f"straggler rank {rank} out of range")
+            if slow < 1.0:
+                raise ValueError(f"straggler slowdown must be >= 1, got {slow}")
+
+    @property
+    def world_size(self) -> int:
+        return self.num_nodes * self.workers_per_node
+
+    def node_of(self, rank: int) -> int:
+        self._check_rank(rank)
+        return rank // self.workers_per_node
+
+    def local_rank(self, rank: int) -> int:
+        self._check_rank(rank)
+        return rank % self.workers_per_node
+
+    def same_node(self, a: int, b: int) -> bool:
+        return self.node_of(a) == self.node_of(b)
+
+    def link_between(self, a: int, b: int) -> Link:
+        """The link used by a message from rank ``a`` to rank ``b``."""
+        if a == b:
+            raise ValueError(f"no link from rank {a} to itself")
+        return self.intra_node if self.same_node(a, b) else self.inter_node
+
+    def node_ranks(self, node: int) -> List[int]:
+        if not 0 <= node < self.num_nodes:
+            raise ValueError(f"node {node} out of range")
+        start = node * self.workers_per_node
+        return list(range(start, start + self.workers_per_node))
+
+    def node_leaders(self) -> List[int]:
+        """First rank of each node (the 'leader workers' of §3.4)."""
+        return [node * self.workers_per_node for node in range(self.num_nodes)]
+
+    def compute_scale(self, rank: int) -> float:
+        """Multiplier on compute time for ``rank`` (stragglers are > 1)."""
+        return self.straggler_slowdown.get(rank, 1.0)
+
+    def sync_jitter_factor(self) -> float:
+        """Expected slowdown of a per-iteration barrier over all workers.
+
+        The max of ``n`` draws of N(1, sigma) concentrates near
+        ``1 + sigma * sqrt(2 ln n)``; synchronous collectives pay this every
+        iteration because everyone waits for the slowest worker.
+        """
+        import math
+
+        n = self.world_size
+        if n <= 1 or self.compute_jitter_sigma <= 0:
+            return 1.0
+        return 1.0 + self.compute_jitter_sigma * math.sqrt(2.0 * math.log(n))
+
+    def compute_time(self, flops: float, rank: int = 0) -> float:
+        """Seconds for ``rank`` to execute ``flops`` floating-point operations."""
+        if flops < 0:
+            raise ValueError(f"negative flops {flops}")
+        return flops * self.compute_scale(rank) / self.worker_flops
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.world_size:
+            raise ValueError(f"rank {rank} out of range for world size {self.world_size}")
+
+
+def paper_cluster(network: str = "25gbps", straggler_slowdown: Dict[int, float] | None = None) -> ClusterSpec:
+    """The 16-node x 8-GPU cluster from the paper's evaluation."""
+    from .netmodel import preset
+
+    return ClusterSpec(
+        num_nodes=16,
+        workers_per_node=8,
+        inter_node=preset(network),
+        straggler_slowdown=straggler_slowdown or {},
+    )

@@ -1,0 +1,58 @@
+"""Per-worker context for functional (lock-step) training."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .topology import ClusterSpec
+from .transport import Transport
+
+
+@dataclass
+class WorkerContext:
+    """Everything an algorithm instance knows about 'its' worker.
+
+    Each simulated worker gets an independent RNG stream (seeded from a base
+    seed and its rank) so data sharding and stochastic compression are
+    deterministic yet decorrelated across workers.
+    """
+
+    rank: int
+    spec: ClusterSpec
+    transport: Transport
+    rng: np.random.Generator
+
+    @property
+    def world_size(self) -> int:
+        return self.spec.world_size
+
+    @property
+    def node(self) -> int:
+        return self.spec.node_of(self.rank)
+
+    @property
+    def local_rank(self) -> int:
+        return self.spec.local_rank(self.rank)
+
+    @property
+    def now(self) -> float:
+        return self.transport.now(self.rank)
+
+
+def make_workers(
+    spec: ClusterSpec, transport: Optional[Transport] = None, seed: int = 0
+) -> list[WorkerContext]:
+    """Create one context per rank sharing a transport."""
+    transport = transport or Transport(spec)
+    return [
+        WorkerContext(
+            rank=rank,
+            spec=spec,
+            transport=transport,
+            rng=np.random.default_rng(np.random.SeedSequence([seed, rank])),
+        )
+        for rank in range(spec.world_size)
+    ]

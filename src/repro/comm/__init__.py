@@ -1,0 +1,37 @@
+"""NCCL-like collectives over the simulated transport."""
+
+from .collectives import (
+    allgather_payloads,
+    allreduce_via_root,
+    alltoall,
+    broadcast,
+    gather,
+    reduce_to_root,
+    ring_all_gather_chunks,
+    ring_allreduce,
+    ring_reduce_scatter,
+    send_recv,
+)
+from .group import CommGroup
+from .hierarchical import HierarchicalComm
+from .scatter_reduce import scatter_reduce
+from .tree import tree_allreduce, tree_broadcast, tree_reduce
+
+__all__ = [
+    "CommGroup",
+    "ring_allreduce",
+    "ring_reduce_scatter",
+    "ring_all_gather_chunks",
+    "gather",
+    "broadcast",
+    "reduce_to_root",
+    "allreduce_via_root",
+    "alltoall",
+    "allgather_payloads",
+    "send_recv",
+    "scatter_reduce",
+    "HierarchicalComm",
+    "tree_broadcast",
+    "tree_reduce",
+    "tree_allreduce",
+]

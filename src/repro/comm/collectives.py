@@ -1,0 +1,233 @@
+"""MPI-style collectives implemented from point-to-point message rounds.
+
+Every function takes ``arrays`` — one 1-D numpy array per group member, in
+``group.ranks`` order — and returns per-member results.  This god's-eye
+calling convention is how the lock-step trainer drives the simulated workers;
+the message schedules underneath are the real thing (ring reduce-scatter,
+all-gather, tree broadcast, ...), and the transport charges their simulated
+time and bytes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..cluster.transport import Message
+from .group import CommGroup
+
+
+def _check_arrays(arrays: Sequence[np.ndarray], group: CommGroup) -> None:
+    if len(arrays) != group.size:
+        raise ValueError(f"expected {group.size} arrays, got {len(arrays)}")
+    shape = arrays[0].shape
+    for i, a in enumerate(arrays):
+        if a.ndim != 1:
+            raise ValueError(f"collectives operate on flattened 1-D arrays; arg {i} has shape {a.shape}")
+        if a.shape != shape:
+            raise ValueError(f"shape mismatch: member 0 has {shape}, member {i} has {a.shape}")
+
+
+def _chunk_bounds(length: int, parts: int) -> List[tuple]:
+    """Split ``range(length)`` into ``parts`` contiguous chunks (numpy-style)."""
+    sizes = [length // parts + (1 if i < length % parts else 0) for i in range(parts)]
+    bounds = []
+    offset = 0
+    for size in sizes:
+        bounds.append((offset, offset + size))
+        offset += size
+    return bounds
+
+
+# ----------------------------------------------------------------------
+# Point-to-point helpers
+# ----------------------------------------------------------------------
+def send_recv(group: CommGroup, src: int, dst: int, payload) -> object:
+    """One message from ``src`` to ``dst`` (global ranks); returns the payload."""
+    inbox = group.transport.exchange([Message(src, dst, payload)])
+    return inbox[dst][0].payload
+
+
+# ----------------------------------------------------------------------
+# Ring allreduce (Horovod / PyTorch-DDP substrate)
+# ----------------------------------------------------------------------
+def ring_reduce_scatter(arrays: Sequence[np.ndarray], group: CommGroup) -> List[np.ndarray]:
+    """Ring reduce-scatter: member i ends with the full sum of chunk i.
+
+    Runs ``n - 1`` rounds; in round r, member i sends chunk ``(i - r) mod n``
+    to its right neighbor and accumulates the chunk arriving from the left.
+    Returns the reduced chunk owned by each member.
+    """
+    _check_arrays(arrays, group)
+    n = group.size
+    bounds = _chunk_bounds(arrays[0].shape[0], n)
+    work = [a.astype(np.float64, copy=True) for a in arrays]
+    if n == 1:
+        return [work[0]]
+
+    for r in range(n - 1):
+        messages = []
+        for i in range(n):
+            chunk = (i - r) % n
+            lo, hi = bounds[chunk]
+            messages.append(
+                Message(group.ranks[i], group.ranks[(i + 1) % n], (chunk, work[i][lo:hi].copy()))
+            )
+        inbox = group.transport.exchange(messages)
+        for i in range(n):
+            chunk, data = inbox[group.ranks[i]][0].payload
+            lo, hi = bounds[chunk]
+            work[i][lo:hi] += data
+
+    out = []
+    for i in range(n):
+        lo, hi = bounds[(i + 1) % n]
+        out.append(work[i][lo:hi].copy())
+    return out
+
+
+def ring_all_gather_chunks(
+    chunks: Sequence[np.ndarray], owners: Sequence[int], group: CommGroup, total: int
+) -> List[np.ndarray]:
+    """Ring all-gather of per-member chunks into full arrays.
+
+    ``chunks[i]`` is the chunk owned by member i whose id is ``owners[i]``;
+    chunk ids index into the canonical ``_chunk_bounds(total, n)`` layout.
+    """
+    n = group.size
+    bounds = _chunk_bounds(total, n)
+    results = [np.zeros(total) for _ in range(n)]
+    for i in range(n):
+        lo, hi = bounds[owners[i]]
+        results[i][lo:hi] = chunks[i]
+
+    # In round r, member i forwards the chunk it received r rounds ago —
+    # i.e. the chunk originally owned by member (i - r) mod n.
+    for r in range(n - 1):
+        messages = []
+        for i in range(n):
+            chunk_id = owners[(i - r) % n]
+            lo, hi = bounds[chunk_id]
+            messages.append(
+                Message(group.ranks[i], group.ranks[(i + 1) % n], (chunk_id, results[i][lo:hi].copy()))
+            )
+        inbox = group.transport.exchange(messages)
+        for i in range(n):
+            chunk_id, data = inbox[group.ranks[i]][0].payload
+            lo, hi = bounds[chunk_id]
+            results[i][lo:hi] = data
+    return results
+
+
+def ring_allreduce(arrays: Sequence[np.ndarray], group: CommGroup) -> List[np.ndarray]:
+    """Classic two-phase ring allreduce (sum); 2(n-1) rounds of S/n bytes."""
+    _check_arrays(arrays, group)
+    n = group.size
+    if n == 1:
+        return [arrays[0].astype(np.float64, copy=True)]
+    total = arrays[0].shape[0]
+    reduced = ring_reduce_scatter(arrays, group)
+    owners = [(i + 1) % n for i in range(n)]
+    return ring_all_gather_chunks(reduced, owners, group, total)
+
+
+# ----------------------------------------------------------------------
+# Star-pattern collectives (parameter-server substrate)
+# ----------------------------------------------------------------------
+def gather(arrays: Sequence[np.ndarray], group: CommGroup, root_index: int = 0) -> List[np.ndarray]:
+    """All members send to ``root_index``; returns the gathered list at root order."""
+    _check_arrays(arrays, group)
+    root = group.ranks[root_index]
+    messages = [
+        Message(group.ranks[i], root, (i, arrays[i].copy()))
+        for i in range(group.size)
+        if i != root_index
+    ]
+    gathered: List[Optional[np.ndarray]] = [None] * group.size
+    gathered[root_index] = arrays[root_index].copy()
+    if messages:
+        inbox = group.transport.exchange(messages)
+        for msg in inbox[root]:
+            idx, data = msg.payload
+            gathered[idx] = data
+    return [g for g in gathered if g is not None]
+
+
+def broadcast(array: np.ndarray, group: CommGroup, root_index: int = 0) -> List[np.ndarray]:
+    """Root sends ``array`` to every other member (flat star broadcast)."""
+    root = group.ranks[root_index]
+    messages = [
+        Message(root, group.ranks[i], array.copy())
+        for i in range(group.size)
+        if i != root_index
+    ]
+    results: List[np.ndarray] = [array.copy() for _ in range(group.size)]
+    if messages:
+        group.transport.exchange(messages)
+    return results
+
+
+def reduce_to_root(
+    arrays: Sequence[np.ndarray], group: CommGroup, root_index: int = 0
+) -> np.ndarray:
+    """Sum all members' arrays at the root (gather + local sum)."""
+    gathered = gather(arrays, group, root_index=root_index)
+    return np.sum(gathered, axis=0)
+
+
+def allreduce_via_root(
+    arrays: Sequence[np.ndarray], group: CommGroup, root_index: int = 0
+) -> List[np.ndarray]:
+    """Reduce at root then broadcast — the naive PS-style allreduce."""
+    total = reduce_to_root(arrays, group, root_index=root_index)
+    return broadcast(total, group, root_index=root_index)
+
+
+def alltoall(parts: Sequence[Sequence], group: CommGroup) -> List[List]:
+    """``parts[i][j]`` travels from member i to member j; one message round.
+
+    Returns ``received`` with ``received[j][i]`` = payload sent by member i
+    to member j (``received[j][j]`` is member j's own part, no message).
+    """
+    n = group.size
+    if any(len(p) != n for p in parts):
+        raise ValueError("alltoall needs an n x n grid of parts")
+    # Staggered schedule: in slot ``offset`` member i targets (i + offset) so
+    # every member sends and receives exactly one part per slot — no receiver
+    # hotspot (the standard balanced all-to-all ordering).
+    messages = []
+    for offset in range(1, n):
+        for i in range(n):
+            j = (i + offset) % n
+            messages.append(Message(group.ranks[i], group.ranks[j], (i, parts[i][j])))
+    received: List[List] = [[None] * n for _ in range(n)]
+    for j in range(n):
+        received[j][j] = parts[j][j]
+    if messages:
+        inbox = group.transport.exchange(messages)
+        for j in range(n):
+            for msg in inbox.get(group.ranks[j], []):
+                i, payload = msg.payload
+                received[j][i] = payload
+    return received
+
+
+def allgather_payloads(payloads: Sequence, group: CommGroup) -> List[List]:
+    """Every member sends its payload to every other member; one round."""
+    n = group.size
+    messages = []
+    for offset in range(1, n):
+        for i in range(n):
+            j = (i + offset) % n
+            messages.append(Message(group.ranks[i], group.ranks[j], (i, payloads[i])))
+    results: List[List] = [[None] * n for _ in range(n)]
+    for i in range(n):
+        results[i][i] = payloads[i]
+    if messages:
+        inbox = group.transport.exchange(messages)
+        for j in range(n):
+            for msg in inbox.get(group.ranks[j], []):
+                i, payload = msg.payload
+                results[j][i] = payload
+    return results

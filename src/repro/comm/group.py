@@ -1,0 +1,64 @@
+"""Communication groups: an ordered set of ranks sharing a transport."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..cluster.transport import Transport
+
+
+class CommGroup:
+    """An MPI-style group over a subset of cluster ranks.
+
+    Collectives take per-member inputs ordered like ``group.ranks`` and return
+    per-member outputs in the same order.  Groups are cheap views — building
+    per-node subgroups for hierarchical communication allocates nothing big.
+    """
+
+    def __init__(self, transport: Transport, ranks: Sequence[int]) -> None:
+        ranks = list(ranks)
+        if not ranks:
+            raise ValueError("empty communication group")
+        if len(set(ranks)) != len(ranks):
+            raise ValueError(f"duplicate ranks in group: {ranks}")
+        for rank in ranks:
+            if not 0 <= rank < transport.spec.world_size:
+                raise ValueError(f"rank {rank} outside world of {transport.spec.world_size}")
+        self.transport = transport
+        self.ranks: List[int] = ranks
+
+    @property
+    def size(self) -> int:
+        return len(self.ranks)
+
+    @property
+    def spec(self):
+        return self.transport.spec
+
+    def index_of(self, rank: int) -> int:
+        return self.ranks.index(rank)
+
+    def barrier(self) -> float:
+        return self.transport.barrier(self.ranks)
+
+    def subgroup(self, ranks: Sequence[int]) -> "CommGroup":
+        member_set = set(self.ranks)
+        for rank in ranks:
+            if rank not in member_set:
+                raise ValueError(f"rank {rank} not a member of this group")
+        return CommGroup(self.transport, ranks)
+
+    def node_subgroups(self) -> List["CommGroup"]:
+        """One subgroup per machine represented in this group."""
+        by_node: dict[int, list[int]] = {}
+        for rank in self.ranks:
+            by_node.setdefault(self.spec.node_of(rank), []).append(rank)
+        return [CommGroup(self.transport, ranks) for _node, ranks in sorted(by_node.items())]
+
+    def leader_group(self) -> "CommGroup":
+        """Group of the first rank on each machine (inter-node tier)."""
+        leaders = [sub.ranks[0] for sub in self.node_subgroups()]
+        return CommGroup(self.transport, leaders)
+
+    def __repr__(self) -> str:
+        return f"CommGroup(ranks={self.ranks})"

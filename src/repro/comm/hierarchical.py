@@ -1,0 +1,115 @@
+"""Hierarchical (two-level) communication (paper §3.4, optimization H).
+
+Bandwidth inside a server (NVLink) dwarfs the TCP bandwidth between servers,
+so BAGUA communicates in two tiers: aggregate locally without compression,
+run the expensive inter-node step only among one elected leader per node, and
+broadcast the result back within each node.
+
+For decentralized primitives, hierarchy *changes the semantics*: workers
+within a node are always fully synchronized (intra-node allreduce) while only
+leaders perform the peer exchange — the paper calls this out explicitly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from .collectives import broadcast, gather, ring_allreduce
+from .group import CommGroup
+from .scatter_reduce import CompressFn, DecompressFn, scatter_reduce
+
+
+class HierarchicalComm:
+    """Two-tier communicator derived from a flat group."""
+
+    def __init__(self, group: CommGroup) -> None:
+        self.group = group
+        self.node_groups = group.node_subgroups()
+        self.leaders = group.leader_group()
+        # Map each member index in the flat group to (node-group idx, idx within it).
+        self._placement = {}
+        for gi, sub in enumerate(self.node_groups):
+            for li, rank in enumerate(sub.ranks):
+                self._placement[rank] = (gi, li)
+
+    def _split_by_node(self, arrays: Sequence[np.ndarray]) -> List[List[np.ndarray]]:
+        per_node: List[List[np.ndarray]] = [[] for _ in self.node_groups]
+        for member_idx, rank in enumerate(self.group.ranks):
+            gi, _li = self._placement[rank]
+            per_node[gi].append(arrays[member_idx])
+        return per_node
+
+    def _merge_from_node(self, per_node: List[List[np.ndarray]]) -> List[np.ndarray]:
+        out: List[Optional[np.ndarray]] = [None] * self.group.size
+        for gi, sub in enumerate(self.node_groups):
+            for li, rank in enumerate(sub.ranks):
+                out[self.group.index_of(rank)] = per_node[gi][li]
+        return [o for o in out if o is not None]
+
+    # ------------------------------------------------------------------
+    # Centralized: intra reduce -> inter scatter-reduce -> intra broadcast
+    # ------------------------------------------------------------------
+    def allreduce(
+        self,
+        arrays: Sequence[np.ndarray],
+        compress_phase1: Optional[CompressFn] = None,
+        decompress_phase1: Optional[DecompressFn] = None,
+        compress_phase2: Optional[CompressFn] = None,
+        decompress_phase2: Optional[DecompressFn] = None,
+    ) -> List[np.ndarray]:
+        """Hierarchical sum; compression hooks apply only to the inter-node tier."""
+        per_node = self._split_by_node(arrays)
+
+        # Tier 1: full-precision reduce to each node leader over NVLink.
+        leader_sums: List[np.ndarray] = []
+        for sub, node_arrays in zip(self.node_groups, per_node):
+            gathered = gather(node_arrays, sub, root_index=0)
+            leader_sums.append(np.sum(gathered, axis=0))
+
+        # Tier 2: compressed ScatterReduce among leaders over TCP.
+        aggregated = scatter_reduce(
+            leader_sums,
+            self.leaders,
+            compress_phase1=compress_phase1,
+            decompress_phase1=decompress_phase1,
+            compress_phase2=compress_phase2,
+            decompress_phase2=decompress_phase2,
+        )
+
+        # Tier 3: each leader broadcasts the aggregate within its node.
+        results_per_node: List[List[np.ndarray]] = []
+        for sub, agg in zip(self.node_groups, aggregated):
+            results_per_node.append(broadcast(agg, sub, root_index=0))
+        return self._merge_from_node(results_per_node)
+
+    # ------------------------------------------------------------------
+    # Decentralized: intra allreduce-average, leaders exchange with peers
+    # ------------------------------------------------------------------
+    def decentralized_average(
+        self,
+        arrays: Sequence[np.ndarray],
+        leader_exchange: Callable[[Sequence[np.ndarray], CommGroup], List[np.ndarray]],
+    ) -> List[np.ndarray]:
+        """Intra-node average, leader peer exchange, intra-node broadcast.
+
+        ``leader_exchange`` runs the decentralized step among node leaders
+        (e.g. ring or random peer averaging from :mod:`repro.core.primitives`).
+        """
+        per_node = self._split_by_node(arrays)
+
+        node_means: List[np.ndarray] = []
+        for sub, node_arrays in zip(self.node_groups, per_node):
+            if sub.size == 1:
+                node_means.append(node_arrays[0].astype(np.float64, copy=True))
+            else:
+                summed = ring_allreduce(node_arrays, sub)
+                node_means.append(summed[0] / sub.size)
+
+        exchanged = leader_exchange(node_means, self.leaders)
+
+        results_per_node: List[List[np.ndarray]] = []
+        for sub, result in zip(self.node_groups, exchanged):
+            results_per_node.append(broadcast(result, sub, root_index=0))
+        return self._merge_from_node(results_per_node)

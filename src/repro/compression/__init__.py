@@ -1,0 +1,49 @@
+"""Lossy tensor codecs (the Q functions of the low-precision primitives)."""
+
+from .base import FULL_PRECISION_BYTES, CompressedPayload, Compressor, IdentityCompressor
+from .error_feedback import ErrorFeedback
+from .fp16 import FP16Compressor
+from .onebit import OneBitCompressor
+from .qsgd import QSGDCompressor
+from .signsgd import SignSGDCompressor
+from .sketch import CountSketchCompressor
+from .terngrad import TernGradCompressor
+from .topk import RandomKCompressor, TopKCompressor
+
+COMPRESSOR_REGISTRY = {
+    "fp32": IdentityCompressor,
+    "fp16": FP16Compressor,
+    "qsgd8": QSGDCompressor,
+    "1bit": OneBitCompressor,
+    "topk": TopKCompressor,
+    "randk": RandomKCompressor,
+    "terngrad": TernGradCompressor,
+    "signsgd": SignSGDCompressor,
+    "sketch": CountSketchCompressor,
+}
+
+
+def make_compressor(name: str, **kwargs) -> Compressor:
+    """Instantiate a codec by registry name."""
+    if name not in COMPRESSOR_REGISTRY:
+        raise KeyError(f"unknown compressor {name!r}; options: {sorted(COMPRESSOR_REGISTRY)}")
+    return COMPRESSOR_REGISTRY[name](**kwargs)
+
+
+__all__ = [
+    "Compressor",
+    "CompressedPayload",
+    "IdentityCompressor",
+    "FULL_PRECISION_BYTES",
+    "QSGDCompressor",
+    "OneBitCompressor",
+    "TopKCompressor",
+    "RandomKCompressor",
+    "FP16Compressor",
+    "TernGradCompressor",
+    "SignSGDCompressor",
+    "CountSketchCompressor",
+    "ErrorFeedback",
+    "COMPRESSOR_REGISTRY",
+    "make_compressor",
+]

@@ -1,0 +1,79 @@
+"""Compressor interface and payload wire-size accounting.
+
+A compressor is the lossy function ``Q`` in the paper's low-precision
+primitives.  ``compress`` produces a :class:`CompressedPayload` that knows
+its own wire size in bytes — the transport charges that size, so compressed
+communication is cheaper on the simulated network exactly as it is on a real
+one.  ``decompress`` reconstructs a (lossy) float array.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+# Real systems communicate fp32 gradients; the simulation's numpy arrays are
+# float64 for numeric robustness, so full-precision wire size is defined as
+# 4 bytes/element rather than taken from the numpy buffer.
+FULL_PRECISION_BYTES = 4
+
+
+@dataclass
+class CompressedPayload:
+    """Opaque compressed tensor plus its wire size.
+
+    ``fields`` holds whatever the codec needs to reconstruct the array;
+    ``wire_bytes`` is what the network is charged.
+    """
+
+    codec: str
+    n: int
+    wire_bytes: float
+    fields: Dict[str, np.ndarray | float]
+
+
+class Compressor:
+    """Base class for lossy tensor codecs."""
+
+    #: short identifier used in registries and reports
+    name: str = "identity"
+
+    def compress(self, array: np.ndarray) -> CompressedPayload:
+        raise NotImplementedError
+
+    def decompress(self, payload: CompressedPayload) -> np.ndarray:
+        raise NotImplementedError
+
+    def wire_bytes(self, n_elements: int) -> float:
+        """Wire size for an ``n_elements`` tensor (used by the cost model)."""
+        raise NotImplementedError
+
+    def compression_ratio(self, n_elements: int = 1 << 20) -> float:
+        """Full-precision bytes divided by compressed bytes."""
+        full = n_elements * FULL_PRECISION_BYTES
+        return full / self.wire_bytes(n_elements)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class IdentityCompressor(Compressor):
+    """No-op codec: full-precision (fp32-equivalent) wire size."""
+
+    name = "fp32"
+
+    def compress(self, array: np.ndarray) -> CompressedPayload:
+        return CompressedPayload(
+            codec=self.name,
+            n=array.size,
+            wire_bytes=self.wire_bytes(array.size),
+            fields={"values": array.astype(np.float64, copy=True)},
+        )
+
+    def decompress(self, payload: CompressedPayload) -> np.ndarray:
+        return np.asarray(payload.fields["values"]).copy()
+
+    def wire_bytes(self, n_elements: int) -> float:
+        return float(n_elements * FULL_PRECISION_BYTES)

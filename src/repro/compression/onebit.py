@@ -1,0 +1,46 @@
+"""1-bit compression with magnitude rescaling (used by 1-bit Adam, ref [79]).
+
+Each element is reduced to its sign; magnitudes are preserved in aggregate by
+two scalars — the mean absolute value of the positive and negative parts —
+so decompression returns ``scale_pos`` for positive entries and
+``-scale_neg`` for negative ones.  This codec is biased (hence the paper
+pairs it with error compensation via C_LP_S).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import CompressedPayload, Compressor
+
+
+class OneBitCompressor(Compressor):
+    name = "1bit"
+
+    def compress(self, array: np.ndarray) -> CompressedPayload:
+        array = np.asarray(array, dtype=np.float64)
+        positive = array > 0
+        pos_vals = array[positive]
+        neg_vals = array[~positive]
+        scale_pos = float(pos_vals.mean()) if pos_vals.size else 0.0
+        scale_neg = float(-neg_vals.mean()) if neg_vals.size else 0.0
+        return CompressedPayload(
+            codec=self.name,
+            n=array.size,
+            wire_bytes=self.wire_bytes(array.size),
+            fields={
+                "signs": np.packbits(positive.reshape(-1)),
+                "scale_pos": scale_pos,
+                "scale_neg": scale_neg,
+            },
+        )
+
+    def decompress(self, payload: CompressedPayload) -> np.ndarray:
+        signs = np.unpackbits(
+            np.asarray(payload.fields["signs"], dtype=np.uint8), count=payload.n
+        ).astype(bool)
+        out = np.where(signs, payload.fields["scale_pos"], -payload.fields["scale_neg"])
+        return out.astype(np.float64)
+
+    def wire_bytes(self, n_elements: int) -> float:
+        return np.ceil(n_elements / 8.0) + 8.0  # sign bits + two fp32 scales

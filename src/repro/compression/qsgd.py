@@ -1,0 +1,64 @@
+"""QSGD stochastic quantization (Alistarh et al., 2017; paper ref [4]).
+
+Each value is mapped to one of ``s`` levels of its magnitude relative to the
+tensor norm, with stochastic rounding so the codec is unbiased:
+``E[decompress(compress(x))] = x``.  The paper's QSGD algorithm uses the
+8-bit variant (s = 255, one byte per element plus the norm).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .base import CompressedPayload, Compressor
+
+
+class QSGDCompressor(Compressor):
+    """Stochastic uniform quantization against the L2 norm.
+
+    Args:
+        bits: bits per element (levels = 2**(bits-1) - 1 magnitude steps,
+            sign folded into the stored integer).  8 by default, as in the
+            paper's QSGD configuration.
+        rng: randomness for stochastic rounding; a fixed generator makes a
+            worker's compression stream reproducible.
+    """
+
+    def __init__(self, bits: int = 8, rng: Optional[np.random.Generator] = None) -> None:
+        if not 2 <= bits <= 16:
+            raise ValueError(f"bits must be in [2, 16], got {bits}")
+        self.bits = bits
+        self.levels = (1 << (bits - 1)) - 1
+        self.rng = rng or np.random.default_rng(0)
+        self.name = f"qsgd{bits}"
+
+    def compress(self, array: np.ndarray) -> CompressedPayload:
+        array = np.asarray(array, dtype=np.float64)
+        norm = float(np.linalg.norm(array))
+        if norm == 0.0:
+            quantized = np.zeros(array.size, dtype=np.int32)
+        else:
+            scaled = np.abs(array) / norm * self.levels
+            floor = np.floor(scaled)
+            prob = scaled - floor
+            bump = (self.rng.random(array.shape) < prob).astype(np.float64)
+            quantized = (np.sign(array) * (floor + bump)).astype(np.int32).reshape(-1)
+        return CompressedPayload(
+            codec=self.name,
+            n=array.size,
+            wire_bytes=self.wire_bytes(array.size),
+            fields={"q": quantized, "norm": norm},
+        )
+
+    def decompress(self, payload: CompressedPayload) -> np.ndarray:
+        norm = float(payload.fields["norm"])
+        q = np.asarray(payload.fields["q"], dtype=np.float64)
+        if self.levels == 0 or norm == 0.0:
+            return np.zeros(payload.n)
+        return q * (norm / self.levels)
+
+    def wire_bytes(self, n_elements: int) -> float:
+        # bits per element packed, plus the fp32 norm.
+        return n_elements * self.bits / 8.0 + 4.0

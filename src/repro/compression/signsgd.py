@@ -1,0 +1,35 @@
+"""signSGD compression (Bernstein et al., 2018; paper ref [6]).
+
+Pure sign with a single global L1 scale; one bit per element.  Unlike the
+1-bit codec, the scale is the mean absolute value of the whole tensor, which
+matches the signSGD-with-majority-vote formulation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import CompressedPayload, Compressor
+
+
+class SignSGDCompressor(Compressor):
+    name = "signsgd"
+
+    def compress(self, array: np.ndarray) -> CompressedPayload:
+        array = np.asarray(array, dtype=np.float64).reshape(-1)
+        scale = float(np.abs(array).mean()) if array.size else 0.0
+        return CompressedPayload(
+            codec=self.name,
+            n=array.size,
+            wire_bytes=self.wire_bytes(array.size),
+            fields={"signs": np.packbits(array > 0), "scale": scale},
+        )
+
+    def decompress(self, payload: CompressedPayload) -> np.ndarray:
+        signs = np.unpackbits(
+            np.asarray(payload.fields["signs"], dtype=np.uint8), count=payload.n
+        ).astype(np.float64)
+        return (2.0 * signs - 1.0) * float(payload.fields["scale"])
+
+    def wire_bytes(self, n_elements: int) -> float:
+        return np.ceil(n_elements / 8.0) + 4.0

@@ -1,0 +1,42 @@
+"""TernGrad ternary quantization (Wen et al., 2017; paper ref [7]).
+
+Values become {-1, 0, +1} * max|x| with stochastic rounding proportional to
+|x| / max|x| — unbiased, two bits per element on the wire.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .base import CompressedPayload, Compressor
+
+
+class TernGradCompressor(Compressor):
+    name = "terngrad"
+
+    def __init__(self, rng: Optional[np.random.Generator] = None) -> None:
+        self.rng = rng or np.random.default_rng(0)
+
+    def compress(self, array: np.ndarray) -> CompressedPayload:
+        array = np.asarray(array, dtype=np.float64).reshape(-1)
+        scale = float(np.abs(array).max()) if array.size else 0.0
+        if scale == 0.0:
+            ternary = np.zeros(array.size, dtype=np.int8)
+        else:
+            prob = np.abs(array) / scale
+            keep = self.rng.random(array.size) < prob
+            ternary = (np.sign(array) * keep).astype(np.int8)
+        return CompressedPayload(
+            codec=self.name,
+            n=array.size,
+            wire_bytes=self.wire_bytes(array.size),
+            fields={"t": ternary, "scale": scale},
+        )
+
+    def decompress(self, payload: CompressedPayload) -> np.ndarray:
+        return np.asarray(payload.fields["t"], dtype=np.float64) * float(payload.fields["scale"])
+
+    def wire_bytes(self, n_elements: int) -> float:
+        return n_elements / 4.0 + 4.0  # 2 bits/element + fp32 scale

@@ -1,0 +1,58 @@
+"""BAGUA core: primitives, buckets, profiler, execution optimizer, engine."""
+
+from .autotune import Recommendation, TuningReport, classify_family, recommend
+from .bucket import TensorBucket, partition_into_buckets
+from .communicator import GlobalComm, get_global_comm
+from .engine import Algorithm, BaguaEngine, WorkerReplica
+from .optimizer_framework import (
+    DEFAULT_BUCKET_BYTES,
+    BaguaConfig,
+    ExecutionOptimizer,
+    ExecutionPlan,
+    PlannedBucket,
+)
+from .primitives import (
+    PeerSelector,
+    RandomPeers,
+    RingPeers,
+    c_fp_s,
+    c_lp_s,
+    d_fp_s,
+    d_lp_s,
+)
+from .profiler import (
+    ExecutionProfile,
+    GradientReadyProfiler,
+    TensorRecord,
+    profile_from_spec,
+)
+
+__all__ = [
+    "TensorBucket",
+    "partition_into_buckets",
+    "BaguaEngine",
+    "WorkerReplica",
+    "Algorithm",
+    "BaguaConfig",
+    "ExecutionOptimizer",
+    "ExecutionPlan",
+    "PlannedBucket",
+    "DEFAULT_BUCKET_BYTES",
+    "c_fp_s",
+    "c_lp_s",
+    "d_fp_s",
+    "d_lp_s",
+    "PeerSelector",
+    "RingPeers",
+    "RandomPeers",
+    "ExecutionProfile",
+    "TensorRecord",
+    "GradientReadyProfiler",
+    "profile_from_spec",
+    "GlobalComm",
+    "get_global_comm",
+    "recommend",
+    "TuningReport",
+    "Recommendation",
+    "classify_family",
+]

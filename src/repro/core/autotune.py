@@ -1,0 +1,138 @@
+"""Automatic algorithm selection (the paper's "Moving Forward" direction).
+
+The paper notes BAGUA "does not provide a principled way to help a user
+automatically pick the most suitable system relaxations" and calls an
+auto-tuning system exciting future work.  This module implements a first
+version on top of the reproduction's two modes:
+
+1. **Performance**: each candidate algorithm's epoch time is predicted with
+   the timing simulator on the user's actual model spec and cluster.
+2. **Convergence safety**: candidates known to be fragile for the model's
+   architecture family are filtered or flagged — the knowledge distilled
+   from Figure 6 (e.g. 1-bit Adam diverges on conv-dominated models, async
+   staleness hurts deep transformers).
+
+The result is a ranked list with predicted epoch times and safety notes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..cluster.topology import ClusterSpec
+from ..models.spec import ModelSpec
+from ..simulation.cost import CommCostModel
+from ..simulation.runner import simulate_epoch
+from ..simulation.systems import bagua_system
+from .optimizer_framework import BaguaConfig
+
+CANDIDATES = (
+    "allreduce",
+    "qsgd",
+    "1bit-adam",
+    "decentralized",
+    "decentralized-8bit",
+    "async",
+)
+
+
+def classify_family(model: ModelSpec) -> str:
+    """Architecture family from the layer inventory: conv / recurrent / transformer."""
+    names = " ".join(layer.name for layer in model.layers).lower()
+    if "lstm" in names:
+        return "recurrent"
+    if "attn" in names or "encoder" in names:
+        return "transformer"
+    if "conv" in names:
+        return "conv"
+    return "generic"
+
+
+#: (family, algorithm) -> warning; distilled from Figure 6's outcomes.
+_SAFETY_NOTES: Dict[tuple, str] = {
+    ("conv", "1bit-adam"): "diverges on conv-dominated models (Figure 6, VGG16)",
+    ("recurrent", "1bit-adam"): "diverges on the LSTM+AlexNet family (Figure 6)",
+    ("transformer", "async"): "staleness visibly slows deep transformers (Figure 6, BERT-LARGE)",
+    ("conv", "decentralized"): "small accuracy drop on conv models (Figure 6)",
+    ("conv", "decentralized-8bit"): "small accuracy drop on conv models (Figure 6)",
+}
+
+
+@dataclass
+class Recommendation:
+    """One candidate's predicted performance and safety assessment."""
+
+    algorithm: str
+    epoch_time: float
+    speedup_vs_allreduce: float
+    safe: bool
+    note: str = ""
+
+    def __str__(self) -> str:
+        flag = "" if self.safe else "  [UNSAFE: " + self.note + "]"
+        return (
+            f"{self.algorithm:>18s}: {self.epoch_time:8.1f}s "
+            f"({self.speedup_vs_allreduce:.2f}x vs allreduce){flag}"
+        )
+
+
+@dataclass
+class TuningReport:
+    """Ranked recommendations for one (model, cluster) pair."""
+
+    model: str
+    family: str
+    recommendations: List[Recommendation]
+
+    @property
+    def best(self) -> Recommendation:
+        """Fastest candidate that is convergence-safe for this family."""
+        safe = [r for r in self.recommendations if r.safe]
+        if not safe:
+            raise RuntimeError(f"no safe algorithm for family {self.family!r}")
+        return safe[0]
+
+    def render(self) -> str:
+        lines = [f"auto-tuning {self.model} (family: {self.family})"]
+        lines += [f"  {r}" for r in self.recommendations]
+        lines.append(f"  -> recommended: {self.best.algorithm}")
+        return "\n".join(lines)
+
+
+def recommend(
+    model: ModelSpec,
+    cluster: ClusterSpec,
+    config: Optional[BaguaConfig] = None,
+    candidates=CANDIDATES,
+    include_unsafe: bool = True,
+) -> TuningReport:
+    """Rank candidate algorithms for ``model`` on ``cluster``.
+
+    Safe candidates sort first (by predicted epoch time); unsafe ones are
+    listed afterwards with their warning unless ``include_unsafe`` is False.
+    """
+    family = classify_family(model)
+    cost = CommCostModel(cluster)
+    baseline = simulate_epoch(
+        model, cluster, bagua_system(cost, "allreduce", config)
+    ).epoch_time
+
+    recommendations: List[Recommendation] = []
+    for name in candidates:
+        epoch = simulate_epoch(model, cluster, bagua_system(cost, name, config)).epoch_time
+        note = _SAFETY_NOTES.get((family, name), "")
+        recommendations.append(
+            Recommendation(
+                algorithm=name,
+                epoch_time=epoch,
+                speedup_vs_allreduce=baseline / epoch,
+                safe=(family, name) not in _SAFETY_NOTES
+                or "accuracy drop" in note,  # drops are usable, divergence is not
+                note=note,
+            )
+        )
+    recommendations.sort(key=lambda r: (not r.safe, r.epoch_time))
+    if not include_unsafe:
+        recommendations = [r for r in recommendations if r.safe]
+    return TuningReport(model=model.name, family=family, recommendations=recommendations)

@@ -1,0 +1,137 @@
+"""Tensor bucketing and memory flattening (paper §3.4).
+
+A :class:`TensorBucket` fuses several parameters into one logical unit of
+communication.  With flattening enabled, parameter storage is *re-pointed*
+into one contiguous buffer, so the flat view used for communication,
+compression and the optimizer step is zero-copy — exactly the paper's
+"align parameters within a bucket into a continuous memory space" trick
+(and Apex's flat-buffer optimizer).  With flattening disabled the bucket
+still groups tensors but every flat access gathers/scatters copies, which
+is the cost the F-ablation in Table 5 measures.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..tensor.tensor import Tensor
+
+
+class TensorBucket:
+    """A fused group of parameters with an optional flattened backing buffer."""
+
+    def __init__(self, params: Sequence[Tensor], name: str = "", flatten: bool = True) -> None:
+        if not params:
+            raise ValueError("bucket needs at least one tensor")
+        self.params: List[Tensor] = list(params)
+        self.name = name
+        self.flattened = flatten
+        self._shapes = [p.data.shape for p in self.params]
+        self._sizes = [p.data.size for p in self.params]
+        self._offsets = np.concatenate([[0], np.cumsum(self._sizes)]).astype(int)
+        self.total_elements = int(self._offsets[-1])
+
+        self._buffer: Optional[np.ndarray] = None
+        if flatten:
+            self._materialize()
+
+    def _materialize(self) -> None:
+        """Copy parameters into one buffer and re-point their storage at it."""
+        buffer = np.empty(self.total_elements, dtype=np.float64)
+        for p, lo, hi, shape in zip(self.params, self._offsets, self._offsets[1:], self._shapes):
+            buffer[lo:hi] = p.data.reshape(-1)
+            p.data = buffer[lo:hi].reshape(shape)
+        self._buffer = buffer
+
+    # ------------------------------------------------------------------
+    # Flat views of parameters
+    # ------------------------------------------------------------------
+    def flat_data(self) -> np.ndarray:
+        """The bucket's parameters as one 1-D array.
+
+        Zero-copy (a view of the shared buffer) when flattened; otherwise a
+        gather copy.
+        """
+        if self._buffer is not None:
+            return self._buffer
+        return np.concatenate([p.data.reshape(-1) for p in self.params])
+
+    def set_flat_data(self, flat: np.ndarray) -> None:
+        """Write ``flat`` back into the parameters."""
+        if flat.shape != (self.total_elements,):
+            raise ValueError(f"expected shape ({self.total_elements},), got {flat.shape}")
+        if self._buffer is not None:
+            if flat is not self._buffer:
+                self._buffer[...] = flat
+            return
+        for p, lo, hi, shape in zip(self.params, self._offsets, self._offsets[1:], self._shapes):
+            p.data[...] = flat[lo:hi].reshape(shape)
+
+    # ------------------------------------------------------------------
+    # Flat views of gradients
+    # ------------------------------------------------------------------
+    def flat_grad(self) -> np.ndarray:
+        """Gradients of all parameters concatenated (missing grads are zero)."""
+        out = np.zeros(self.total_elements)
+        for p, lo, hi in zip(self.params, self._offsets, self._offsets[1:]):
+            if p.grad is not None:
+                out[lo:hi] = p.grad.reshape(-1)
+        return out
+
+    def set_flat_grad(self, flat: np.ndarray) -> None:
+        if flat.shape != (self.total_elements,):
+            raise ValueError(f"expected shape ({self.total_elements},), got {flat.shape}")
+        for p, lo, hi, shape in zip(self.params, self._offsets, self._offsets[1:], self._shapes):
+            p.grad = flat[lo:hi].reshape(shape).copy()
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.grad = None
+
+    def grads_ready(self) -> bool:
+        return all(p.grad is not None for p in self.params)
+
+    @property
+    def nbytes_fp32(self) -> float:
+        """Wire size of the bucket at full (fp32) precision."""
+        return self.total_elements * 4.0
+
+    def __len__(self) -> int:
+        return len(self.params)
+
+    def __repr__(self) -> str:
+        return (
+            f"TensorBucket(name={self.name!r}, tensors={len(self.params)}, "
+            f"elements={self.total_elements}, flattened={self.flattened})"
+        )
+
+
+def partition_into_buckets(
+    params: Sequence[Tensor],
+    bucket_bytes: float,
+    flatten: bool = True,
+    name_prefix: str = "bucket",
+) -> List[TensorBucket]:
+    """Greedily group ``params`` (in the given order) into size-capped buckets.
+
+    The order should be the gradient-ready order recorded by the profiler so
+    each bucket completes as early as possible during backward.  A single
+    tensor larger than ``bucket_bytes`` gets its own bucket.
+    """
+    if bucket_bytes <= 0:
+        raise ValueError(f"bucket_bytes must be positive, got {bucket_bytes}")
+    buckets: List[TensorBucket] = []
+    current: List[Tensor] = []
+    current_bytes = 0.0
+    for p in params:
+        p_bytes = p.data.size * 4.0
+        if current and current_bytes + p_bytes > bucket_bytes:
+            buckets.append(TensorBucket(current, name=f"{name_prefix}{len(buckets)}", flatten=flatten))
+            current, current_bytes = [], 0.0
+        current.append(p)
+        current_bytes += p_bytes
+    if current:
+        buckets.append(TensorBucket(current, name=f"{name_prefix}{len(buckets)}", flatten=flatten))
+    return buckets

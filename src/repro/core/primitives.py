@@ -1,0 +1,234 @@
+"""BAGUA's communication primitives (paper §3.2 / §3.3).
+
+All four primitives follow the MPI-like execution model
+``op(x_1..x_n) -> x'_1..x'_n``: they take one flattened array per group
+member and return the per-member results.
+
+* :func:`c_fp_s` — centralized full-precision synchronous: every member ends
+  with ``sum_j x_j`` (Allreduce semantics, ScatterReduce implementation).
+* :func:`c_lp_s` — centralized low-precision synchronous with optional
+  two-sided error compensation (worker deltas, server epsilons).
+* :func:`d_fp_s` — decentralized full-precision: each member averages with
+  its peers under a ring or random peer selector.
+* :func:`d_lp_s` — decentralized low-precision: peers exchange compressed
+  tensors.
+
+Each primitive accepts ``hierarchical=True`` to run the two-tier optimized
+variant of §3.4 (which, for decentralized primitives, intentionally changes
+semantics: workers within a node are fully synchronized).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..comm.group import CommGroup
+from ..comm.hierarchical import HierarchicalComm
+from ..comm.scatter_reduce import scatter_reduce
+from ..compression.base import Compressor
+from ..compression.error_feedback import ErrorFeedback
+from ..cluster.transport import Message
+
+
+# ----------------------------------------------------------------------
+# Centralized
+# ----------------------------------------------------------------------
+def c_fp_s(
+    arrays: Sequence[np.ndarray],
+    group: CommGroup,
+    hierarchical: bool = False,
+) -> List[np.ndarray]:
+    """Centralized full-precision sum: ``x'_i = sum_j x_j`` for all i."""
+    if hierarchical:
+        return HierarchicalComm(group).allreduce(arrays)
+    return scatter_reduce(arrays, group)
+
+
+def c_lp_s(
+    arrays: Sequence[np.ndarray],
+    group: CommGroup,
+    compressor: Compressor,
+    worker_errors: Optional[Sequence[ErrorFeedback]] = None,
+    server_errors: Optional[Sequence[ErrorFeedback]] = None,
+    hierarchical: bool = False,
+) -> List[np.ndarray]:
+    """Centralized low-precision sum with optional error compensation.
+
+    Without error feedback this computes ``x'_i = Q(sum_j Q(x_j))`` — both
+    the worker-side chunks and the merged partitions travel compressed.
+
+    With error feedback, member ``i`` sends ``Q(x_i - delta_i)`` (per chunk)
+    and the partition owner sends ``Q(sum - eps)``; the residuals are updated
+    inside the :class:`ErrorFeedback` stores, matching the paper's C_LP_S
+    semantics.  ``worker_errors[i]`` is member i's delta store (keyed by chunk
+    index), ``server_errors[j]`` is member j's epsilon store for the
+    partition it owns.
+
+    With ``hierarchical=True`` compression applies only between node leaders;
+    intra-node traffic stays full-precision (the H optimization, which the
+    paper notes "can potentially change the semantics").
+    """
+    if (worker_errors is None) != (server_errors is None):
+        raise ValueError("provide both worker_errors and server_errors, or neither")
+    use_ef = worker_errors is not None
+    if use_ef and (len(worker_errors) != group.size or len(server_errors) != group.size):
+        raise ValueError("need one error-feedback store per group member")
+
+    if use_ef:
+        def compress1(chunk: np.ndarray, member: int, chunk_id: int):
+            return worker_errors[member].compress(chunk, key=("w", chunk_id))
+
+        def compress2(merged: np.ndarray, member: int, chunk_id: int):
+            return server_errors[member].compress(merged, key=("s", chunk_id))
+    else:
+        def compress1(chunk: np.ndarray, member: int, chunk_id: int):
+            return compressor.compress(chunk)
+
+        def compress2(merged: np.ndarray, member: int, chunk_id: int):
+            return compressor.compress(merged)
+
+    decompress = compressor.decompress
+
+    if hierarchical:
+        return HierarchicalComm(group).allreduce(
+            arrays,
+            compress_phase1=compress1,
+            decompress_phase1=decompress,
+            compress_phase2=compress2,
+            decompress_phase2=decompress,
+        )
+    return scatter_reduce(
+        arrays,
+        group,
+        compress_phase1=compress1,
+        decompress_phase1=decompress,
+        compress_phase2=compress2,
+        decompress_phase2=decompress,
+    )
+
+
+# ----------------------------------------------------------------------
+# Peer selection for decentralized primitives
+# ----------------------------------------------------------------------
+class PeerSelector:
+    """Chooses each member's neighbor set N(i) for one decentralized round."""
+
+    def neighbors(self, n: int, step: int) -> List[List[int]]:
+        """Return, for each member index, the indices it exchanges with."""
+        raise NotImplementedError
+
+
+class RingPeers(PeerSelector):
+    """Fixed ring: member i talks to i-1 and i+1 (paper's 'ring' strategy)."""
+
+    def neighbors(self, n: int, step: int) -> List[List[int]]:
+        if n == 1:
+            return [[]]
+        if n == 2:
+            return [[1], [0]]
+        return [[(i - 1) % n, (i + 1) % n] for i in range(n)]
+
+
+class RandomPeers(PeerSelector):
+    """Random pairing per step (the 'random probing' strategy of Decen-32bits).
+
+    All members share the same RNG stream seeded by ``step`` so every worker
+    derives the identical matching without extra coordination — the standard
+    trick for randomized decentralized SGD.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+
+    def neighbors(self, n: int, step: int) -> List[List[int]]:
+        if n == 1:
+            return [[]]
+        rng = np.random.default_rng(np.random.SeedSequence([self.seed, step]))
+        order = rng.permutation(n)
+        peers: List[List[int]] = [[] for _ in range(n)]
+        # Pair consecutive members of the permutation; odd member out idles.
+        for a, b in zip(order[0::2], order[1::2]):
+            peers[int(a)] = [int(b)]
+            peers[int(b)] = [int(a)]
+        return peers
+
+
+# ----------------------------------------------------------------------
+# Decentralized
+# ----------------------------------------------------------------------
+def _peer_exchange(
+    payloads: Sequence, peers: List[List[int]], group: CommGroup
+) -> List[dict]:
+    """One message round delivering ``payloads[i]`` to every peer of i."""
+    messages = []
+    for i, neigh in enumerate(peers):
+        for j in neigh:
+            messages.append(Message(group.ranks[i], group.ranks[j], (i, payloads[i])))
+    received: List[dict] = [{} for _ in range(group.size)]
+    if messages:
+        inbox = group.transport.exchange(messages)
+        for j in range(group.size):
+            for msg in inbox.get(group.ranks[j], []):
+                i, payload = msg.payload
+                received[j][i] = payload
+    return received
+
+
+def d_fp_s(
+    arrays: Sequence[np.ndarray],
+    group: CommGroup,
+    peers: PeerSelector,
+    step: int = 0,
+    hierarchical: bool = False,
+) -> List[np.ndarray]:
+    """Decentralized full-precision averaging: ``x'_i = mean of {x_i} ∪ N(i)``."""
+    if hierarchical:
+        def exchange(leader_arrays, leader_group):
+            return d_fp_s(leader_arrays, leader_group, peers, step=step, hierarchical=False)
+
+        return HierarchicalComm(group).decentralized_average(arrays, exchange)
+
+    neighbor_sets = peers.neighbors(group.size, step)
+    received = _peer_exchange([a.astype(np.float64, copy=False) for a in arrays], neighbor_sets, group)
+    results = []
+    for i in range(group.size):
+        acc = arrays[i].astype(np.float64, copy=True)
+        for _src, payload in sorted(received[i].items()):
+            acc += payload
+        results.append(acc / (1 + len(received[i])))
+    return results
+
+
+def d_lp_s(
+    arrays: Sequence[np.ndarray],
+    group: CommGroup,
+    compressor: Compressor,
+    peers: PeerSelector,
+    step: int = 0,
+    hierarchical: bool = False,
+) -> List[np.ndarray]:
+    """Decentralized low-precision averaging: peers exchange ``Q(x)``.
+
+    Each member averages its own full-precision tensor with the decompressed
+    tensors received from its neighbors (ref [17]'s compressed gossip).
+    """
+    if hierarchical:
+        def exchange(leader_arrays, leader_group):
+            return d_lp_s(
+                leader_arrays, leader_group, compressor, peers, step=step, hierarchical=False
+            )
+
+        return HierarchicalComm(group).decentralized_average(arrays, exchange)
+
+    neighbor_sets = peers.neighbors(group.size, step)
+    payloads = [compressor.compress(a) for a in arrays]
+    received = _peer_exchange(payloads, neighbor_sets, group)
+    results = []
+    for i in range(group.size):
+        acc = arrays[i].astype(np.float64, copy=True)
+        for _src, payload in sorted(received[i].items()):
+            acc += compressor.decompress(payload)
+        results.append(acc / (1 + len(received[i])))
+    return results

@@ -1,0 +1,21 @@
+"""Synthetic datasets and sharded loaders."""
+
+from .loader import ShardedLoader, make_sharded_loaders, shard_indices
+from .synthetic import (
+    Dataset,
+    make_image_classification,
+    make_multimodal,
+    make_sequence_regression_tokens,
+    make_token_classification,
+)
+
+__all__ = [
+    "Dataset",
+    "make_image_classification",
+    "make_token_classification",
+    "make_sequence_regression_tokens",
+    "make_multimodal",
+    "ShardedLoader",
+    "make_sharded_loaders",
+    "shard_indices",
+]

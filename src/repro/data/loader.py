@@ -1,0 +1,77 @@
+"""Sharded data loading for data-parallel training.
+
+Each worker iterates only over its shard, as in the paper's data-parallel
+setting where "the data set is partitioned across different workers".
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+from .synthetic import Dataset
+
+Batch = Tuple[np.ndarray, np.ndarray]
+
+
+def shard_indices(n: int, world_size: int, rank: int) -> np.ndarray:
+    """Contiguous shard of ``range(n)`` for ``rank`` (drops nothing)."""
+    if not 0 <= rank < world_size:
+        raise ValueError(f"rank {rank} out of range for world size {world_size}")
+    return np.arange(n)[rank::world_size]
+
+
+class ShardedLoader:
+    """Deterministic per-worker mini-batch stream over a shared dataset."""
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        world_size: int,
+        rank: int,
+        batch_size: int,
+        seed: int = 0,
+        extra: np.ndarray | None = None,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self.dataset = dataset
+        self.extra = extra
+        self.indices = shard_indices(len(dataset), world_size, rank)
+        if len(self.indices) < batch_size:
+            raise ValueError(
+                f"shard of {len(self.indices)} examples cannot fill batches of {batch_size}"
+            )
+        self.batch_size = batch_size
+        self.rng = np.random.default_rng(np.random.SeedSequence([seed, rank]))
+
+    def batches_per_epoch(self) -> int:
+        return len(self.indices) // self.batch_size
+
+    def epoch(self) -> Iterator[Batch]:
+        """Yield shuffled mini-batches covering this worker's shard once."""
+        order = self.rng.permutation(self.indices)
+        usable = self.batches_per_epoch() * self.batch_size
+        for start in range(0, usable, self.batch_size):
+            chosen = order[start : start + self.batch_size]
+            inputs = self.dataset.inputs[chosen]
+            labels = self.dataset.labels[chosen]
+            if self.extra is not None:
+                yield ((inputs, self.extra[chosen]), labels)
+            else:
+                yield (inputs, labels)
+
+
+def make_sharded_loaders(
+    dataset: Dataset,
+    world_size: int,
+    batch_size: int,
+    seed: int = 0,
+    extra: np.ndarray | None = None,
+) -> List[ShardedLoader]:
+    """One loader per rank over the same dataset."""
+    return [
+        ShardedLoader(dataset, world_size, rank, batch_size, seed=seed, extra=extra)
+        for rank in range(world_size)
+    ]

@@ -1,0 +1,36 @@
+"""One module per table/figure of the paper's evaluation."""
+
+from . import (
+    fig5_convergence_systems,
+    fig6_convergence_algorithms,
+    fig7_network_conditions,
+    heterogeneity_study,
+    paper_reference,
+    scalability,
+    silver_bullet,
+    table1_support,
+    table2_models,
+    table3_speedup,
+    table4_epoch_time,
+    table5_ablation,
+    time_to_loss,
+)
+from .report import render_series, render_table
+
+__all__ = [
+    "table1_support",
+    "table2_models",
+    "table3_speedup",
+    "table4_epoch_time",
+    "table5_ablation",
+    "fig5_convergence_systems",
+    "fig6_convergence_algorithms",
+    "fig7_network_conditions",
+    "heterogeneity_study",
+    "time_to_loss",
+    "scalability",
+    "silver_bullet",
+    "paper_reference",
+    "render_table",
+    "render_series",
+]

@@ -1,0 +1,112 @@
+"""Figure 7 — epoch time under varying bandwidth and latency (BERT-LARGE).
+
+Two sweeps on the timing simulator:
+
+* bandwidth 1 -> 100 Gbps at fixed latency: compression algorithms (QSGD,
+  1-bit Adam) pull ahead as bandwidth drops;
+* latency 0.05 -> 5 ms at fixed bandwidth: decentralized algorithms stay
+  flat while centralized/allreduce systems degrade.
+
+The gap between BAGUA and the ring-allreduce systems widens as the network
+gets slower — the paper's headline qualitative claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Sequence
+
+from ..cluster.netmodel import TCP_25G
+from ..cluster.topology import paper_cluster
+from ..models.spec import ModelSpec
+from ..models.zoo_specs import bert_large_spec
+from ..simulation.cost import CommCostModel
+from ..simulation.runner import simulate_epoch
+from ..simulation.systems import (
+    bagua_system,
+    horovod_system,
+    pytorch_ddp_system,
+)
+from .report import render_series
+
+BANDWIDTHS_GBPS = (1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0)
+LATENCIES_MS = (0.05, 0.2, 0.5, 1.0, 2.0, 5.0)
+
+
+def _systems(cost: CommCostModel) -> Dict[str, object]:
+    return {
+        "BAGUA-Allreduce": bagua_system(cost, "allreduce"),
+        "BAGUA-QSGD": bagua_system(cost, "qsgd"),
+        "BAGUA-1bit-Adam": bagua_system(cost, "1bit-adam"),
+        "BAGUA-Decen-32bits": bagua_system(cost, "decentralized"),
+        "BAGUA-Decen-8bits": bagua_system(cost, "decentralized-8bit"),
+        "PyTorch-DDP": pytorch_ddp_system(cost),
+        "Horovod-16bit": horovod_system(cost, fp16=True),
+    }
+
+
+@dataclass
+class Fig7Result:
+    model: str
+    bandwidths_gbps: Sequence[float]
+    latencies_ms: Sequence[float]
+    #: system -> epoch seconds per bandwidth point
+    bandwidth_sweep: Dict[str, List[float]]
+    #: system -> epoch seconds per latency point
+    latency_sweep: Dict[str, List[float]]
+
+    def best_at_bandwidth(self, index: int) -> str:
+        return min(self.bandwidth_sweep, key=lambda s: self.bandwidth_sweep[s][index])
+
+    def best_at_latency(self, index: int) -> str:
+        return min(self.latency_sweep, key=lambda s: self.latency_sweep[s][index])
+
+    def render(self) -> str:
+        bw = render_series(
+            "Gbps", list(self.bandwidths_gbps), self.bandwidth_sweep,
+            title=f"Figure 7a [{self.model}]: epoch time (s) vs bandwidth",
+            float_fmt="{:.1f}",
+        )
+        lat = render_series(
+            "ms", list(self.latencies_ms), self.latency_sweep,
+            title=f"Figure 7b [{self.model}]: epoch time (s) vs latency",
+            float_fmt="{:.1f}",
+        )
+        return bw + "\n\n" + lat
+
+
+def run(
+    model: ModelSpec | None = None,
+    bandwidths_gbps: Sequence[float] = BANDWIDTHS_GBPS,
+    latencies_ms: Sequence[float] = LATENCIES_MS,
+) -> Fig7Result:
+    model = model or bert_large_spec()
+    base = paper_cluster("25gbps")
+
+    bandwidth_sweep: Dict[str, List[float]] = {}
+    for gbps in bandwidths_gbps:
+        link = TCP_25G.with_bandwidth_gbps(gbps)
+        cluster = replace(base, inter_node=link)
+        cost = CommCostModel(cluster)
+        for label, system in _systems(cost).items():
+            bandwidth_sweep.setdefault(label, []).append(
+                simulate_epoch(model, cluster, system).epoch_time
+            )
+
+    latency_sweep: Dict[str, List[float]] = {}
+    for ms in latencies_ms:
+        link = TCP_25G.with_latency(ms * 1e-3)
+        cluster = replace(base, inter_node=link)
+        cost = CommCostModel(cluster)
+        for label, system in _systems(cost).items():
+            latency_sweep.setdefault(label, []).append(
+                simulate_epoch(model, cluster, system).epoch_time
+            )
+
+    return Fig7Result(
+        model=model.name,
+        bandwidths_gbps=bandwidths_gbps,
+        latencies_ms=latencies_ms,
+        bandwidth_sweep=bandwidth_sweep,
+        latency_sweep=latency_sweep,
+    )

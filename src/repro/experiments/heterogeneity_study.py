@@ -1,0 +1,54 @@
+"""Worker heterogeneity study (paper §4.3, result deferred to full version).
+
+One GPU is downclocked from 1290 MHz to 585 MHz; synchronous training slows
+by roughly the clock ratio while asynchronous training is unaffected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..cluster.topology import paper_cluster
+from ..models.zoo_specs import all_specs
+from ..simulation.heterogeneity import (
+    PAPER_STRAGGLER_SLOWDOWN,
+    HeterogeneityResult,
+    run_heterogeneity_study,
+)
+from .report import render_table
+
+
+@dataclass
+class HeterogeneityStudyResult:
+    results: Dict[str, HeterogeneityResult]
+
+    def render(self) -> str:
+        headers = [
+            "Model",
+            "sync uniform (s)", "sync straggler (s)", "sync slowdown",
+            "async uniform (s)", "async straggler (s)", "async slowdown",
+        ]
+        rows: List[List] = []
+        for model, r in self.results.items():
+            rows.append([
+                model,
+                r.sync_uniform.epoch_time, r.sync_straggler.epoch_time,
+                f"{r.sync_degradation:.2f}x",
+                r.async_uniform.epoch_time, r.async_straggler.epoch_time,
+                f"{r.async_degradation:.2f}x",
+            ])
+        return render_table(
+            headers, rows,
+            title=f"Heterogeneity: one GPU downclocked {PAPER_STRAGGLER_SLOWDOWN:.2f}x",
+            float_fmt="{:.0f}",
+        )
+
+
+def run(network: str = "25gbps", models: List[str] | None = None) -> HeterogeneityStudyResult:
+    cluster = paper_cluster(network)
+    specs = all_specs()
+    chosen = models or list(specs)
+    return HeterogeneityStudyResult(
+        results={name: run_heterogeneity_study(specs[name], cluster) for name in chosen}
+    )

@@ -1,0 +1,67 @@
+"""Numbers the paper reports, used for shape checks and EXPERIMENTS.md.
+
+These are transcribed from the paper (VLDB 2021).  The reproduction never
+tries to match them exactly — the substrate is a simulator, not the authors'
+testbed — but winners, orderings, and rough factors are asserted against
+them in tests and compared in the experiment reports.
+"""
+
+from __future__ import annotations
+
+#: Table 2 — model characteristics: name -> (params in millions, GFLOPs)
+TABLE2_MODELS = {
+    "VGG16": (138.3, 31.0),
+    "BERT-LARGE": (302.2, 232.0),
+    "BERT-BASE": (85.6, 22.0),
+    "Transformer": (66.5, 145.0),
+    "LSTM+AlexNet": (126.8, 97.12),
+}
+
+#: Table 3 — BAGUA speedup over the best of {DDP, Horovod 32/16, BytePS}
+TABLE3_SPEEDUPS = {
+    "100gbps": {"VGG16": 1.10, "BERT-LARGE": 1.05, "BERT-BASE": 1.27,
+                "Transformer": 1.20, "LSTM+AlexNet": 1.34},
+    "25gbps": {"VGG16": 1.10, "BERT-LARGE": 1.05, "BERT-BASE": 1.27,
+               "Transformer": 1.20, "LSTM+AlexNet": 1.34},
+    "10gbps": {"VGG16": 1.94, "BERT-LARGE": 1.95, "BERT-BASE": 1.27,
+               "Transformer": 1.20, "LSTM+AlexNet": 1.34},
+}
+
+#: best-performing BAGUA algorithm per task (Figure 5 caption)
+BEST_ALGORITHM = {
+    "VGG16": "qsgd",
+    "BERT-LARGE": "1bit-adam",
+    "BERT-BASE": "1bit-adam",
+    "Transformer": "decentralized",
+    "LSTM+AlexNet": "async",
+}
+
+#: Table 4 — epoch seconds of centralized full-precision sync per system,
+#: model -> {system: seconds} at 25 Gbps
+TABLE4_EPOCH_TIMES = {
+    "VGG16": {"BAGUA": 105, "PyTorch-DDP": 106, "Horovod": 107, "BytePS": 170},
+    "BERT-LARGE": {"BAGUA": 114, "PyTorch-DDP": 116, "Horovod": 112, "BytePS": 114},
+    "BERT-BASE": {"BAGUA": 510, "PyTorch-DDP": 521, "Horovod": 550, "BytePS": 548},
+    "Transformer": {"BAGUA": 318, "PyTorch-DDP": 341, "Horovod": 343, "BytePS": 340},
+    "LSTM+AlexNet": {"BAGUA": 168, "PyTorch-DDP": 171, "Horovod": 177, "BytePS": 224},
+}
+
+#: Table 5 — epoch seconds under O/F/H ablation, model -> {config: seconds}
+TABLE5_ABLATION = {
+    "VGG16": {"O=1,F=1,H=1": 74, "O=0,F=1,H=1": 88, "O=1,F=0,H=1": 117, "O=1,F=1,H=0": 510},
+    "BERT-LARGE": {"O=1,F=1,H=1": 67, "O=0,F=1,H=1": 70, "O=1,F=0,H=1": 148, "O=1,F=1,H=0": 128},
+    "LSTM+AlexNet": {"O=1,F=1,H=1": 148, "O=0,F=1,H=1": 163, "O=1,F=0,H=1": 210, "O=1,F=1,H=0": 146},
+}
+
+#: Figure 6 qualitative convergence outcomes per (task, algorithm)
+FIG6_OUTCOMES = {
+    ("VGG16", "1bit-adam"): "diverges",
+    ("VGG16", "qsgd"): "matches allreduce",
+    ("VGG16", "async"): "matches allreduce",
+    ("VGG16", "decentralized"): "small accuracy drop",
+    ("VGG16", "decentralized-8bit"): "small accuracy drop",
+    ("BERT-LARGE", "async"): "visible gap",
+    ("BERT-LARGE", "qsgd"): "matches allreduce",
+    ("LSTM+AlexNet", "qsgd"): "degraded",
+    ("LSTM+AlexNet", "1bit-adam"): "diverges",
+}

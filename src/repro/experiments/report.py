@@ -1,0 +1,53 @@
+"""Plain-text table/series rendering for experiment output."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: Optional[str] = None,
+    float_fmt: str = "{:.2f}",
+) -> str:
+    """Render rows as an aligned ASCII table."""
+
+    def fmt(value) -> str:
+        if isinstance(value, bool):
+            return "yes" if value else "-"
+        if isinstance(value, float):
+            return float_fmt.format(value)
+        return str(value)
+
+    text_rows = [[fmt(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(w) for cell, w in zip(cells, widths))
+
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+    parts.append(line(list(headers)))
+    parts.append("-+-".join("-" * w for w in widths))
+    parts.extend(line(row) for row in text_rows)
+    return "\n".join(parts)
+
+
+def render_series(
+    x_label: str,
+    x_values: Sequence,
+    series: Dict[str, Sequence[float]],
+    title: Optional[str] = None,
+    float_fmt: str = "{:.3f}",
+) -> str:
+    """Render named series against shared x values (a text 'figure')."""
+    headers = [x_label] + list(series)
+    rows = []
+    for i, x in enumerate(x_values):
+        rows.append([x] + [s[i] for s in series.values()])
+    return render_table(headers, rows, title=title, float_fmt=float_fmt)

@@ -1,0 +1,85 @@
+"""Scaling study: epoch time and efficiency vs cluster size.
+
+Not a numbered figure in the paper, but its abstract claims ("a production
+cluster with up to 16 machines (128 GPUs)") imply the scaling curve behind
+Table 3.  This experiment sweeps 1 -> 16 nodes at fixed per-GPU batch size
+(weak scaling: global batch grows, iterations per epoch shrink) and reports
+epoch time plus scaling efficiency
+
+    efficiency(n) = ideal_epoch_time(n) / measured_epoch_time(n),
+
+where ideal is the single-node epoch time divided by n.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Sequence
+
+from ..cluster.topology import paper_cluster
+from ..models.spec import ModelSpec
+from ..models.zoo_specs import vgg16_spec
+from ..simulation.cost import CommCostModel
+from ..simulation.runner import simulate_epoch
+from ..simulation.systems import bagua_system, pytorch_ddp_system
+from .report import render_series
+
+NODE_COUNTS = (1, 2, 4, 8, 16)
+
+
+@dataclass
+class ScalabilityResult:
+    model: str
+    network: str
+    node_counts: Sequence[int]
+    #: system label -> epoch seconds per node count
+    epoch_times: Dict[str, List[float]]
+
+    def efficiency(self, system: str) -> List[float]:
+        times = self.epoch_times[system]
+        base = times[0] * self.node_counts[0]
+        return [
+            base / (t * n) for t, n in zip(times, self.node_counts)
+        ]
+
+    def render(self) -> str:
+        times = render_series(
+            "nodes", list(self.node_counts), self.epoch_times,
+            title=f"Scalability [{self.model}, {self.network}]: epoch time (s)",
+            float_fmt="{:.1f}",
+        )
+        eff = render_series(
+            "nodes",
+            list(self.node_counts),
+            {s: self.efficiency(s) for s in self.epoch_times},
+            title="scaling efficiency (1.0 = linear)",
+            float_fmt="{:.2f}",
+        )
+        return times + "\n\n" + eff
+
+
+def run(
+    model: ModelSpec | None = None,
+    network: str = "25gbps",
+    node_counts: Sequence[int] = NODE_COUNTS,
+) -> ScalabilityResult:
+    model = model or vgg16_spec()
+    base = paper_cluster(network)
+    epoch_times: Dict[str, List[float]] = {}
+    for nodes in node_counts:
+        cluster = replace(base, num_nodes=nodes)
+        cost = CommCostModel(cluster)
+        for label, system in (
+            ("BAGUA-qsgd", bagua_system(cost, "qsgd")),
+            ("BAGUA-allreduce", bagua_system(cost, "allreduce")),
+            ("PyTorch-DDP", pytorch_ddp_system(cost)),
+        ):
+            epoch_times.setdefault(label, []).append(
+                simulate_epoch(model, cluster, system).epoch_time
+            )
+    return ScalabilityResult(
+        model=model.name,
+        network=network,
+        node_counts=node_counts,
+        epoch_times=epoch_times,
+    )

@@ -1,0 +1,94 @@
+"""The "no silver bullet" grid (paper §4.3, Summary).
+
+    "at the algorithmic level, there is no algorithm that can serve as a
+    silver bullet for all the distributed training tasks"
+
+This experiment makes that claim checkable: epoch times for every
+(algorithm x model x network) cell, with convergence-unsafe cells (from the
+Figure 6 knowledge in the auto-tuner) excluded from winning.  The test suite
+asserts the defining property — the winner is NOT the same algorithm across
+all cells.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..cluster.topology import paper_cluster
+from ..core.autotune import _SAFETY_NOTES, classify_family
+from ..models.zoo_specs import all_specs
+from ..simulation.cost import CommCostModel
+from ..simulation.runner import simulate_epoch
+from ..simulation.systems import bagua_system
+from .report import render_table
+
+ALGORITHMS = (
+    "allreduce",
+    "qsgd",
+    "1bit-adam",
+    "decentralized",
+    "decentralized-8bit",
+    "async",
+)
+NETWORKS = ("100gbps", "25gbps", "10gbps")
+
+
+def _is_safe(family: str, algorithm: str) -> bool:
+    note = _SAFETY_NOTES.get((family, algorithm), "")
+    return not note or "accuracy drop" in note
+
+
+@dataclass
+class SilverBulletResult:
+    #: (network, model) -> {algorithm: epoch seconds}
+    grid: Dict[Tuple[str, str], Dict[str, float]]
+    #: (network, model) -> winning (convergence-safe) algorithm
+    winners: Dict[Tuple[str, str], str]
+    #: the networks that were actually swept, in order
+    networks: Tuple[str, ...] = NETWORKS
+
+    def distinct_winners(self) -> set:
+        return set(self.winners.values())
+
+    def render(self) -> str:
+        models = sorted({model for _net, model in self.grid})
+        headers = ["Network"] + models
+        rows: List[List[str]] = []
+        for network in self.networks:
+            row = [network]
+            for model in models:
+                key = (network, model)
+                winner = self.winners[key]
+                row.append(f"{winner} ({self.grid[key][winner]:.0f}s)")
+            rows.append(row)
+        table = render_table(
+            headers, rows, title="Best convergence-safe BAGUA algorithm per cell"
+        )
+        return (
+            table
+            + f"\n\ndistinct winners across the grid: {sorted(self.distinct_winners())}"
+        )
+
+
+def run(
+    algorithms: Sequence[str] = ALGORITHMS,
+    networks: Sequence[str] = NETWORKS,
+) -> SilverBulletResult:
+    grid: Dict[Tuple[str, str], Dict[str, float]] = {}
+    winners: Dict[Tuple[str, str], str] = {}
+    for network in networks:
+        cluster = paper_cluster(network)
+        cost = CommCostModel(cluster)
+        for name, spec in all_specs().items():
+            family = classify_family(spec)
+            cell = {
+                algorithm: simulate_epoch(
+                    spec, cluster, bagua_system(cost, algorithm)
+                ).epoch_time
+                for algorithm in algorithms
+            }
+            grid[(network, name)] = cell
+            safe = {a: t for a, t in cell.items() if _is_safe(family, a)}
+            winners[(network, name)] = min(safe, key=safe.get)
+    return SilverBulletResult(grid=grid, winners=winners, networks=tuple(networks))

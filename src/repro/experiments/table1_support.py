@@ -1,0 +1,28 @@
+"""Table 1 — the system-relaxation support matrix."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..algorithms.registry import support_matrix_rows
+from .report import render_table
+
+
+@dataclass
+class Table1Result:
+    rows: List[dict]
+
+    def render(self) -> str:
+        headers = ["Sync.", "Precision", "Centralization", "PyTorch-DDP",
+                   "Horovod", "BytePS", "BAGUA", "BAGUA algorithm"]
+        table_rows = [
+            [r["sync"], r["precision"], r["centralization"], r["PyTorch-DDP"],
+             r["Horovod"], r["BytePS"], r["BAGUA"], r["algorithm"]]
+            for r in self.rows
+        ]
+        return render_table(headers, table_rows, title="Table 1: system relaxation support")
+
+
+def run() -> Table1Result:
+    return Table1Result(rows=support_matrix_rows())

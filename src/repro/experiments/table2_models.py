@@ -1,0 +1,41 @@
+"""Table 2 — model characteristics (#parameters, #FLOPs) vs the paper."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..models.zoo_specs import all_specs
+from .paper_reference import TABLE2_MODELS
+from .report import render_table
+
+
+@dataclass
+class Table2Result:
+    rows: List[dict]
+
+    def render(self) -> str:
+        headers = ["Model", "Params (M)", "paper", "GFLOPs/sample", "paper", "layers"]
+        table_rows = [
+            [r["model"], r["params_m"], r["paper_params_m"], r["gflops"],
+             r["paper_gflops"], r["layers"]]
+            for r in self.rows
+        ]
+        return render_table(headers, table_rows, title="Table 2: model characteristics", float_fmt="{:.1f}")
+
+
+def run() -> Table2Result:
+    rows = []
+    for name, spec in all_specs().items():
+        paper_params, paper_gflops = TABLE2_MODELS[name]
+        rows.append(
+            {
+                "model": name,
+                "params_m": spec.total_params / 1e6,
+                "paper_params_m": paper_params,
+                "gflops": spec.fwd_flops_per_sample / 1e9,
+                "paper_gflops": paper_gflops,
+                "layers": len(spec.layers),
+            }
+        )
+    return Table2Result(rows=rows)

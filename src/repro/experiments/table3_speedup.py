@@ -1,0 +1,67 @@
+"""Table 3 — BAGUA speedup over the best competing system per network.
+
+For each of the three network conditions and five tasks, simulates every
+competing system (DDP, Horovod 32/16-bit, BytePS) plus BAGUA running the
+task's best algorithm (Figure 5 caption), and reports
+``best_baseline_epoch / bagua_epoch``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..cluster.topology import paper_cluster
+from ..models.zoo_specs import all_specs
+from ..simulation.cost import CommCostModel
+from ..simulation.runner import simulate_epoch
+from ..simulation.systems import all_competing_systems, bagua_system
+from .paper_reference import BEST_ALGORITHM, TABLE3_SPEEDUPS
+from .report import render_table
+
+NETWORKS = ("100gbps", "25gbps", "10gbps")
+
+
+@dataclass
+class Table3Result:
+    #: network -> model -> measured speedup
+    speedups: Dict[str, Dict[str, float]]
+    #: network -> model -> winning baseline name
+    best_baseline: Dict[str, Dict[str, str]]
+
+    def render(self) -> str:
+        models = list(next(iter(self.speedups.values())))
+        headers = ["Network"] + [f"{m} (paper)" for m in models]
+        rows = []
+        for network in NETWORKS:
+            row: List = [network]
+            for model in models:
+                measured = self.speedups[network][model]
+                paper = TABLE3_SPEEDUPS[network][model]
+                row.append(f"{measured:.2f}x ({paper:.2f}x)")
+            rows.append(row)
+        return render_table(
+            headers, rows, title="Table 3: BAGUA speedup over best of {DDP, Horovod 32/16, BytePS}"
+        )
+
+
+def run(networks=NETWORKS) -> Table3Result:
+    speedups: Dict[str, Dict[str, float]] = {}
+    winners: Dict[str, Dict[str, str]] = {}
+    for network in networks:
+        cluster = paper_cluster(network)
+        cost = CommCostModel(cluster)
+        speedups[network] = {}
+        winners[network] = {}
+        for name, spec in all_specs().items():
+            baseline_results = [
+                simulate_epoch(spec, cluster, system)
+                for system in all_competing_systems(cost)
+            ]
+            best = min(baseline_results, key=lambda r: r.epoch_time)
+            bagua = simulate_epoch(
+                spec, cluster, bagua_system(cost, BEST_ALGORITHM[name])
+            )
+            speedups[network][name] = best.epoch_time / bagua.epoch_time
+            winners[network][name] = best.system
+    return Table3Result(speedups=speedups, best_baseline=winners)

@@ -1,0 +1,61 @@
+"""Table 4 — epoch time of centralized full-precision sync per system."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..cluster.topology import paper_cluster
+from ..models.zoo_specs import all_specs
+from ..simulation.cost import CommCostModel
+from ..simulation.runner import simulate_epoch
+from ..simulation.systems import (
+    bagua_system,
+    byteps_system,
+    horovod_system,
+    pytorch_ddp_system,
+)
+from .paper_reference import TABLE4_EPOCH_TIMES
+from .report import render_table
+
+SYSTEM_ORDER = ("BAGUA", "PyTorch-DDP", "Horovod", "BytePS")
+
+
+@dataclass
+class Table4Result:
+    #: model -> system -> epoch seconds
+    epoch_times: Dict[str, Dict[str, float]]
+    network: str
+
+    def render(self) -> str:
+        headers = ["Model"] + [f"{s} (paper)" for s in SYSTEM_ORDER]
+        rows = []
+        for model, times in self.epoch_times.items():
+            row = [model]
+            for system in SYSTEM_ORDER:
+                paper = TABLE4_EPOCH_TIMES[model][system]
+                row.append(f"{times[system]:.0f}s ({paper}s)")
+            rows.append(row)
+        return render_table(
+            headers,
+            rows,
+            title=f"Table 4: epoch time, centralized full-precision sync ({self.network})",
+        )
+
+
+def run(network: str = "25gbps") -> Table4Result:
+    cluster = paper_cluster(network)
+    cost = CommCostModel(cluster)
+    systems = {
+        "BAGUA": bagua_system(cost, "allreduce"),
+        "PyTorch-DDP": pytorch_ddp_system(cost),
+        "Horovod": horovod_system(cost),
+        "BytePS": byteps_system(cost),
+    }
+    epoch_times: Dict[str, Dict[str, float]] = {}
+    for name, spec in all_specs().items():
+        epoch_times[name] = {
+            label: simulate_epoch(spec, cluster, system).epoch_time
+            for label, system in systems.items()
+        }
+    return Table4Result(epoch_times=epoch_times, network=network)

@@ -1,0 +1,60 @@
+"""Table 5 — ablation of the execution optimizer's O/F/H switches.
+
+Runs BAGUA's allreduce algorithm with each optimization disabled in turn on
+the three models the paper ablates (VGG16, BERT-LARGE, LSTM+AlexNet).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..cluster.topology import paper_cluster
+from ..core.optimizer_framework import BaguaConfig
+from ..models.zoo_specs import bert_large_spec, lstm_alexnet_spec, vgg16_spec
+from ..simulation.cost import CommCostModel
+from ..simulation.runner import simulate_epoch
+from ..simulation.systems import bagua_system
+from .paper_reference import TABLE5_ABLATION
+from .report import render_table
+
+CONFIGS: List[Tuple[str, BaguaConfig]] = [
+    ("O=1,F=1,H=1", BaguaConfig(overlap=True, flatten=True, hierarchical=True)),
+    ("O=0,F=1,H=1", BaguaConfig(overlap=False, flatten=True, hierarchical=True)),
+    ("O=1,F=0,H=1", BaguaConfig(overlap=True, flatten=False, hierarchical=True)),
+    ("O=1,F=1,H=0", BaguaConfig(overlap=True, flatten=True, hierarchical=False)),
+]
+
+
+@dataclass
+class Table5Result:
+    #: model -> config label -> epoch seconds
+    epoch_times: Dict[str, Dict[str, float]]
+    network: str
+
+    def render(self) -> str:
+        headers = ["Config"] + [
+            f"{m} (paper)" for m in self.epoch_times
+        ]
+        rows = []
+        for label, _cfg in CONFIGS:
+            row = [label]
+            for model, times in self.epoch_times.items():
+                paper = TABLE5_ABLATION[model][label]
+                row.append(f"{times[label]:.0f}s ({paper}s)")
+            rows.append(row)
+        return render_table(
+            headers, rows, title=f"Table 5: O/F/H ablation ({self.network})"
+        )
+
+
+def run(network: str = "25gbps") -> Table5Result:
+    cluster = paper_cluster(network)
+    cost = CommCostModel(cluster)
+    epoch_times: Dict[str, Dict[str, float]] = {}
+    for spec in (vgg16_spec(), bert_large_spec(), lstm_alexnet_spec()):
+        epoch_times[spec.name] = {}
+        for label, config in CONFIGS:
+            system = bagua_system(cost, "allreduce", config)
+            epoch_times[spec.name][label] = simulate_epoch(spec, cluster, system).epoch_time
+    return Table5Result(epoch_times=epoch_times, network=network)

@@ -1,0 +1,132 @@
+"""End-to-end time-to-loss (paper §4.2's closing argument).
+
+The paper concludes from Figure 5 that "the speedups in Table 3 reflect the
+end-to-end speedups to reach the same loss": all systems trace the same
+convergence curve, so per-epoch time ratios are time-to-quality ratios.
+This experiment verifies that composition directly by combining the two
+modes — functional convergence curves give epochs-to-target, the timing
+simulator gives seconds-per-epoch, and their product is wall-clock
+time-to-loss per system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..baselines import PyTorchDDP
+from ..cluster.topology import ClusterSpec, paper_cluster
+from ..models.zoo_specs import all_specs
+from ..simulation.cost import CommCostModel
+from ..simulation.runner import simulate_epoch
+from ..simulation.systems import bagua_system, pytorch_ddp_system
+from ..training.metrics import epochs_to_reach
+from ..training.tasks import get_task
+from ..training.trainer import DistributedTrainer
+from .fig5_convergence_systems import make_bagua_algorithm
+from .paper_reference import BEST_ALGORITHM
+from .report import render_table
+
+FUNCTIONAL_CLUSTER = ClusterSpec(num_nodes=2, workers_per_node=4)
+
+
+@dataclass
+class TimeToLossResult:
+    """Time-to-target-loss comparison for one task."""
+
+    task: str
+    loss_target: float
+    bagua_algorithm: str
+    bagua_epochs: Optional[int]
+    ddp_epochs: Optional[int]
+    bagua_epoch_seconds: float
+    ddp_epoch_seconds: float
+
+    @property
+    def bagua_seconds(self) -> Optional[float]:
+        if self.bagua_epochs is None:
+            return None
+        return self.bagua_epochs * self.bagua_epoch_seconds
+
+    @property
+    def ddp_seconds(self) -> Optional[float]:
+        if self.ddp_epochs is None:
+            return None
+        return self.ddp_epochs * self.ddp_epoch_seconds
+
+    @property
+    def speedup(self) -> Optional[float]:
+        if self.bagua_seconds is None or self.ddp_seconds is None:
+            return None
+        return self.ddp_seconds / self.bagua_seconds
+
+
+@dataclass
+class TimeToLossReport:
+    results: Dict[str, TimeToLossResult]
+    network: str
+
+    def render(self) -> str:
+        headers = [
+            "Task", "target loss", "BAGUA algo",
+            "BAGUA epochs x s/epoch", "DDP epochs x s/epoch", "speedup",
+        ]
+        rows = []
+        for r in self.results.values():
+            rows.append([
+                r.task,
+                f"{r.loss_target:.2f}",
+                r.bagua_algorithm,
+                f"{r.bagua_epochs} x {r.bagua_epoch_seconds:.0f}s",
+                f"{r.ddp_epochs} x {r.ddp_epoch_seconds:.0f}s",
+                f"{r.speedup:.2f}x" if r.speedup else "n/a",
+            ])
+        return render_table(
+            headers, rows,
+            title=f"End-to-end time to target loss ({self.network})",
+        )
+
+
+def run(
+    task_names=("VGG16", "BERT-BASE"),
+    network: str = "10gbps",
+    epochs: int = 5,
+    seed: int = 0,
+) -> TimeToLossReport:
+    """Measure time-to-loss for BAGUA's best algorithm vs PyTorch-DDP."""
+    timing_cluster = paper_cluster(network)
+    cost = CommCostModel(timing_cluster)
+    specs = all_specs()
+
+    results: Dict[str, TimeToLossResult] = {}
+    for name in task_names:
+        task = get_task(name)
+        algorithm_name = BEST_ALGORITHM[name]
+
+        def convergence(algorithm):
+            trainer = DistributedTrainer(
+                FUNCTIONAL_CLUSTER, task.model_factory, task.make_optimizer,
+                algorithm, seed=seed,
+            )
+            loaders = task.make_loaders(FUNCTIONAL_CLUSTER.world_size, seed=seed)
+            return trainer.train(loaders, task.loss_fn, epochs=epochs)
+
+        bagua_record = convergence(make_bagua_algorithm(name))
+        ddp_record = convergence(PyTorchDDP())
+        # Target: the loss DDP reaches after the full run (both must get there).
+        target = max(ddp_record.final_loss, bagua_record.final_loss) * 1.05 + 1e-6
+
+        results[name] = TimeToLossResult(
+            task=name,
+            loss_target=target,
+            bagua_algorithm=algorithm_name,
+            bagua_epochs=epochs_to_reach(bagua_record, target),
+            ddp_epochs=epochs_to_reach(ddp_record, target),
+            bagua_epoch_seconds=simulate_epoch(
+                specs[name], timing_cluster, bagua_system(cost, algorithm_name)
+            ).epoch_time,
+            ddp_epoch_seconds=simulate_epoch(
+                specs[name], timing_cluster, pytorch_ddp_system(cost)
+            ).epoch_time,
+        )
+    return TimeToLossReport(results=results, network=network)

@@ -1,0 +1,39 @@
+"""Model zoo: full-size specs (timing mode) and trainable proxies (functional mode)."""
+
+from .spec import LayerSpec, ModelSpec, conv_layer, linear_layer, lstm_layer
+from .trainable import (
+    BERTProxy,
+    LSTMAlexNetProxy,
+    TransformerProxy,
+    VGGProxy,
+    bert_base_proxy,
+    bert_large_proxy,
+)
+from .zoo_specs import (
+    all_specs,
+    bert_base_spec,
+    bert_large_spec,
+    lstm_alexnet_spec,
+    transformer_spec,
+    vgg16_spec,
+)
+
+__all__ = [
+    "LayerSpec",
+    "ModelSpec",
+    "conv_layer",
+    "linear_layer",
+    "lstm_layer",
+    "vgg16_spec",
+    "bert_large_spec",
+    "bert_base_spec",
+    "transformer_spec",
+    "lstm_alexnet_spec",
+    "all_specs",
+    "VGGProxy",
+    "BERTProxy",
+    "TransformerProxy",
+    "LSTMAlexNetProxy",
+    "bert_base_proxy",
+    "bert_large_proxy",
+]

@@ -1,0 +1,152 @@
+"""Static model descriptions used by timing-mode simulation.
+
+A :class:`ModelSpec` is a layer-by-layer inventory of a *full-size* model:
+parameter tensor sizes (what gets communicated) and per-sample forward FLOPs
+(what gets computed).  The pipeline simulator replays an iteration —
+per-layer forward, backward in reverse, communication per the algorithm —
+against a :class:`~repro.cluster.topology.ClusterSpec`, so epoch-time tables
+come out of sizes and dependency structure, never out of running the actual
+model.
+
+Backward cost defaults to twice the forward cost (the standard estimate:
+gradients w.r.t. both activations and weights).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+GIGA = 1e9
+MEGA = 1e6
+
+
+@dataclass(frozen=True)
+class LayerSpec:
+    """One layer: a parameter tensor plus its compute cost.
+
+    Attributes:
+        name: unique layer label.
+        params: number of learnable scalars communicated for this layer.
+        fwd_flops: forward FLOPs per sample.
+        bwd_flops: backward FLOPs per sample (defaults to ``2 * fwd_flops``).
+    """
+
+    name: str
+    params: int
+    fwd_flops: float
+    bwd_flops: float = -1.0
+
+    def __post_init__(self) -> None:
+        if self.params < 0:
+            raise ValueError(f"negative params for {self.name}")
+        if self.fwd_flops < 0:
+            raise ValueError(f"negative fwd_flops for {self.name}")
+        if self.bwd_flops < 0:
+            object.__setattr__(self, "bwd_flops", 2.0 * self.fwd_flops)
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """A named stack of layers plus its workload parameters."""
+
+    name: str
+    layers: tuple
+    #: per-GPU mini-batch used in the evaluation runs
+    batch_size: int
+    #: examples per epoch (dataset size; calibrated for proprietary data)
+    samples_per_epoch: int
+
+    @property
+    def total_params(self) -> int:
+        return sum(layer.params for layer in self.layers)
+
+    @property
+    def fwd_flops_per_sample(self) -> float:
+        return sum(layer.fwd_flops for layer in self.layers)
+
+    @property
+    def bwd_flops_per_sample(self) -> float:
+        return sum(layer.bwd_flops for layer in self.layers)
+
+    @property
+    def param_bytes_fp32(self) -> float:
+        return self.total_params * 4.0
+
+    def iterations_per_epoch(self, world_size: int) -> int:
+        global_batch = self.batch_size * world_size
+        return max(1, self.samples_per_epoch // global_batch)
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: {self.total_params / MEGA:.1f}M params, "
+            f"{self.fwd_flops_per_sample / GIGA:.1f} GFLOPs/sample, "
+            f"{len(self.layers)} layers"
+        )
+
+
+def conv_layer(
+    name: str,
+    in_ch: int,
+    out_ch: int,
+    kernel: int,
+    out_hw: int,
+    bias: bool = True,
+) -> LayerSpec:
+    """Conv2d spec: params and FLOPs (2 * MACs) at output size ``out_hw``."""
+    params = out_ch * in_ch * kernel * kernel + (out_ch if bias else 0)
+    macs = in_ch * kernel * kernel * out_ch * out_hw * out_hw
+    return LayerSpec(name=name, params=params, fwd_flops=2.0 * macs)
+
+
+def linear_layer(name: str, in_features: int, out_features: int, bias: bool = True) -> LayerSpec:
+    params = out_features * in_features + (out_features if bias else 0)
+    return LayerSpec(name=name, params=params, fwd_flops=2.0 * in_features * out_features)
+
+
+def lstm_layer(name: str, input_size: int, hidden: int, steps: int) -> LayerSpec:
+    """Single-layer LSTM unrolled over ``steps`` timesteps."""
+    params = 4 * hidden * (input_size + hidden + 1)
+    flops_per_step = 2.0 * 4 * hidden * (input_size + hidden)
+    return LayerSpec(name=name, params=params, fwd_flops=flops_per_step * steps)
+
+
+def transformer_encoder_layers(
+    prefix: str, num_layers: int, hidden: int, ff: int, seq_len: int
+) -> List[LayerSpec]:
+    """Per-tensor inventory of a transformer encoder stack.
+
+    Each encoder layer is split into its individual weight tensors (Q/K/V/out
+    projections, two feed-forward matrices, biases and LayerNorm vectors):
+    the paper calls BERT-LARGE a "problem with many small tensors", and
+    bucketing behaviour depends on seeing those tensors individually.
+    """
+    layers: List[LayerSpec] = []
+    for i in range(num_layers):
+        base = f"{prefix}.{i}"
+        for proj in ("q", "k", "v", "out"):
+            layers.append(
+                LayerSpec(
+                    f"{base}.attn.{proj}.weight",
+                    hidden * hidden,
+                    fwd_flops=2.0 * hidden * hidden * seq_len,
+                )
+            )
+            layers.append(LayerSpec(f"{base}.attn.{proj}.bias", hidden, fwd_flops=0.0))
+        # Attention score/context matmuls cost compute but hold no params.
+        layers.append(
+            LayerSpec(f"{base}.attn.scores", 0, fwd_flops=4.0 * seq_len * seq_len * hidden)
+        )
+        layers.append(LayerSpec(f"{base}.norm1.weight", hidden, fwd_flops=0.0))
+        layers.append(LayerSpec(f"{base}.norm1.bias", hidden, fwd_flops=0.0))
+        layers.append(
+            LayerSpec(f"{base}.ff1.weight", hidden * ff, fwd_flops=2.0 * hidden * ff * seq_len)
+        )
+        layers.append(LayerSpec(f"{base}.ff1.bias", ff, fwd_flops=0.0))
+        layers.append(
+            LayerSpec(f"{base}.ff2.weight", ff * hidden, fwd_flops=2.0 * ff * hidden * seq_len)
+        )
+        layers.append(LayerSpec(f"{base}.ff2.bias", hidden, fwd_flops=0.0))
+        layers.append(LayerSpec(f"{base}.norm2.weight", hidden, fwd_flops=0.0))
+        layers.append(LayerSpec(f"{base}.norm2.bias", hidden, fwd_flops=0.0))
+    return layers

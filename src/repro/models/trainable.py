@@ -1,0 +1,150 @@
+"""Trainable proxy models for functional (convergence) experiments.
+
+These are small numpy models from the same architectural families as the
+paper's five tasks: a VGG-style conv stack, BERT-style transformer encoders
+(two depths), a transformer for sequence labeling, and the two-tower
+LSTM+AlexNet multimodal model.  Convergence behaviour of the distributed
+algorithms — the content of Figures 5 and 6 — depends on architecture family
+and loss surface, both preserved at this scale; absolute accuracy is not a
+reproduction target.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..tensor import functional as F
+from ..tensor.attention import TransformerEncoderLayer
+from ..tensor.layers import Conv2d, Embedding, Flatten, Linear, MaxPool2d, ReLU
+from ..tensor.module import Module, ModuleList, Sequential
+from ..tensor.recurrent import LSTM
+from ..tensor.tensor import Tensor
+
+
+class VGGProxy(Module):
+    """Small VGG-family conv net: conv-relu-pool blocks + 2 FC layers."""
+
+    def __init__(
+        self,
+        in_channels: int = 3,
+        num_classes: int = 10,
+        image_size: int = 16,
+        width: int = 16,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.features = Sequential(
+            Conv2d(in_channels, width, 3, padding=1, rng=rng),
+            ReLU(),
+            MaxPool2d(2),
+            Conv2d(width, 2 * width, 3, padding=1, rng=rng),
+            ReLU(),
+            MaxPool2d(2),
+        )
+        spatial = image_size // 4
+        self.classifier = Sequential(
+            Flatten(),
+            Linear(2 * width * spatial * spatial, 64, rng=rng),
+            ReLU(),
+            Linear(64, num_classes, rng=rng),
+        )
+
+    def forward(self, x):
+        if not isinstance(x, Tensor):
+            x = Tensor(x)
+        return self.classifier(self.features(x))
+
+
+class BERTProxy(Module):
+    """Encoder-only transformer with a mean-pool classification head."""
+
+    def __init__(
+        self,
+        vocab: int = 64,
+        num_classes: int = 4,
+        embed_dim: int = 32,
+        num_heads: int = 4,
+        ff_dim: int = 64,
+        num_layers: int = 2,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.embed = Embedding(vocab, embed_dim, rng=rng)
+        self.layers = ModuleList(
+            [
+                TransformerEncoderLayer(embed_dim, num_heads, ff_dim, rng=rng)
+                for _ in range(num_layers)
+            ]
+        )
+        self.head = Linear(embed_dim, num_classes, rng=rng)
+
+    def forward(self, tokens: np.ndarray):
+        x = self.embed(np.asarray(tokens, dtype=np.int64))
+        for layer in self.layers:
+            x = layer(x)
+        pooled = x.mean(axis=1)
+        return self.head(pooled)
+
+
+def bert_base_proxy(rng: Optional[np.random.Generator] = None, **kwargs) -> BERTProxy:
+    """Shallower/narrower BERT proxy (the BERT-BASE family member)."""
+    defaults = dict(embed_dim=24, num_heads=4, ff_dim=48, num_layers=1)
+    defaults.update(kwargs)
+    return BERTProxy(rng=rng, **defaults)
+
+
+def bert_large_proxy(rng: Optional[np.random.Generator] = None, **kwargs) -> BERTProxy:
+    """Deeper/wider BERT proxy (the BERT-LARGE family member)."""
+    defaults = dict(embed_dim=32, num_heads=4, ff_dim=64, num_layers=3)
+    defaults.update(kwargs)
+    return BERTProxy(rng=rng, **defaults)
+
+
+class TransformerProxy(BERTProxy):
+    """Sequence-classification transformer (the speech-task family member)."""
+
+    def __init__(self, rng: Optional[np.random.Generator] = None, **kwargs) -> None:
+        defaults = dict(embed_dim=32, num_heads=2, ff_dim=64, num_layers=2)
+        defaults.update(kwargs)
+        super().__init__(rng=rng, **defaults)
+
+
+class LSTMAlexNetProxy(Module):
+    """Two-tower multimodal model: conv image tower + LSTM token tower."""
+
+    def __init__(
+        self,
+        in_channels: int = 3,
+        image_size: int = 12,
+        vocab: int = 32,
+        num_classes: int = 6,
+        conv_width: int = 12,
+        embed_dim: int = 16,
+        hidden: int = 24,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.image_tower = Sequential(
+            Conv2d(in_channels, conv_width, 3, padding=1, rng=rng),
+            ReLU(),
+            MaxPool2d(2),
+            Flatten(),
+        )
+        spatial = image_size // 2
+        image_features = conv_width * spatial * spatial
+        self.embed = Embedding(vocab, embed_dim, rng=rng)
+        self.lstm = LSTM(embed_dim, hidden, rng=rng)
+        self.head = Linear(image_features + hidden, num_classes, rng=rng)
+
+    def forward(self, batch):
+        images, tokens = batch
+        if not isinstance(images, Tensor):
+            images = Tensor(images)
+        image_feat = self.image_tower(images)
+        token_feat = self.lstm.last_hidden(self.embed(np.asarray(tokens, dtype=np.int64)))
+        return self.head(F.concat([image_feat, token_feat], axis=1))

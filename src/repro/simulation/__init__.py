@@ -1,0 +1,42 @@
+"""Timing-mode simulation: cost model, system profiles, pipeline, runners."""
+
+from .cost import CommCostModel, CPU_AGG_BW, GPU_MEM_BW, KERNEL_LAUNCH
+from .heterogeneity import (
+    PAPER_STRAGGLER_SLOWDOWN,
+    HeterogeneityResult,
+    run_heterogeneity_study,
+    with_straggler,
+)
+from .pipeline import IterationTiming, simulate_iteration
+from .runner import EpochResult, simulate_epoch
+from .systems import (
+    SystemProfile,
+    all_competing_systems,
+    bagua_system,
+    byteps_system,
+    horovod_system,
+    pytorch_ddp_system,
+    vanilla_system,
+)
+
+__all__ = [
+    "CommCostModel",
+    "GPU_MEM_BW",
+    "CPU_AGG_BW",
+    "KERNEL_LAUNCH",
+    "IterationTiming",
+    "simulate_iteration",
+    "EpochResult",
+    "simulate_epoch",
+    "SystemProfile",
+    "bagua_system",
+    "pytorch_ddp_system",
+    "horovod_system",
+    "byteps_system",
+    "vanilla_system",
+    "all_competing_systems",
+    "HeterogeneityResult",
+    "run_heterogeneity_study",
+    "with_straggler",
+    "PAPER_STRAGGLER_SLOWDOWN",
+]

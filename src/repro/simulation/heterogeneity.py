@@ -1,0 +1,76 @@
+"""Worker-heterogeneity (straggler) study (paper §4.3).
+
+The paper simulates a heterogeneous cluster by downclocking one GPU's
+graphics frequency from 1290 MHz to 585 MHz and observes that asynchronous
+algorithms outperform synchronous ones under stragglers.  Here the slowdown
+is a compute-scale factor on one rank of the ClusterSpec.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List
+
+from ..cluster.topology import ClusterSpec
+from ..models.spec import ModelSpec
+from .cost import CommCostModel
+from .runner import EpochResult, simulate_epoch
+from .systems import bagua_system
+
+#: the paper's downclock: 1290 MHz -> 585 MHz graphics clock
+PAPER_STRAGGLER_SLOWDOWN = 1290.0 / 585.0
+
+
+def with_straggler(cluster: ClusterSpec, rank: int = 0, slowdown: float = PAPER_STRAGGLER_SLOWDOWN) -> ClusterSpec:
+    """Copy of ``cluster`` with one downclocked worker."""
+    stragglers = dict(cluster.straggler_slowdown)
+    stragglers[rank] = slowdown
+    return replace(cluster, straggler_slowdown=stragglers)
+
+
+@dataclass
+class HeterogeneityResult:
+    """Sync vs async epoch times, with and without a straggler."""
+
+    model: str
+    sync_uniform: EpochResult
+    sync_straggler: EpochResult
+    async_uniform: EpochResult
+    async_straggler: EpochResult
+
+    @property
+    def sync_degradation(self) -> float:
+        return self.sync_straggler.epoch_time / self.sync_uniform.epoch_time
+
+    @property
+    def async_degradation(self) -> float:
+        return self.async_straggler.epoch_time / self.async_uniform.epoch_time
+
+    def rows(self) -> List[Dict]:
+        return [
+            {"setting": "uniform", "sync": self.sync_uniform.epoch_time,
+             "async": self.async_uniform.epoch_time},
+            {"setting": "straggler", "sync": self.sync_straggler.epoch_time,
+             "async": self.async_straggler.epoch_time},
+        ]
+
+
+def run_heterogeneity_study(
+    model: ModelSpec,
+    cluster: ClusterSpec,
+    slowdown: float = PAPER_STRAGGLER_SLOWDOWN,
+) -> HeterogeneityResult:
+    """Compare sync allreduce vs async under one downclocked worker."""
+    degraded = with_straggler(cluster, rank=0, slowdown=slowdown)
+
+    def run(spec: ClusterSpec, algorithm: str) -> EpochResult:
+        cost = CommCostModel(spec)
+        return simulate_epoch(model, spec, bagua_system(cost, algorithm))
+
+    return HeterogeneityResult(
+        model=model.name,
+        sync_uniform=run(cluster, "allreduce"),
+        sync_straggler=run(degraded, "allreduce"),
+        async_uniform=run(cluster, "async"),
+        async_straggler=run(degraded, "async"),
+    )

@@ -1,0 +1,184 @@
+"""Discrete pipeline simulation of one training iteration (timing mode).
+
+Replays the execution structure of Figure 2/3 on two per-worker streams —
+compute (forward, backward) and communication (bucket transfers, compression
+kernels, updates) — under a system's overlap rules:
+
+* ``overlap_backward``: a bucket's communication may start as soon as its
+  gradients are ready, racing the rest of backward;
+* ``overlap_forward``: a bucket's parameters become usable as soon as *its*
+  update lands, so the next iteration's forward can begin before other
+  buckets finish (BytePS priority scheduling, BAGUA per-bucket updates).
+
+Workers are symmetric up to straggler compute scaling; synchronous
+collectives therefore pace on the slowest worker's compute.  The simulator
+runs several iterations and reports the steady-state iteration time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..cluster.topology import ClusterSpec
+from ..core.optimizer_framework import PlannedBucket
+from ..core.profiler import profile_from_spec
+from ..models.spec import ModelSpec
+from .systems import SystemProfile
+
+#: iterations simulated to reach steady state before measuring
+WARMUP_ITERATIONS = 2
+MEASURE_ITERATIONS = 3
+
+
+@dataclass(frozen=True)
+class Span:
+    """One scheduled activity on a stream (for pipeline visualisation).
+
+    ``stream`` is "compute" or "comm"; ``kind`` is fwd/bwd/comm/update;
+    times are absolute simulation seconds of the final measured iteration.
+    """
+
+    stream: str
+    kind: str
+    label: str
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class IterationTiming:
+    """Steady-state timing of one training iteration."""
+
+    iteration_time: float
+    compute_time: float  # pure fwd+bwd time of the slowest worker
+    comm_time_total: float  # sum of bucket communication durations
+    exposed_comm_time: float  # iteration time minus compute (>= 0)
+    num_buckets: int
+    #: span timeline of the last simulated iteration (Figure 2/3 material)
+    spans: List[Span] = field(default_factory=list)
+
+    @property
+    def overlap_efficiency(self) -> float:
+        """Fraction of communication hidden behind computation."""
+        if self.comm_time_total <= 0:
+            return 1.0
+        hidden = self.comm_time_total - self.exposed_comm_time
+        return max(0.0, min(1.0, hidden / self.comm_time_total))
+
+
+def simulate_iteration(
+    model: ModelSpec,
+    cluster: ClusterSpec,
+    system: SystemProfile,
+    compute_scale: float | None = None,
+) -> IterationTiming:
+    """Steady-state iteration time of ``system`` training ``model`` on ``cluster``.
+
+    ``compute_scale`` overrides the compute slowdown factor; by default
+    synchronous systems pace on the slowest worker (max straggler scale).
+    """
+    profile = profile_from_spec(model.layers)
+    plan = system.plan(profile)
+    if compute_scale is None:
+        scales = [cluster.compute_scale(r) for r in range(cluster.world_size)]
+        if system.is_async:
+            # Async workers never wait on each other: the caller accounts for
+            # per-worker scaling; jitter averages out over iterations.
+            compute_scale = 1.0
+        else:
+            # Sync systems pace on the slowest worker every iteration —
+            # persistent stragglers and per-iteration jitter both bite.
+            compute_scale = max(scales) * cluster.sync_jitter_factor()
+
+    batch = model.batch_size
+
+    def fwd_time(bucket: PlannedBucket) -> float:
+        return bucket.fwd_flops * batch * compute_scale / cluster.worker_flops
+
+    def bwd_time(bucket: PlannedBucket) -> float:
+        return bucket.bwd_flops * batch * compute_scale / cluster.worker_flops
+
+    ready_order: List[PlannedBucket] = plan.communication_units()
+    forward_order: List[PlannedBucket] = list(reversed(ready_order))
+
+    comm_durations: Dict[int, float] = {}
+    for bucket in ready_order:
+        comm_durations[bucket.index] = (
+            system.per_bucket_overhead
+            + system.comm_time(bucket)
+            + system.comm_kernel_time(bucket)
+        )
+    update_durations = {b.index: system.update_time(b) for b in ready_order}
+
+    compute_free = 0.0
+    comm_free = 0.0
+    params_ready: Dict[int, float] = {b.index: 0.0 for b in ready_order}
+    boundaries: List[float] = []
+    spans: List[Span] = []
+
+    total_iterations = WARMUP_ITERATIONS + MEASURE_ITERATIONS
+    for iteration in range(total_iterations):
+        record = iteration == total_iterations - 1
+        if record:
+            spans = []
+        # Forward: layer groups in forward order, gated on their own update.
+        for bucket in forward_order:
+            compute_free = max(compute_free, params_ready[bucket.index])
+            start = compute_free
+            compute_free += fwd_time(bucket)
+            if record and compute_free > start:
+                spans.append(Span("compute", "fwd", f"fwd b{bucket.index}", start, compute_free))
+        # Backward: buckets become ready in ready order.
+        grad_ready: Dict[int, float] = {}
+        for bucket in ready_order:
+            start = compute_free
+            compute_free += bwd_time(bucket)
+            grad_ready[bucket.index] = compute_free
+            if record and compute_free > start:
+                spans.append(Span("compute", "bwd", f"bwd b{bucket.index}", start, compute_free))
+        bwd_end = compute_free
+
+        # Communication + updates on the comm stream.
+        update_done: Dict[int, float] = {}
+        for bucket in ready_order:
+            gate = grad_ready[bucket.index] if system.overlap_backward else bwd_end
+            start = max(comm_free, gate)
+            comm_free = start + comm_durations[bucket.index]
+            if record:
+                spans.append(Span("comm", "comm", f"comm b{bucket.index}", start, comm_free))
+            update_start = comm_free
+            comm_free += update_durations[bucket.index]
+            update_done[bucket.index] = comm_free
+            if record and comm_free > update_start:
+                spans.append(
+                    Span("comm", "update", f"upd b{bucket.index}", update_start, comm_free)
+                )
+
+        if system.overlap_forward:
+            params_ready = dict(update_done)
+            boundary = max(bwd_end, comm_free)
+        else:
+            # Single barrier: nothing in the next iteration starts before
+            # every update has landed.
+            barrier = max(bwd_end, comm_free)
+            params_ready = {b.index: barrier for b in ready_order}
+            compute_free = barrier
+            boundary = barrier
+        boundaries.append(boundary)
+
+    steady = (boundaries[-1] - boundaries[-1 - MEASURE_ITERATIONS]) / MEASURE_ITERATIONS
+    compute_only = sum(fwd_time(b) + bwd_time(b) for b in ready_order)
+    comm_total = sum(comm_durations.values())
+    return IterationTiming(
+        iteration_time=steady,
+        compute_time=compute_only,
+        comm_time_total=comm_total,
+        exposed_comm_time=max(0.0, steady - compute_only),
+        num_buckets=len(ready_order),
+        spans=spans,
+    )

@@ -1,0 +1,89 @@
+"""Epoch-time simulation entry points (timing mode).
+
+Synchronous systems: epoch time = iterations x steady-state iteration time,
+paced by the slowest worker.  Asynchronous systems: workers proceed at their
+own rate with communication fully overlapped; epoch time is the time for the
+fleet to consume one epoch of samples at the aggregate throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cluster.topology import ClusterSpec
+from ..models.spec import ModelSpec
+from .pipeline import IterationTiming, simulate_iteration
+from .systems import SystemProfile
+
+
+@dataclass
+class EpochResult:
+    """Simulated epoch time of one (system, model, cluster) combination."""
+
+    system: str
+    model: str
+    epoch_time: float
+    iteration_time: float
+    iterations: int
+    timing: IterationTiming
+
+    def __str__(self) -> str:
+        return (
+            f"{self.system:>18s} on {self.model:<13s}: "
+            f"epoch {self.epoch_time:8.1f}s "
+            f"({self.iterations} iters x {self.iteration_time * 1e3:7.1f} ms)"
+        )
+
+
+def simulate_epoch(
+    model: ModelSpec, cluster: ClusterSpec, system: SystemProfile
+) -> EpochResult:
+    """Simulate one training epoch; see module docstring for semantics."""
+    iterations = model.iterations_per_epoch(cluster.world_size)
+    if system.is_async:
+        return _simulate_async_epoch(model, cluster, system, iterations)
+
+    timing = simulate_iteration(model, cluster, system)
+    return EpochResult(
+        system=system.name,
+        model=model.name,
+        epoch_time=iterations * timing.iteration_time,
+        iteration_time=timing.iteration_time,
+        iterations=iterations,
+        timing=timing,
+    )
+
+
+def _simulate_async_epoch(
+    model: ModelSpec, cluster: ClusterSpec, system: SystemProfile, iterations: int
+) -> EpochResult:
+    """Async: no global barrier; stragglers only reduce their own throughput.
+
+    Each worker's step time is max(its compute, its communication) — the
+    communication thread runs concurrently with compute (paper §3.2).  The
+    epoch ends when the fleet has consumed ``samples_per_epoch`` samples.
+    """
+    # Communication per worker per iteration: push + pull of the whole model
+    # against the master copy, amortized over the async pipeline.
+    profile_timing = simulate_iteration(model, cluster, system, compute_scale=1.0)
+    comm_per_iter = profile_timing.comm_time_total
+
+    throughput = 0.0  # samples per second across the fleet
+    slowest_iter = 0.0
+    for rank in range(cluster.world_size):
+        scale = cluster.compute_scale(rank)
+        compute = profile_timing.compute_time * scale
+        step_time = max(compute, comm_per_iter)
+        throughput += model.batch_size / step_time
+        slowest_iter = max(slowest_iter, step_time)
+
+    epoch_time = model.samples_per_epoch / throughput
+    mean_iter = epoch_time / max(1, iterations)
+    return EpochResult(
+        system=system.name,
+        model=model.name,
+        epoch_time=epoch_time,
+        iteration_time=mean_iter,
+        iterations=iterations,
+        timing=profile_timing,
+    )

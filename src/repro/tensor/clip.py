@@ -1,0 +1,41 @@
+"""Gradient utilities: global-norm clipping.
+
+Recurrent models (the LSTM+AlexNet task) conventionally train with gradient
+clipping; distributed algorithms apply it *after* aggregation so all
+replicas clip identically.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+import numpy as np
+
+from .tensor import Tensor
+
+
+def global_grad_norm(params: Iterable[Tensor]) -> float:
+    """L2 norm of all gradients concatenated (missing grads count as zero)."""
+    total = 0.0
+    for p in params:
+        if p.grad is not None:
+            total += float(np.sum(p.grad ** 2))
+    return float(np.sqrt(total))
+
+
+def clip_grad_norm(params: Iterable[Tensor], max_norm: float) -> float:
+    """Scale gradients in place so their global norm is at most ``max_norm``.
+
+    Returns the pre-clip norm (the conventional contract).  No-op when the
+    norm is already within bounds or when no gradients exist.
+    """
+    if max_norm <= 0:
+        raise ValueError(f"max_norm must be positive, got {max_norm}")
+    params: List[Tensor] = list(params)
+    norm = global_grad_norm(params)
+    if norm > max_norm and norm > 0:
+        scale = max_norm / norm
+        for p in params:
+            if p.grad is not None:
+                p.grad *= scale
+    return norm

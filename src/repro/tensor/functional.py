@@ -1,0 +1,415 @@
+"""Differentiable operations on :class:`~repro.tensor.tensor.Tensor`.
+
+Everything here builds graph nodes by hand: forward with numpy, backward as a
+closure.  Convolutions use im2col so proxy CNNs (VGG/AlexNet families) train
+at reasonable speed in pure numpy.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from .tensor import Tensor
+
+
+# ----------------------------------------------------------------------
+# Elementwise nonlinearities
+# ----------------------------------------------------------------------
+def relu(x: Tensor) -> Tensor:
+    mask = x.data > 0
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad * mask)
+
+    return Tensor._make(x.data * mask, (x,), backward)
+
+
+def tanh(x: Tensor) -> Tensor:
+    out = np.tanh(x.data)
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad * (1.0 - out ** 2))
+
+    return Tensor._make(out, (x,), backward)
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    out = 1.0 / (1.0 + np.exp(-np.clip(x.data, -60.0, 60.0)))
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad * out * (1.0 - out))
+
+    return Tensor._make(out, (x,), backward)
+
+
+def gelu(x: Tensor) -> Tensor:
+    """Gaussian error linear unit (tanh approximation, as used by BERT)."""
+    c = np.sqrt(2.0 / np.pi)
+    inner = c * (x.data + 0.044715 * x.data ** 3)
+    t = np.tanh(inner)
+    out = 0.5 * x.data * (1.0 + t)
+
+    def backward(grad: np.ndarray) -> None:
+        dinner = c * (1.0 + 3 * 0.044715 * x.data ** 2)
+        dt = (1.0 - t ** 2) * dinner
+        x._accumulate(grad * (0.5 * (1.0 + t) + 0.5 * x.data * dt))
+
+    return Tensor._make(out, (x,), backward)
+
+
+def exp(x: Tensor) -> Tensor:
+    out = np.exp(np.clip(x.data, -700.0, 700.0))
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad * out)
+
+    return Tensor._make(out, (x,), backward)
+
+
+def log(x: Tensor) -> Tensor:
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad / x.data)
+
+    return Tensor._make(np.log(x.data), (x,), backward)
+
+
+def sqrt(x: Tensor) -> Tensor:
+    out = np.sqrt(x.data)
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad * 0.5 / out)
+
+    return Tensor._make(out, (x,), backward)
+
+
+def clip(x: Tensor, lo: float, hi: float) -> Tensor:
+    mask = (x.data >= lo) & (x.data <= hi)
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad * mask)
+
+    return Tensor._make(np.clip(x.data, lo, hi), (x,), backward)
+
+
+# ----------------------------------------------------------------------
+# Softmax and losses
+# ----------------------------------------------------------------------
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    out = e / e.sum(axis=axis, keepdims=True)
+
+    def backward(grad: np.ndarray) -> None:
+        dot = (grad * out).sum(axis=axis, keepdims=True)
+        x._accumulate(out * (grad - dot))
+
+    return Tensor._make(out, (x,), backward)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    log_z = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out = shifted - log_z
+
+    def backward(grad: np.ndarray) -> None:
+        soft = np.exp(out)
+        x._accumulate(grad - soft * grad.sum(axis=axis, keepdims=True))
+
+    return Tensor._make(out, (x,), backward)
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean cross-entropy between ``logits`` [batch, classes] and int targets."""
+    targets = np.asarray(targets)
+    if targets.ndim != 1:
+        targets = targets.reshape(-1)
+    batch = logits.data.shape[0]
+    lsm = log_softmax(logits, axis=-1)
+    picked = lsm.data[np.arange(batch), targets]
+    loss_value = -picked.mean()
+
+    def backward(grad: np.ndarray) -> None:
+        g = np.zeros_like(lsm.data)
+        g[np.arange(batch), targets] = -float(grad) / batch
+        lsm._accumulate(g)
+
+    return Tensor._make(np.asarray(loss_value), (lsm,), backward)
+
+
+def mse_loss(pred: Tensor, target: np.ndarray) -> Tensor:
+    target = np.asarray(target, dtype=pred.data.dtype)
+    diff = pred.data - target
+    loss_value = (diff ** 2).mean()
+
+    def backward(grad: np.ndarray) -> None:
+        pred._accumulate(2.0 * float(grad) * diff / diff.size)
+
+    return Tensor._make(np.asarray(loss_value), (pred,), backward)
+
+
+def nll_loss(log_probs: Tensor, targets: np.ndarray) -> Tensor:
+    targets = np.asarray(targets).reshape(-1)
+    batch = log_probs.data.shape[0]
+    loss_value = -log_probs.data[np.arange(batch), targets].mean()
+
+    def backward(grad: np.ndarray) -> None:
+        g = np.zeros_like(log_probs.data)
+        g[np.arange(batch), targets] = -float(grad) / batch
+        log_probs._accumulate(g)
+
+    return Tensor._make(np.asarray(loss_value), (log_probs,), backward)
+
+
+# ----------------------------------------------------------------------
+# Structural ops
+# ----------------------------------------------------------------------
+def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    datas = [t.data for t in tensors]
+    sizes = [d.shape[axis] for d in datas]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad: np.ndarray) -> None:
+        for t, lo, hi in zip(tensors, offsets[:-1], offsets[1:]):
+            index = [slice(None)] * grad.ndim
+            index[axis] = slice(lo, hi)
+            t._accumulate(grad[tuple(index)])
+
+    return Tensor._make(np.concatenate(datas, axis=axis), tuple(tensors), backward)
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    def backward(grad: np.ndarray) -> None:
+        parts = np.split(grad, len(tensors), axis=axis)
+        for t, p in zip(tensors, parts):
+            t._accumulate(np.squeeze(p, axis=axis))
+
+    return Tensor._make(np.stack([t.data for t in tensors], axis=axis), tuple(tensors), backward)
+
+
+def dropout(x: Tensor, p: float, rng: np.random.Generator, training: bool = True) -> Tensor:
+    if not training or p <= 0.0:
+        return x
+    keep = 1.0 - p
+    mask = (rng.random(x.data.shape) < keep) / keep
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad * mask)
+
+    return Tensor._make(x.data * mask, (x,), backward)
+
+
+def embedding_lookup(weight: Tensor, indices: np.ndarray) -> Tensor:
+    indices = np.asarray(indices)
+
+    def backward(grad: np.ndarray) -> None:
+        full = np.zeros_like(weight.data)
+        np.add.at(full, indices.reshape(-1), grad.reshape(-1, weight.data.shape[1]))
+        weight._accumulate(full)
+
+    return Tensor._make(weight.data[indices], (weight,), backward)
+
+
+# ----------------------------------------------------------------------
+# Convolution via im2col
+# ----------------------------------------------------------------------
+def _im2col_indices(
+    x_shape: tuple, kh: int, kw: int, stride: int, padding: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, int, int]:
+    _, channels, height, width = x_shape
+    out_h = (height + 2 * padding - kh) // stride + 1
+    out_w = (width + 2 * padding - kw) // stride + 1
+
+    i0 = np.repeat(np.arange(kh), kw)
+    i0 = np.tile(i0, channels)
+    i1 = stride * np.repeat(np.arange(out_h), out_w)
+    j0 = np.tile(np.arange(kw), kh * channels)
+    j1 = stride * np.tile(np.arange(out_w), out_h)
+    i = i0.reshape(-1, 1) + i1.reshape(1, -1)
+    j = j0.reshape(-1, 1) + j1.reshape(1, -1)
+    k = np.repeat(np.arange(channels), kh * kw).reshape(-1, 1)
+    return k, i, j, out_h, out_w
+
+
+def _im2col(x: np.ndarray, kh: int, kw: int, stride: int, padding: int) -> Tuple[np.ndarray, tuple]:
+    k, i, j, out_h, out_w = _im2col_indices(x.shape, kh, kw, stride, padding)
+    padded = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)), mode="constant")
+    cols = padded[:, k, i, j]  # [batch, C*kh*kw, out_h*out_w]
+    return cols, (out_h, out_w)
+
+
+def _col2im(
+    cols: np.ndarray, x_shape: tuple, kh: int, kw: int, stride: int, padding: int
+) -> np.ndarray:
+    batch, channels, height, width = x_shape
+    k, i, j, _, _ = _im2col_indices(x_shape, kh, kw, stride, padding)
+    padded = np.zeros((batch, channels, height + 2 * padding, width + 2 * padding))
+    np.add.at(padded, (slice(None), k, i, j), cols)
+    if padding == 0:
+        return padded
+    return padded[:, :, padding:-padding, padding:-padding]
+
+
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor] = None,
+    stride: int = 1,
+    padding: int = 0,
+) -> Tensor:
+    """2D convolution: ``x`` [B, C, H, W], ``weight`` [F, C, kh, kw]."""
+    filters, _, kh, kw = weight.data.shape
+    cols, (out_h, out_w) = _im2col(x.data, kh, kw, stride, padding)
+    w_flat = weight.data.reshape(filters, -1)  # [F, C*kh*kw]
+    out = np.einsum("fc,bcl->bfl", w_flat, cols)
+    if bias is not None:
+        out = out + bias.data.reshape(1, -1, 1)
+    out = out.reshape(x.data.shape[0], filters, out_h, out_w)
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(grad: np.ndarray) -> None:
+        g = grad.reshape(grad.shape[0], filters, -1)  # [B, F, L]
+        if weight.requires_grad:
+            dw = np.einsum("bfl,bcl->fc", g, cols).reshape(weight.data.shape)
+            weight._accumulate(dw)
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(g.sum(axis=(0, 2)))
+        if x.requires_grad:
+            dcols = np.einsum("fc,bfl->bcl", w_flat, g)
+            x._accumulate(_col2im(dcols, x.data.shape, kh, kw, stride, padding))
+
+    return Tensor._make(out, parents, backward)
+
+
+def max_pool2d(x: Tensor, kernel: int, stride: Optional[int] = None) -> Tensor:
+    stride = stride or kernel
+    batch, channels, height, width = x.data.shape
+    out_h = (height - kernel) // stride + 1
+    out_w = (width - kernel) // stride + 1
+    cols, _ = _im2col(
+        x.data.reshape(batch * channels, 1, height, width), kernel, kernel, stride, 0
+    )
+    cols = cols.reshape(batch * channels, kernel * kernel, out_h * out_w)
+    argmax = cols.argmax(axis=1)
+    out = np.take_along_axis(cols, argmax[:, None, :], axis=1).reshape(
+        batch, channels, out_h, out_w
+    )
+
+    def backward(grad: np.ndarray) -> None:
+        g = grad.reshape(batch * channels, 1, -1)
+        dcols = np.zeros_like(cols)
+        np.put_along_axis(dcols, argmax[:, None, :], g, axis=1)
+        dx = _col2im(
+            dcols, (batch * channels, 1, height, width), kernel, kernel, stride, 0
+        )
+        x._accumulate(dx.reshape(x.data.shape))
+
+    return Tensor._make(out, (x,), backward)
+
+
+def avg_pool2d(x: Tensor, kernel: int, stride: Optional[int] = None) -> Tensor:
+    stride = stride or kernel
+    batch, channels, height, width = x.data.shape
+    out_h = (height - kernel) // stride + 1
+    out_w = (width - kernel) // stride + 1
+    cols, _ = _im2col(
+        x.data.reshape(batch * channels, 1, height, width), kernel, kernel, stride, 0
+    )
+    out = cols.mean(axis=1).reshape(batch, channels, out_h, out_w)
+
+    def backward(grad: np.ndarray) -> None:
+        g = grad.reshape(batch * channels, 1, -1)
+        dcols = np.broadcast_to(g / (kernel * kernel), (batch * channels, kernel * kernel, out_h * out_w))
+        dx = _col2im(
+            np.ascontiguousarray(dcols), (batch * channels, 1, height, width), kernel, kernel, stride, 0
+        )
+        x._accumulate(dx.reshape(x.data.shape))
+
+    return Tensor._make(out, (x,), backward)
+
+
+# ----------------------------------------------------------------------
+# Normalization
+# ----------------------------------------------------------------------
+def batch_norm2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Tensor,
+    running_mean: np.ndarray,
+    running_var: np.ndarray,
+    training: bool,
+    momentum: float = 0.1,
+    eps: float = 1e-5,
+) -> Tensor:
+    """Batch normalization over [B, C, H, W] (per-channel statistics).
+
+    In training mode, batch statistics normalize and the running buffers are
+    updated in place; in eval mode the running buffers are used.  The buffers
+    are plain arrays (not parameters) — they are not communicated by the
+    distributed algorithms, matching standard DDP semantics.
+    """
+    axes = (0, 2, 3)
+    if training:
+        mu = x.data.mean(axis=axes)
+        var = x.data.var(axis=axes)
+        count = x.data.shape[0] * x.data.shape[2] * x.data.shape[3]
+        unbiased = var * count / max(1, count - 1)
+        running_mean *= 1.0 - momentum
+        running_mean += momentum * mu
+        running_var *= 1.0 - momentum
+        running_var += momentum * unbiased
+    else:
+        mu = running_mean
+        var = running_var
+
+    shape = (1, -1, 1, 1)
+    inv_std = 1.0 / np.sqrt(var + eps)
+    x_hat = (x.data - mu.reshape(shape)) * inv_std.reshape(shape)
+    out = x_hat * weight.data.reshape(shape) + bias.data.reshape(shape)
+
+    def backward(grad: np.ndarray) -> None:
+        if weight.requires_grad:
+            weight._accumulate((grad * x_hat).sum(axis=axes))
+        if bias.requires_grad:
+            bias._accumulate(grad.sum(axis=axes))
+        if x.requires_grad:
+            dxhat = grad * weight.data.reshape(shape)
+            if training:
+                count = x.data.shape[0] * x.data.shape[2] * x.data.shape[3]
+                mean_dxhat = dxhat.mean(axis=axes).reshape(shape)
+                mean_dxhat_xhat = (dxhat * x_hat).mean(axis=axes).reshape(shape)
+                dx = (dxhat - mean_dxhat - x_hat * mean_dxhat_xhat) * inv_std.reshape(shape)
+                del count
+            else:
+                dx = dxhat * inv_std.reshape(shape)
+            x._accumulate(dx)
+
+    return Tensor._make(out, (x, weight, bias), backward)
+
+
+def layer_norm(x: Tensor, weight: Tensor, bias: Tensor, eps: float = 1e-5) -> Tensor:
+    mu = x.data.mean(axis=-1, keepdims=True)
+    var = x.data.var(axis=-1, keepdims=True)
+    inv_std = 1.0 / np.sqrt(var + eps)
+    x_hat = (x.data - mu) * inv_std
+    out = x_hat * weight.data + bias.data
+
+    def backward(grad: np.ndarray) -> None:
+        if weight.requires_grad:
+            axes = tuple(range(grad.ndim - 1))
+            weight._accumulate((grad * x_hat).sum(axis=axes))
+        if bias.requires_grad:
+            axes = tuple(range(grad.ndim - 1))
+            bias._accumulate(grad.sum(axis=axes))
+        if x.requires_grad:
+            n = x.data.shape[-1]
+            dxhat = grad * weight.data
+            dx = (
+                dxhat
+                - dxhat.mean(axis=-1, keepdims=True)
+                - x_hat * (dxhat * x_hat).mean(axis=-1, keepdims=True)
+            ) * inv_std
+            x._accumulate(dx)
+
+    return Tensor._make(out, (x, weight, bias), backward)

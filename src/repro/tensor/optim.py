@@ -1,0 +1,176 @@
+"""Optimizers operating on lists of parameters (or flattened bucket views).
+
+The BAGUA engine flattens bucketed parameters into one contiguous array and
+runs the optimizer over that flat view (paper §3.4, "Tensor Bucketing and
+Memory Flattening"); to allow that, every optimizer here keeps its state
+per-parameter as plain numpy arrays keyed by position, and exposes
+``step_on_arrays`` so the same update rule can run on flat buffers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from .tensor import Tensor
+
+
+class Optimizer:
+    """Base optimizer over a list of parameters."""
+
+    def __init__(self, params: Iterable[Tensor]) -> None:
+        self.params: List[Tensor] = list(params)
+        if not self.params:
+            raise ValueError("optimizer got an empty parameter list")
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.grad = None
+
+    def step(self) -> None:
+        arrays = [p.data for p in self.params]
+        grads = [p.grad if p.grad is not None else np.zeros_like(p.data) for p in self.params]
+        self.step_on_arrays(arrays, grads)
+
+    def step_on_arrays(self, arrays: Sequence[np.ndarray], grads: Sequence[np.ndarray]) -> None:
+        """Apply the update rule in place on raw arrays (flat-view friendly)."""
+        raise NotImplementedError
+
+    def state_dict(self) -> Dict:
+        return {}
+
+    def load_state_dict(self, state: Dict) -> None:
+        pass
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional (Nesterov) momentum and weight decay."""
+
+    def __init__(
+        self,
+        params: Iterable[Tensor],
+        lr: float,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+        nesterov: bool = False,
+    ) -> None:
+        super().__init__(params)
+        if lr <= 0:
+            raise ValueError(f"invalid learning rate {lr}")
+        if nesterov and momentum <= 0:
+            raise ValueError("nesterov momentum requires momentum > 0")
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self.nesterov = nesterov
+        self._velocity: List[Optional[np.ndarray]] = [None] * len(self.params)
+
+    def step_on_arrays(self, arrays: Sequence[np.ndarray], grads: Sequence[np.ndarray]) -> None:
+        if len(self._velocity) != len(arrays):
+            self._velocity = [None] * len(arrays)
+        for i, (x, g) in enumerate(zip(arrays, grads)):
+            if self.weight_decay:
+                g = g + self.weight_decay * x
+            if self.momentum:
+                if self._velocity[i] is None:
+                    self._velocity[i] = np.zeros_like(x)
+                v = self._velocity[i]
+                v *= self.momentum
+                v += g
+                g = g + self.momentum * v if self.nesterov else v
+            x -= self.lr * g
+
+    def state_dict(self) -> Dict:
+        return {
+            "lr": self.lr,
+            "momentum": self.momentum,
+            "velocity": [None if v is None else v.copy() for v in self._velocity],
+        }
+
+    def load_state_dict(self, state: Dict) -> None:
+        self.lr = state["lr"]
+        self.momentum = state["momentum"]
+        self._velocity = [None if v is None else v.copy() for v in state["velocity"]]
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba).  1-bit Adam freezes this state after warmup."""
+
+    def __init__(
+        self,
+        params: Iterable[Tensor],
+        lr: float = 1e-3,
+        betas: tuple = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params)
+        if lr <= 0:
+            raise ValueError(f"invalid learning rate {lr}")
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self.t = 0
+        self._m: List[Optional[np.ndarray]] = [None] * len(self.params)
+        self._v: List[Optional[np.ndarray]] = [None] * len(self.params)
+        # When frozen (1-bit Adam compression stage), the second moment stops
+        # updating and acts as a fixed diagonal preconditioner.
+        self.variance_frozen = False
+
+    def freeze_variance(self) -> None:
+        self.variance_frozen = True
+
+    def step_on_arrays(self, arrays: Sequence[np.ndarray], grads: Sequence[np.ndarray]) -> None:
+        if len(self._m) != len(arrays):
+            self._m = [None] * len(arrays)
+            self._v = [None] * len(arrays)
+        self.t += 1
+        bc1 = 1.0 - self.beta1 ** self.t
+        bc2 = 1.0 - self.beta2 ** self.t
+        for i, (x, g) in enumerate(zip(arrays, grads)):
+            if self.weight_decay:
+                g = g + self.weight_decay * x
+            if self._m[i] is None:
+                self._m[i] = np.zeros_like(x)
+                self._v[i] = np.zeros_like(x)
+            m, v = self._m[i], self._v[i]
+            m *= self.beta1
+            m += (1.0 - self.beta1) * g
+            if not self.variance_frozen:
+                v *= self.beta2
+                v += (1.0 - self.beta2) * g * g
+            m_hat = m / bc1
+            v_hat = v / bc2
+            x -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_dict(self) -> Dict:
+        return {
+            "lr": self.lr,
+            "t": self.t,
+            "m": [None if m is None else m.copy() for m in self._m],
+            "v": [None if v is None else v.copy() for v in self._v],
+            "variance_frozen": self.variance_frozen,
+        }
+
+    def load_state_dict(self, state: Dict) -> None:
+        self.lr = state["lr"]
+        self.t = state["t"]
+        self._m = [None if m is None else m.copy() for m in state["m"]]
+        self._v = [None if v is None else v.copy() for v in state["v"]]
+        self.variance_frozen = state["variance_frozen"]
+
+
+class AdamW(Adam):
+    """Adam with decoupled weight decay."""
+
+    def step_on_arrays(self, arrays: Sequence[np.ndarray], grads: Sequence[np.ndarray]) -> None:
+        if self.weight_decay:
+            for x in arrays:
+                x -= self.lr * self.weight_decay * x
+        decay, self.weight_decay = self.weight_decay, 0.0
+        try:
+            super().step_on_arrays(arrays, grads)
+        finally:
+            self.weight_decay = decay

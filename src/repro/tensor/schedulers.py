@@ -1,0 +1,102 @@
+"""Learning-rate schedulers.
+
+The paper's training recipes (BERT finetuning, 1-bit Adam's warmup stage)
+rely on warmup and decay schedules; these schedulers mutate the wrapped
+optimizer's ``lr`` in place, one ``step()`` per iteration or epoch.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+from .optim import Optimizer
+
+
+class LRScheduler:
+    """Base scheduler: computes lr as a function of the step counter."""
+
+    def __init__(self, optimizer: Optimizer) -> None:
+        if not hasattr(optimizer, "lr"):
+            raise TypeError(f"{type(optimizer).__name__} exposes no .lr to schedule")
+        self.optimizer = optimizer
+        self.base_lr = float(optimizer.lr)
+        self.step_count = 0
+
+    def get_lr(self) -> float:
+        raise NotImplementedError
+
+    def step(self) -> float:
+        """Advance one step and apply the new learning rate."""
+        self.step_count += 1
+        new_lr = self.get_lr()
+        self.optimizer.lr = new_lr
+        return new_lr
+
+    @property
+    def current_lr(self) -> float:
+        return float(self.optimizer.lr)
+
+
+class StepLR(LRScheduler):
+    """Multiply lr by ``gamma`` every ``step_size`` steps."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1) -> None:
+        if step_size < 1:
+            raise ValueError(f"step_size must be >= 1, got {step_size}")
+        super().__init__(optimizer)
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def get_lr(self) -> float:
+        return self.base_lr * self.gamma ** (self.step_count // self.step_size)
+
+
+class CosineAnnealingLR(LRScheduler):
+    """Cosine decay from the base lr to ``min_lr`` over ``total_steps``."""
+
+    def __init__(self, optimizer: Optimizer, total_steps: int, min_lr: float = 0.0) -> None:
+        if total_steps < 1:
+            raise ValueError(f"total_steps must be >= 1, got {total_steps}")
+        super().__init__(optimizer)
+        self.total_steps = total_steps
+        self.min_lr = min_lr
+
+    def get_lr(self) -> float:
+        progress = min(1.0, self.step_count / self.total_steps)
+        cosine = 0.5 * (1.0 + math.cos(math.pi * progress))
+        return self.min_lr + (self.base_lr - self.min_lr) * cosine
+
+
+class WarmupLR(LRScheduler):
+    """Linear warmup to the base lr, then an optional inner schedule.
+
+    The standard BERT recipe (and 1-bit Adam's warmup stage): lr ramps from
+    0 to base over ``warmup_steps``, after which the inner scheduler (if
+    any) takes over with its own counter starting at zero.
+    """
+
+    def __init__(
+        self,
+        optimizer: Optimizer,
+        warmup_steps: int,
+        after: Optional[LRScheduler] = None,
+    ) -> None:
+        if warmup_steps < 1:
+            raise ValueError(f"warmup_steps must be >= 1, got {warmup_steps}")
+        super().__init__(optimizer)
+        self.warmup_steps = warmup_steps
+        self.after = after
+
+    def get_lr(self) -> float:
+        if self.step_count <= self.warmup_steps:
+            return self.base_lr * self.step_count / self.warmup_steps
+        if self.after is not None:
+            self.after.step_count = self.step_count - self.warmup_steps
+            return self.after.get_lr()
+        return self.base_lr
+
+
+def lr_trace(scheduler: LRScheduler, steps: int) -> List[float]:
+    """Run ``steps`` scheduler steps, returning the lr sequence (testing aid)."""
+    return [scheduler.step() for _ in range(steps)]

@@ -1,0 +1,398 @@
+"""A small reverse-mode autograd engine over numpy arrays.
+
+This module is the compute substrate of the reproduction: the paper runs on
+PyTorch CUDA tensors, and every distributed algorithm only interacts with
+parameters and gradients.  ``Tensor`` provides exactly that surface — a numpy
+array, an optional gradient, and a dynamic computation graph with reverse-mode
+differentiation — so the BAGUA engine, baselines and algorithms exercise the
+same hook/bucket/flatten code paths they would on the real framework.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Sequence, Union
+
+import numpy as np
+
+ArrayLike = Union[np.ndarray, float, int, Sequence]
+
+_DEFAULT_DTYPE = np.float64
+
+
+def _as_array(value: ArrayLike, dtype=None) -> np.ndarray:
+    """Coerce ``value`` into a float numpy array without copying when possible."""
+    if isinstance(value, np.ndarray):
+        if dtype is not None and value.dtype != dtype:
+            return value.astype(dtype)
+        if value.dtype.kind not in "fc":
+            return value.astype(_DEFAULT_DTYPE)
+        return value
+    return np.asarray(value, dtype=dtype or _DEFAULT_DTYPE)
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple) -> np.ndarray:
+    """Sum ``grad`` down to ``shape``, undoing numpy broadcasting."""
+    if grad.shape == shape:
+        return grad
+    # Sum over leading dimensions that were added by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over dimensions that were broadcast from size 1.
+    axes = tuple(i for i, s in enumerate(shape) if s == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A numpy-backed tensor participating in a dynamic autograd graph.
+
+    Attributes:
+        data: the underlying numpy array.  Mutable; in-place updates are used
+            by optimizers and by the flattened bucket views.
+        grad: accumulated gradient (numpy array or None).
+        requires_grad: whether backward should flow into this tensor.
+        name: optional human-readable label (used by profiler/bucketing).
+    """
+
+    __slots__ = (
+        "data",
+        "grad",
+        "requires_grad",
+        "name",
+        "_backward_fn",
+        "_parents",
+        "_post_grad_hooks",
+        "_seq",
+    )
+
+    # Global creation counter: children always have a larger sequence number
+    # than their parents, so descending sequence is a valid reverse
+    # topological order that also matches actual execution order (the way
+    # real autograd engines schedule backward).
+    _next_seq = 0
+
+    def __init__(
+        self,
+        data: ArrayLike,
+        requires_grad: bool = False,
+        name: Optional[str] = None,
+    ) -> None:
+        self.data = _as_array(data)
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad = requires_grad
+        self.name = name
+        self._backward_fn: Optional[Callable[[np.ndarray], None]] = None
+        self._parents: tuple = ()
+        self._post_grad_hooks: list = []
+        Tensor._next_seq += 1
+        self._seq = Tensor._next_seq
+
+    # ------------------------------------------------------------------
+    # Basic container protocol
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    def numel(self) -> int:
+        return int(self.data.size)
+
+    def item(self) -> float:
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data)
+
+    def numpy(self) -> np.ndarray:
+        return self.data
+
+    def copy(self) -> "Tensor":
+        t = Tensor(self.data.copy(), requires_grad=self.requires_grad, name=self.name)
+        return t
+
+    def detach(self) -> "Tensor":
+        return Tensor(self.data, requires_grad=False, name=self.name)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def register_post_grad_hook(self, hook: Callable[["Tensor"], None]) -> None:
+        """Register a callback fired when this tensor's gradient is finalized.
+
+        This is the mechanism algorithms use to trigger per-parameter
+        communication as soon as a backward pass produces the gradient —
+        mirroring PyTorch's ``Tensor.register_post_accumulate_grad_hook``.
+        """
+        self._post_grad_hooks.append(hook)
+
+    def clear_post_grad_hooks(self) -> None:
+        self._post_grad_hooks.clear()
+
+    # ------------------------------------------------------------------
+    # Graph construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def _make(
+        cls,
+        data: np.ndarray,
+        parents: Iterable["Tensor"],
+        backward_fn: Callable[[np.ndarray], None],
+    ) -> "Tensor":
+        parents = tuple(parents)
+        out = cls(data, requires_grad=any(p.requires_grad for p in parents))
+        if out.requires_grad:
+            out._parents = parents
+            out._backward_fn = backward_fn
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if not self.requires_grad:
+            return
+        grad = _unbroadcast(_as_array(grad), self.data.shape)
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad = self.grad + grad
+
+    def backward(self, grad: Optional[ArrayLike] = None) -> None:
+        """Run reverse-mode differentiation from this tensor.
+
+        Leaf tensors accumulate into ``.grad``; after a leaf's gradient is
+        final (all contributions applied), its post-grad hooks fire in the
+        reverse order the leaves were reached — the natural "backward order"
+        distributed systems key their communication scheduling on.
+        """
+        if grad is None:
+            if self.data.size != 1:
+                raise ValueError("backward() without gradient requires a scalar output")
+            grad = np.ones_like(self.data)
+        else:
+            grad = _as_array(grad)
+
+        # Collect the reachable requires-grad subgraph (iteratively: models
+        # can be deep enough to overflow Python's recursion limit) ...
+        reachable: list[Tensor] = []
+        seen: set[int] = set()
+        stack: list[Tensor] = [self]
+        while stack:
+            node = stack.pop()
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            reachable.append(node)
+            for parent in node._parents:
+                if parent.requires_grad and id(parent) not in seen:
+                    stack.append(parent)
+        # ... and process it in descending creation order: a child is always
+        # created after its parents, so this is a valid reverse-topological
+        # order that also mirrors real execution order — hooks fire in the
+        # order gradients genuinely become ready during backward.
+        reachable.sort(key=lambda n: n._seq, reverse=True)
+
+        # Count how many times each node appears as a parent so that leaf
+        # hooks fire only once the gradient is complete.
+        pending: dict[int, int] = {}
+        for node in reachable:
+            for parent in node._parents:
+                if parent.requires_grad:
+                    pending[id(parent)] = pending.get(id(parent), 0) + 1
+
+        self._accumulate(grad)
+        for node in reachable:
+            if node._backward_fn is not None and node.grad is not None:
+                node._backward_fn(node.grad)
+                # Interior nodes do not need to retain gradients.
+                if node is not self:
+                    node.grad = None
+            for parent in node._parents:
+                if not parent.requires_grad:
+                    continue
+                pending[id(parent)] -= 1
+                if pending[id(parent)] == 0 and parent._backward_fn is None:
+                    for hook in parent._post_grad_hooks:
+                        hook(parent)
+
+    # ------------------------------------------------------------------
+    # Arithmetic — thin wrappers creating graph nodes
+    # ------------------------------------------------------------------
+    def _coerce(self, other: ArrayLike) -> "Tensor":
+        return other if isinstance(other, Tensor) else Tensor(other)
+
+    def __add__(self, other: ArrayLike) -> "Tensor":
+        other = self._coerce(other)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad)
+            other._accumulate(grad)
+
+        return Tensor._make(self.data + other.data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __sub__(self, other: ArrayLike) -> "Tensor":
+        other = self._coerce(other)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad)
+            other._accumulate(-grad)
+
+        return Tensor._make(self.data - other.data, (self, other), backward)
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        return self._coerce(other).__sub__(self)
+
+    def __mul__(self, other: ArrayLike) -> "Tensor":
+        other = self._coerce(other)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * other.data)
+            other._accumulate(grad * self.data)
+
+        return Tensor._make(self.data * other.data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: ArrayLike) -> "Tensor":
+        other = self._coerce(other)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad / other.data)
+            other._accumulate(-grad * self.data / (other.data ** 2))
+
+        return Tensor._make(self.data / other.data, (self, other), backward)
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        return self._coerce(other).__truediv__(self)
+
+    def __neg__(self) -> "Tensor":
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(-grad)
+
+        return Tensor._make(-self.data, (self,), backward)
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * exponent * self.data ** (exponent - 1))
+
+        return Tensor._make(self.data ** exponent, (self,), backward)
+
+    def __matmul__(self, other: "Tensor") -> "Tensor":
+        other = self._coerce(other)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(_matmul_grad_lhs(grad, self.data, other.data))
+            if other.requires_grad:
+                other._accumulate(_matmul_grad_rhs(grad, self.data, other.data))
+
+        return Tensor._make(self.data @ other.data, (self, other), backward)
+
+    # ------------------------------------------------------------------
+    # Shape ops
+    # ------------------------------------------------------------------
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        original = self.data.shape
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad.reshape(original))
+
+        return Tensor._make(self.data.reshape(shape), (self,), backward)
+
+    def transpose(self, *axes) -> "Tensor":
+        if not axes:
+            axes = tuple(reversed(range(self.data.ndim)))
+        elif len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        inverse = np.argsort(axes)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad.transpose(inverse))
+
+        return Tensor._make(self.data.transpose(axes), (self,), backward)
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        def backward(grad: np.ndarray) -> None:
+            g = grad
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis)
+            self._accumulate(np.broadcast_to(g, self.data.shape))
+
+        return Tensor._make(self.data.sum(axis=axis, keepdims=keepdims), (self,), backward)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        count = self.data.size if axis is None else np.prod(
+            [self.data.shape[a] for a in (axis if isinstance(axis, tuple) else (axis,))]
+        )
+
+        def backward(grad: np.ndarray) -> None:
+            g = grad / count
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis)
+            self._accumulate(np.broadcast_to(g, self.data.shape))
+
+        return Tensor._make(self.data.mean(axis=axis, keepdims=keepdims), (self,), backward)
+
+    def __getitem__(self, index) -> "Tensor":
+        def backward(grad: np.ndarray) -> None:
+            full = np.zeros_like(self.data)
+            np.add.at(full, index, grad)
+            self._accumulate(full)
+
+        return Tensor._make(self.data[index], (self,), backward)
+
+    def __repr__(self) -> str:
+        label = f" name={self.name!r}" if self.name else ""
+        grad = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.data.shape}{label}{grad})"
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+
+def _matmul_grad_lhs(grad: np.ndarray, lhs: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+    if rhs.ndim == 1:
+        return np.outer(grad, rhs) if lhs.ndim == 2 else grad[..., None] * rhs
+    out = grad @ np.swapaxes(rhs, -1, -2)
+    return _unbroadcast(out, lhs.shape)
+
+
+def _matmul_grad_rhs(grad: np.ndarray, lhs: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+    if lhs.ndim == 1:
+        return np.outer(lhs, grad)
+    out = np.swapaxes(lhs, -1, -2) @ grad
+    return _unbroadcast(out, rhs.shape)
+
+
+def tensor(data: ArrayLike, requires_grad: bool = False, name: Optional[str] = None) -> Tensor:
+    """Public constructor mirroring ``torch.tensor``."""
+    return Tensor(data, requires_grad=requires_grad, name=name)
+
+
+def zeros(shape, requires_grad: bool = False) -> Tensor:
+    return Tensor(np.zeros(shape), requires_grad=requires_grad)
+
+
+def ones(shape, requires_grad: bool = False) -> Tensor:
+    return Tensor(np.ones(shape), requires_grad=requires_grad)
+
+
+def randn(*shape, rng: Optional[np.random.Generator] = None, requires_grad: bool = False) -> Tensor:
+    rng = rng or np.random.default_rng()
+    return Tensor(rng.standard_normal(shape), requires_grad=requires_grad)

@@ -1,0 +1,15 @@
+"""Functional-mode training: trainer, metrics, task bundles."""
+
+from .metrics import ConvergenceRecord, epochs_to_reach
+from .tasks import Task, all_tasks, get_task
+from .trainer import DistributedTrainer, make_accuracy_eval
+
+__all__ = [
+    "DistributedTrainer",
+    "make_accuracy_eval",
+    "ConvergenceRecord",
+    "epochs_to_reach",
+    "Task",
+    "all_tasks",
+    "get_task",
+]

@@ -1,0 +1,71 @@
+"""Training-run records: loss curves, accuracy, simulated communication time."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+
+@dataclass
+class ConvergenceRecord:
+    """Per-epoch metrics of one training run (one line of Figures 5/6)."""
+
+    label: str
+    epoch_losses: List[float] = field(default_factory=list)
+    epoch_accuracies: List[float] = field(default_factory=list)
+    epoch_sim_times: List[float] = field(default_factory=list)
+    #: cumulative bytes on the wire at the end of each epoch
+    epoch_comm_bytes: List[float] = field(default_factory=list)
+    diverged: bool = False
+
+    @property
+    def final_loss(self) -> float:
+        if not self.epoch_losses:
+            raise ValueError("no epochs recorded")
+        return self.epoch_losses[-1]
+
+    @property
+    def best_loss(self) -> float:
+        if not self.epoch_losses:
+            raise ValueError("no epochs recorded")
+        return min(self.epoch_losses)
+
+    def record_epoch(
+        self,
+        loss: float,
+        accuracy: Optional[float] = None,
+        sim_time: Optional[float] = None,
+        comm_bytes: Optional[float] = None,
+    ) -> None:
+        self.epoch_losses.append(float(loss))
+        if accuracy is not None:
+            self.epoch_accuracies.append(float(accuracy))
+        if sim_time is not None:
+            self.epoch_sim_times.append(float(sim_time))
+        if comm_bytes is not None:
+            self.epoch_comm_bytes.append(float(comm_bytes))
+        if not np.isfinite(loss) or loss > 1e6:
+            self.diverged = True
+
+    def bytes_in_epoch(self, epoch_index: int) -> float:
+        """Bytes moved during one epoch (difference of cumulative counters)."""
+        if not 0 <= epoch_index < len(self.epoch_comm_bytes):
+            raise IndexError(f"no byte record for epoch {epoch_index}")
+        if epoch_index == 0:
+            return self.epoch_comm_bytes[0]
+        return self.epoch_comm_bytes[epoch_index] - self.epoch_comm_bytes[epoch_index - 1]
+
+    def summary(self) -> str:
+        status = "DIVERGED" if self.diverged else f"final_loss={self.final_loss:.4f}"
+        acc = f" acc={self.epoch_accuracies[-1]:.3f}" if self.epoch_accuracies else ""
+        return f"{self.label}: epochs={len(self.epoch_losses)} {status}{acc}"
+
+
+def epochs_to_reach(record: ConvergenceRecord, loss_target: float) -> Optional[int]:
+    """First epoch (1-based) whose loss is at or below ``loss_target``."""
+    for epoch, loss in enumerate(record.epoch_losses, start=1):
+        if loss <= loss_target:
+            return epoch
+    return None

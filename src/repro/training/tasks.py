@@ -1,0 +1,141 @@
+"""Task bundles: dataset + proxy model + loss + hyperparameters per paper task.
+
+Each of the paper's five evaluation tasks maps to a :class:`Task` pairing a
+synthetic dataset with the matching proxy architecture and the loss/optimizer
+settings used in the convergence experiments (Figures 5 and 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from ..data.loader import ShardedLoader, make_sharded_loaders
+from ..data.synthetic import (
+    Dataset,
+    make_image_classification,
+    make_multimodal,
+    make_sequence_regression_tokens,
+    make_token_classification,
+)
+from ..models.trainable import (
+    LSTMAlexNetProxy,
+    TransformerProxy,
+    VGGProxy,
+    bert_base_proxy,
+    bert_large_proxy,
+)
+from ..tensor import functional as F
+from ..tensor.module import Module
+from ..tensor.optim import SGD, Optimizer
+from ..tensor.tensor import Tensor
+
+
+@dataclass
+class Task:
+    """One evaluation task: data, model family, loss and defaults."""
+
+    name: str
+    model_factory: Callable[[np.random.Generator], Module]
+    dataset_factory: Callable[[int], Dataset]
+    lr: float
+    batch_size: int
+    #: aligned auxiliary array for multimodal tasks (tokens), else None
+    extra_factory: Optional[Callable[[int], np.ndarray]] = None
+
+    def make_loaders(self, world_size: int, seed: int = 0) -> List[ShardedLoader]:
+        dataset = self.dataset_factory(seed)
+        extra = self.extra_factory(seed) if self.extra_factory else None
+        return make_sharded_loaders(
+            dataset, world_size, self.batch_size, seed=seed, extra=extra
+        )
+
+    def make_optimizer(self, model: Module) -> Optimizer:
+        return SGD(model.parameters(), lr=self.lr, momentum=0.9)
+
+    def loss_fn(self, model: Module, batch) -> Tensor:
+        inputs, labels = batch
+        logits = model(inputs)
+        return F.cross_entropy(logits, labels)
+
+    def predict(self, model: Module, inputs) -> np.ndarray:
+        return model(inputs).data.argmax(axis=-1)
+
+
+def _vgg_task() -> Task:
+    return Task(
+        name="VGG16",
+        model_factory=lambda rng: VGGProxy(rng=rng),
+        dataset_factory=lambda seed: make_image_classification(n=512, seed=seed),
+        lr=0.05,
+        batch_size=16,
+    )
+
+
+def _bert_large_task() -> Task:
+    return Task(
+        name="BERT-LARGE",
+        model_factory=lambda rng: bert_large_proxy(rng=rng),
+        dataset_factory=lambda seed: make_token_classification(n=512, seed=seed),
+        lr=0.015,  # the deep proxy is step-size sensitive, like its namesake
+        batch_size=16,
+    )
+
+
+def _bert_base_task() -> Task:
+    return Task(
+        name="BERT-BASE",
+        model_factory=lambda rng: bert_base_proxy(rng=rng),
+        dataset_factory=lambda seed: make_token_classification(n=512, seed=seed + 1),
+        lr=0.05,
+        batch_size=16,
+    )
+
+
+def _transformer_task() -> Task:
+    return Task(
+        name="Transformer",
+        model_factory=lambda rng: TransformerProxy(rng=rng),
+        dataset_factory=lambda seed: make_sequence_regression_tokens(n=512, seed=seed),
+        lr=0.05,
+        batch_size=16,
+    )
+
+
+def _lstm_alexnet_task() -> Task:
+    def dataset_factory(seed: int) -> Dataset:
+        dataset, _tokens = make_multimodal(n=512, seed=seed)
+        return dataset
+
+    def extra_factory(seed: int) -> np.ndarray:
+        _dataset, tokens = make_multimodal(n=512, seed=seed)
+        return tokens
+
+    return Task(
+        name="LSTM+AlexNet",
+        model_factory=lambda rng: LSTMAlexNetProxy(rng=rng),
+        dataset_factory=dataset_factory,
+        lr=0.05,
+        batch_size=16,
+        extra_factory=extra_factory,
+    )
+
+
+def all_tasks() -> List[Task]:
+    """The five evaluation tasks in the paper's order."""
+    return [
+        _vgg_task(),
+        _bert_large_task(),
+        _bert_base_task(),
+        _transformer_task(),
+        _lstm_alexnet_task(),
+    ]
+
+
+def get_task(name: str) -> Task:
+    for task in all_tasks():
+        if task.name == name:
+            return task
+    raise KeyError(f"unknown task {name!r}; options: {[t.name for t in all_tasks()]}")

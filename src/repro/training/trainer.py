@@ -1,0 +1,117 @@
+"""Lock-step multi-worker training driver (functional mode).
+
+Assembles the simulated cluster, identical model replicas, per-worker
+optimizers and data shards, wraps them in a
+:class:`~repro.core.engine.BaguaEngine`, and runs epochs while recording
+convergence.  Baseline systems (:mod:`repro.baselines`) plug in through the
+same interface, so Figure 5's system comparison shares this driver.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from ..cluster.topology import ClusterSpec
+from ..cluster.transport import Transport
+from ..cluster.worker import WorkerContext, make_workers
+from ..core.engine import Algorithm, BaguaEngine, LossFn
+from ..core.optimizer_framework import BaguaConfig
+from ..data.loader import ShardedLoader
+from ..data.synthetic import Dataset
+from ..tensor.module import Module
+from ..tensor.optim import Optimizer
+from .metrics import ConvergenceRecord
+
+ModelFactory = Callable[[np.random.Generator], Module]
+OptimizerFactory = Callable[[Module], Optimizer]
+
+
+class DistributedTrainer:
+    """Builds and runs one distributed training job on the simulated cluster."""
+
+    def __init__(
+        self,
+        spec: ClusterSpec,
+        model_factory: ModelFactory,
+        optimizer_factory: OptimizerFactory,
+        algorithm: Algorithm,
+        config: Optional[BaguaConfig] = None,
+        seed: int = 0,
+    ) -> None:
+        self.spec = spec
+        self.transport = Transport(spec)
+        self.workers: List[WorkerContext] = make_workers(spec, self.transport, seed=seed)
+        # All replicas initialize from the SAME rng seed — a hard requirement
+        # of data-parallel training (the engine verifies it).
+        models = [model_factory(np.random.default_rng(seed)) for _ in self.workers]
+        optimizers = [optimizer_factory(m) for m in models]
+        self.engine = BaguaEngine(
+            models, optimizers, algorithm, self.workers, config=config
+        )
+        self.algorithm = algorithm
+        self.seed = seed
+
+    @property
+    def world_size(self) -> int:
+        return self.spec.world_size
+
+    def train(
+        self,
+        loaders: Sequence[ShardedLoader],
+        loss_fn: LossFn,
+        epochs: int,
+        label: str = "",
+        eval_fn: Optional[Callable[[Module], float]] = None,
+        max_loss: float = 1e6,
+    ) -> ConvergenceRecord:
+        """Run ``epochs`` epochs; returns the convergence record.
+
+        Training stops early if the loss explodes past ``max_loss`` or goes
+        non-finite (the record is marked diverged) — this is how Figure 6's
+        "1-bit Adam diverges on VGG16" behaviour is captured rather than
+        crashing the sweep.
+        """
+        if len(loaders) != self.world_size:
+            raise ValueError(f"need {self.world_size} loaders, got {len(loaders)}")
+        record = ConvergenceRecord(label=label or self.algorithm.name)
+        for _epoch in range(epochs):
+            losses = []
+            for batches in zip(*[loader.epoch() for loader in loaders]):
+                loss = self.engine.step(list(batches), loss_fn)
+                losses.append(loss)
+                if not np.isfinite(loss) or abs(loss) > max_loss:
+                    record.record_epoch(loss)
+                    record.diverged = True
+                    return record
+            accuracy = eval_fn(self.engine.workers[0].model) if eval_fn else None
+            record.record_epoch(
+                float(np.mean(losses)),
+                accuracy,
+                self.transport.max_time(),
+                comm_bytes=self.transport.stats.total_bytes,
+            )
+            if record.diverged:
+                return record
+        return record
+
+
+def make_accuracy_eval(
+    dataset: Dataset,
+    predict_fn: Callable[[Module, np.ndarray], np.ndarray],
+    limit: int = 256,
+) -> Callable[[Module], float]:
+    """Build an eval closure returning accuracy on (a slice of) ``dataset``."""
+    inputs = dataset.inputs[:limit]
+    labels = dataset.labels[:limit]
+
+    def evaluate(model: Module) -> float:
+        model.eval()
+        try:
+            predictions = predict_fn(model, inputs)
+        finally:
+            model.train()
+        return float(np.mean(predictions == labels))
+
+    return evaluate

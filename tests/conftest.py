@@ -1,0 +1,35 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterSpec, TCP_25G, Transport
+from repro.comm import CommGroup
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0)
+
+
+@pytest.fixture
+def small_cluster() -> ClusterSpec:
+    """2 nodes x 4 workers — the standard functional-mode test cluster."""
+    return ClusterSpec(num_nodes=2, workers_per_node=4, inter_node=TCP_25G)
+
+
+@pytest.fixture
+def transport(small_cluster: ClusterSpec) -> Transport:
+    return Transport(small_cluster)
+
+
+@pytest.fixture
+def group(transport: Transport) -> CommGroup:
+    return CommGroup(transport, list(range(transport.spec.world_size)))
+
+
+def make_group(num_nodes: int = 2, workers_per_node: int = 4) -> CommGroup:
+    spec = ClusterSpec(num_nodes=num_nodes, workers_per_node=workers_per_node)
+    return CommGroup(Transport(spec), list(range(spec.world_size)))

@@ -1,0 +1,201 @@
+"""Training algorithms: semantics, convergence, registry."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    ALGORITHM_REGISTRY,
+    AllreduceSGD,
+    AsyncSGD,
+    DecentralizedSGD,
+    LocalSGD,
+    LowPrecisionDecentralizedSGD,
+    OneBitAdam,
+    QSGD,
+    SUPPORT_MATRIX,
+    make_algorithm,
+    support_matrix_rows,
+)
+from repro.cluster import ClusterSpec
+from repro.training import DistributedTrainer, get_task
+
+WORLD = ClusterSpec(num_nodes=2, workers_per_node=2)
+
+
+def train(algorithm, task_name="VGG16", epochs=2, seed=0):
+    task = get_task(task_name)
+    trainer = DistributedTrainer(
+        WORLD, task.model_factory, task.make_optimizer, algorithm, seed=seed
+    )
+    loaders = task.make_loaders(WORLD.world_size, seed=seed)
+    record = trainer.train(loaders, task.loss_fn, epochs=epochs)
+    return trainer, record
+
+
+def states_of(trainer):
+    return [w.model.state_dict() for w in trainer.engine.workers]
+
+
+class TestAllreduce:
+    def test_loss_decreases(self):
+        _, record = train(AllreduceSGD())
+        assert record.epoch_losses[-1] < record.epoch_losses[0]
+
+    def test_replicas_identical(self):
+        trainer, _ = train(AllreduceSGD())
+        states = states_of(trainer)
+        for other in states[1:]:
+            for name in states[0]:
+                np.testing.assert_allclose(other[name], states[0][name], atol=1e-12)
+
+
+class TestQSGD:
+    def test_tracks_allreduce(self):
+        _, exact = train(AllreduceSGD())
+        _, quant = train(QSGD())
+        assert abs(quant.epoch_losses[-1] - exact.epoch_losses[-1]) < 0.5
+
+    def test_replicas_identical(self):
+        # QSGD's phase-2 payload is broadcast, so replicas stay in sync.
+        trainer, _ = train(QSGD())
+        states = states_of(trainer)
+        for other in states[1:]:
+            for name in states[0]:
+                np.testing.assert_allclose(other[name], states[0][name], atol=1e-12)
+
+
+class TestOneBitAdam:
+    def test_warmup_then_compressed_runs(self):
+        _, record = train(OneBitAdam(lr=0.001, warmup_steps=4), epochs=2)
+        assert len(record.epoch_losses) >= 1
+
+    def test_requires_warmup(self):
+        with pytest.raises(ValueError):
+            OneBitAdam(warmup_steps=0)
+
+    def test_converges_on_token_task(self):
+        _, record = train(
+            OneBitAdam(lr=0.002, warmup_steps=4), task_name="BERT-BASE", epochs=3
+        )
+        assert not record.diverged
+        assert record.epoch_losses[-1] < record.epoch_losses[0]
+
+    def test_diverges_on_conv_task(self):
+        # The paper's Figure 6: 1-bit Adam cannot train VGG16.
+        _, record = train(OneBitAdam(lr=0.002, warmup_steps=6), epochs=5)
+        assert record.diverged
+
+
+class TestDecentralized:
+    def test_workers_diverge_but_stay_close(self):
+        trainer, record = train(DecentralizedSGD(topology="random"))
+        states = states_of(trainer)
+        name = next(iter(states[0]))
+        # Replicas are NOT identical (no global sync) ...
+        assert any(
+            not np.array_equal(states[0][name], s[name]) for s in states[1:]
+        )
+        # ... but converge as a population.
+        assert record.epoch_losses[-1] < record.epoch_losses[0]
+
+    def test_ring_topology(self):
+        _, record = train(DecentralizedSGD(topology="ring"))
+        assert record.epoch_losses[-1] < record.epoch_losses[0]
+
+    def test_unknown_topology(self):
+        with pytest.raises(ValueError):
+            DecentralizedSGD(topology="mesh")
+
+    def test_low_precision_variant(self):
+        _, record = train(LowPrecisionDecentralizedSGD())
+        assert record.epoch_losses[-1] < record.epoch_losses[0]
+
+    def test_low_precision_views_track_weights(self):
+        trainer, _ = train(LowPrecisionDecentralizedSGD(), epochs=1)
+        # Each worker's neighbor views exist for exactly its ring neighbors.
+        for i, worker in enumerate(trainer.engine.workers):
+            neighbors = worker.state["neighbors"]
+            view_keys = set(worker.state["views"][0].keys())
+            assert view_keys == {i, *neighbors}
+
+
+class TestAsync:
+    def test_converges(self):
+        _, record = train(AsyncSGD())
+        assert record.epoch_losses[-1] < record.epoch_losses[0]
+
+    def test_pull_interval_validation(self):
+        with pytest.raises(ValueError):
+            AsyncSGD(pull_interval=0)
+
+    def test_staleness_hurts(self):
+        _, fresh = train(AsyncSGD(pull_interval=1), task_name="BERT-BASE", epochs=3)
+        _, stale = train(AsyncSGD(pull_interval=3), task_name="BERT-BASE", epochs=3)
+        assert stale.epoch_losses[-1] > fresh.epoch_losses[-1]
+
+    def test_scale_by_world_divides_lr(self):
+        task = get_task("VGG16")
+        algo = AsyncSGD(lr=0.8, scale_by_world=True)
+        trainer = DistributedTrainer(
+            WORLD, task.model_factory, task.make_optimizer, algo, seed=0
+        )
+        loaders = task.make_loaders(WORLD.world_size, seed=0)
+        trainer.train(loaders, task.loss_fn, epochs=1)
+        assert algo.lr == pytest.approx(0.2)
+
+
+class TestLocalSGD:
+    def test_synchronizes_every_frequency(self):
+        task = get_task("VGG16")
+        algo = LocalSGD(frequency=2)
+        trainer = DistributedTrainer(
+            WORLD, task.model_factory, task.make_optimizer, algo, seed=0
+        )
+        loaders = task.make_loaders(WORLD.world_size, seed=0)
+        # Run exactly 2 steps manually: after step 2 replicas must agree.
+        batches1 = [next(loader.epoch()) for loader in loaders]
+        trainer.engine.step(batches1, task.loss_fn)
+        states = states_of(trainer)
+        name = next(iter(states[0]))
+        assert any(not np.array_equal(states[0][name], s[name]) for s in states[1:])
+        trainer.engine.step(batches1, task.loss_fn)
+        states = states_of(trainer)
+        for other in states[1:]:
+            np.testing.assert_allclose(other[name], states[0][name], atol=1e-12)
+
+    def test_frequency_validation(self):
+        with pytest.raises(ValueError):
+            LocalSGD(frequency=0)
+
+    def test_converges(self):
+        _, record = train(LocalSGD(frequency=2))
+        assert record.epoch_losses[-1] < record.epoch_losses[0]
+
+
+class TestRegistry:
+    def test_all_registered_names_construct(self):
+        for name in ALGORITHM_REGISTRY:
+            assert make_algorithm(name) is not None
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            make_algorithm("sgd-prime")
+
+    def test_support_matrix_covers_eight_combinations(self):
+        assert len(SUPPORT_MATRIX) == 8
+        combos = {(p.synchronization, p.precision, p.centralization) for p in SUPPORT_MATRIX}
+        assert len(combos) == 8
+
+    def test_bagua_supports_seven_of_eight(self):
+        assert sum(p.bagua for p in SUPPORT_MATRIX) == 7
+
+    def test_baselines_support_subset_of_bagua(self):
+        for p in SUPPORT_MATRIX:
+            for flag in (p.pytorch_ddp, p.horovod, p.byteps):
+                if flag:
+                    assert p.bagua
+
+    def test_rows_render(self):
+        rows = support_matrix_rows()
+        assert len(rows) == 8
+        assert all("BAGUA" in r for r in rows)

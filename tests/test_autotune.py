@@ -1,0 +1,103 @@
+"""Auto-tuner: family classification, safety filtering, recommendations."""
+
+import pytest
+
+from repro.cluster import paper_cluster
+from repro.core import classify_family, recommend
+from repro.models import (
+    all_specs,
+    bert_base_spec,
+    bert_large_spec,
+    lstm_alexnet_spec,
+    transformer_spec,
+    vgg16_spec,
+)
+
+
+class TestFamilyClassification:
+    def test_conv_family(self):
+        assert classify_family(vgg16_spec()) == "conv"
+
+    def test_transformer_family(self):
+        assert classify_family(bert_large_spec()) == "transformer"
+        assert classify_family(bert_base_spec()) == "transformer"
+        assert classify_family(transformer_spec()) == "transformer"
+
+    def test_recurrent_family(self):
+        assert classify_family(lstm_alexnet_spec()) == "recurrent"
+
+
+class TestRecommendations:
+    @pytest.fixture(scope="class")
+    def slow_network_report(self):
+        return recommend(vgg16_spec(), paper_cluster("10gbps"))
+
+    def test_all_candidates_ranked(self, slow_network_report):
+        assert len(slow_network_report.recommendations) == 6
+        names = [r.algorithm for r in slow_network_report.recommendations]
+        assert "allreduce" in names and "1bit-adam" in names
+
+    def test_safe_candidates_first(self, slow_network_report):
+        flags = [r.safe for r in slow_network_report.recommendations]
+        # Once an unsafe entry appears, everything after is unsafe too.
+        first_unsafe = flags.index(False) if False in flags else len(flags)
+        assert all(not f for f in flags[first_unsafe:])
+
+    def test_onebit_adam_unsafe_for_conv(self, slow_network_report):
+        onebit = next(
+            r for r in slow_network_report.recommendations if r.algorithm == "1bit-adam"
+        )
+        assert not onebit.safe
+        assert "diverges" in onebit.note
+
+    def test_best_is_safe_and_fast(self, slow_network_report):
+        best = slow_network_report.best
+        assert best.safe
+        safe_times = [
+            r.epoch_time for r in slow_network_report.recommendations if r.safe
+        ]
+        assert best.epoch_time == min(safe_times)
+
+    def test_vgg_on_slow_network_prefers_compression(self, slow_network_report):
+        # QSGD (safe compression) should beat allreduce at 10 Gbps.
+        best = slow_network_report.best
+        allreduce = next(
+            r for r in slow_network_report.recommendations if r.algorithm == "allreduce"
+        )
+        assert best.epoch_time <= allreduce.epoch_time
+        assert best.algorithm != "1bit-adam"  # filtered as unsafe
+
+    def test_onebit_adam_allowed_for_transformers(self):
+        report = recommend(bert_large_spec(), paper_cluster("10gbps"))
+        onebit = next(r for r in report.recommendations if r.algorithm == "1bit-adam")
+        assert onebit.safe
+        # And on a slow network it should actually win.
+        assert report.best.algorithm == "1bit-adam"
+
+    def test_async_flagged_for_transformers(self):
+        report = recommend(bert_large_spec(), paper_cluster("25gbps"))
+        async_rec = next(r for r in report.recommendations if r.algorithm == "async")
+        assert not async_rec.safe
+        assert "staleness" in async_rec.note
+
+    def test_include_unsafe_false_filters(self):
+        report = recommend(
+            vgg16_spec(), paper_cluster("25gbps"), include_unsafe=False
+        )
+        assert all(r.safe for r in report.recommendations)
+
+    def test_render(self, slow_network_report):
+        text = slow_network_report.render()
+        assert "recommended" in text
+        assert "VGG16" in text
+
+    def test_speedup_relative_to_allreduce(self, slow_network_report):
+        allreduce = next(
+            r for r in slow_network_report.recommendations if r.algorithm == "allreduce"
+        )
+        assert allreduce.speedup_vs_allreduce == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("name", list(all_specs()))
+    def test_every_model_gets_a_safe_recommendation(self, name):
+        report = recommend(all_specs()[name], paper_cluster("25gbps"))
+        assert report.best.safe

@@ -1,0 +1,117 @@
+"""Baseline systems: convergence parity with allreduce, PS substrate."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import AllreduceSGD
+from repro.baselines import (
+    BASELINE_REGISTRY,
+    BytePS,
+    Horovod,
+    PyTorchDDP,
+    ShardedParameterServer,
+    VanillaDPSG,
+)
+from repro.cluster import ClusterSpec, Transport
+from repro.comm import CommGroup
+from repro.training import DistributedTrainer, get_task
+
+WORLD = ClusterSpec(num_nodes=2, workers_per_node=2)
+
+
+def train(algorithm, epochs=2, seed=0):
+    task = get_task("VGG16")
+    trainer = DistributedTrainer(
+        WORLD, task.model_factory, task.make_optimizer, algorithm, seed=seed
+    )
+    loaders = task.make_loaders(WORLD.world_size, seed=seed)
+    return trainer, trainer.train(loaders, task.loss_fn, epochs=epochs)
+
+
+class TestConvergenceParity:
+    """Figure 5: every sync system produces the same training trajectory."""
+
+    @pytest.fixture(scope="class")
+    def reference_losses(self):
+        _, record = train(AllreduceSGD())
+        return record.epoch_losses
+
+    @pytest.mark.parametrize(
+        "algorithm_factory",
+        [PyTorchDDP, Horovod, BytePS, VanillaDPSG],
+        ids=["ddp", "horovod", "byteps", "vanilla"],
+    )
+    def test_exact_match_with_allreduce(self, algorithm_factory, reference_losses):
+        _, record = train(algorithm_factory())
+        np.testing.assert_allclose(record.epoch_losses, reference_losses, atol=1e-9)
+
+    def test_horovod_fp16_close_but_not_exact(self, reference_losses):
+        _, record = train(Horovod(fp16=True))
+        np.testing.assert_allclose(record.epoch_losses, reference_losses, atol=1e-2)
+
+    def test_async_byteps_differs(self, reference_losses):
+        _, record = train(BytePS(asynchronous=True))
+        assert not np.allclose(record.epoch_losses, reference_losses, atol=1e-9)
+        assert record.epoch_losses[-1] < record.epoch_losses[0]
+
+
+class TestParameterServer:
+    def make_ps(self, size=20):
+        transport = Transport(WORLD)
+        group = CommGroup(transport, list(range(WORLD.world_size)))
+        initial = np.arange(float(size))
+        return ShardedParameterServer(group, initial), group
+
+    def test_shards_partition_parameters(self):
+        ps, _ = self.make_ps()
+        np.testing.assert_array_equal(ps.parameters(), np.arange(20.0))
+        assert ps.num_shards == 2  # one server per node
+        assert sum(len(s) for s in ps.shards) == 20
+
+    def test_push_accumulates(self):
+        ps, _ = self.make_ps()
+        ps.push_gradients(1, np.ones(20))
+        ps.push_gradients(2, np.ones(20))
+        ps.apply_accumulated(lambda params, acc: params - 0.5 * acc)
+        np.testing.assert_allclose(ps.parameters(), np.arange(20.0) - 1.0)
+
+    def test_custom_apply_fn(self):
+        ps, _ = self.make_ps()
+        seen = []
+        ps.push_gradients(0, np.ones(20), apply_fn=lambda i, g, s: seen.append(i))
+        assert seen == [0, 1]
+
+    def test_pull_returns_current(self):
+        ps, _ = self.make_ps()
+        out = ps.pull_parameters(3)
+        np.testing.assert_array_equal(out, np.arange(20.0))
+
+    def test_push_size_checked(self):
+        ps, _ = self.make_ps()
+        with pytest.raises(ValueError):
+            ps.push_gradients(0, np.ones(7))
+
+    def test_traffic_accounted(self):
+        ps, group = self.make_ps()
+        before = group.transport.stats.total_bytes
+        ps.push_gradients(1, np.ones(20))
+        assert group.transport.stats.total_bytes > before
+
+    def test_local_push_free(self):
+        ps, group = self.make_ps()
+        # Rank 0 hosts server shard 0: pushing from rank 0 only sends shard 1.
+        ps.push_gradients(0, np.ones(20))
+        inter = group.transport.stats.inter_node_bytes
+        assert inter == pytest.approx(10 * 8, rel=0.1)
+
+
+class TestRegistry:
+    def test_registry_names(self):
+        assert set(BASELINE_REGISTRY) == {"vanilla", "pytorch-ddp", "horovod", "byteps"}
+
+    def test_names_on_instances(self):
+        assert PyTorchDDP().name == "pytorch-ddp"
+        assert Horovod().name == "horovod"
+        assert Horovod(fp16=True).name == "horovod-16bit"
+        assert BytePS().name == "byteps"
+        assert BytePS(asynchronous=True).name == "byteps-async"

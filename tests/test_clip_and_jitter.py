@@ -1,0 +1,71 @@
+"""Gradient clipping and Monte-Carlo validation of the sync-jitter model."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterSpec
+from repro.tensor import Tensor, clip_grad_norm, global_grad_norm
+
+
+def params_with_grads(grads):
+    out = []
+    for g in grads:
+        t = Tensor(np.zeros_like(np.asarray(g, dtype=float)), requires_grad=True)
+        t.grad = np.asarray(g, dtype=float)
+        out.append(t)
+    return out
+
+
+class TestGradClipping:
+    def test_global_norm(self):
+        params = params_with_grads([[3.0], [4.0]])
+        assert global_grad_norm(params) == pytest.approx(5.0)
+
+    def test_missing_grads_ignored(self):
+        params = params_with_grads([[3.0]])
+        params.append(Tensor(np.zeros(2), requires_grad=True))
+        assert global_grad_norm(params) == pytest.approx(3.0)
+
+    def test_clip_scales_down(self):
+        params = params_with_grads([[3.0], [4.0]])
+        returned = clip_grad_norm(params, max_norm=1.0)
+        assert returned == pytest.approx(5.0)
+        assert global_grad_norm(params) == pytest.approx(1.0)
+        # Direction preserved.
+        assert params[0].grad[0] == pytest.approx(0.6)
+
+    def test_noop_when_within_bound(self):
+        params = params_with_grads([[0.3], [0.4]])
+        clip_grad_norm(params, max_norm=1.0)
+        assert params[1].grad[0] == pytest.approx(0.4)
+
+    def test_all_zero_grads(self):
+        params = params_with_grads([[0.0, 0.0]])
+        assert clip_grad_norm(params, max_norm=1.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            clip_grad_norm(params_with_grads([[1.0]]), max_norm=0.0)
+
+
+class TestJitterModelValidation:
+    def test_expected_max_matches_monte_carlo(self):
+        """The analytic 1 + sigma*sqrt(2 ln n) barrier factor should sit a
+        few percent above the empirical slowest-of-n mean (the asymptotic
+        slightly over-estimates E[max] — a conservative barrier bound)."""
+        rng = np.random.default_rng(0)
+        sigma = 0.06
+        for n in (8, 32, 128):
+            draws = 1.0 + sigma * rng.standard_normal((4000, n))
+            empirical = draws.max(axis=1).mean()
+            spec = ClusterSpec(
+                num_nodes=n, workers_per_node=1, compute_jitter_sigma=sigma
+            )
+            analytic = spec.sync_jitter_factor()
+            assert analytic == pytest.approx(empirical, rel=0.05), n
+            assert analytic >= empirical, n  # conservative side
+
+    def test_factor_monotone_in_sigma(self):
+        lo = ClusterSpec(compute_jitter_sigma=0.02).sync_jitter_factor()
+        hi = ClusterSpec(compute_jitter_sigma=0.10).sync_jitter_factor()
+        assert hi > lo

@@ -1,0 +1,65 @@
+"""Link cost model and network presets."""
+
+import pytest
+
+from repro.cluster import GBPS, Link, NVLINK, TCP_10G, TCP_25G, TCP_100G, preset
+
+
+class TestLink:
+    def test_transfer_time_components(self):
+        link = Link(latency_s=1e-3, bandwidth_Bps=1e9, ramp_bytes=0)
+        assert link.transfer_time(1e9) == pytest.approx(1e-3 + 1.0)
+
+    def test_ramp_penalizes_small_messages(self):
+        link = Link(latency_s=0, bandwidth_Bps=1e9, ramp_bytes=128 * 1024)
+        tiny = link.transfer_time(1024)
+        # Effective bandwidth of a 1 KB message is far below line rate.
+        assert tiny > 100 * (1024 / 1e9)
+
+    def test_ramp_negligible_for_large_messages(self):
+        link = Link(latency_s=0, bandwidth_Bps=1e9, ramp_bytes=128 * 1024)
+        big = 100 * 1024 * 1024
+        assert link.transfer_time(big) < 1.01 * (big / 1e9) + 0.001
+
+    def test_wire_time_excludes_latency(self):
+        link = Link(latency_s=5.0, bandwidth_Bps=1e9, ramp_bytes=0)
+        assert link.wire_time(1e9) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Link(latency_s=-1, bandwidth_Bps=1e9)
+        with pytest.raises(ValueError):
+            Link(latency_s=0, bandwidth_Bps=0)
+        with pytest.raises(ValueError):
+            Link(latency_s=0, bandwidth_Bps=1, ramp_bytes=-1)
+        with pytest.raises(ValueError):
+            Link(latency_s=0, bandwidth_Bps=1e9).transfer_time(-5)
+
+    def test_with_latency(self):
+        link = TCP_25G.with_latency(1e-3)
+        assert link.latency_s == 1e-3
+        assert link.bandwidth_Bps == TCP_25G.bandwidth_Bps
+
+    def test_with_bandwidth_gbps(self):
+        link = TCP_25G.with_bandwidth_gbps(40)
+        assert link.bandwidth_Bps == pytest.approx(40 * GBPS)
+
+
+class TestPresets:
+    def test_ordering(self):
+        assert TCP_10G.bandwidth_Bps < TCP_25G.bandwidth_Bps < TCP_100G.bandwidth_Bps
+
+    def test_nvlink_dwarfs_tcp(self):
+        assert NVLINK.bandwidth_Bps > 10 * TCP_100G.bandwidth_Bps
+        assert NVLINK.latency_s < TCP_10G.latency_s
+
+    def test_preset_lookup(self):
+        assert preset("10gbps") is TCP_10G
+        assert preset("25GBPS") is TCP_25G
+
+    def test_preset_unknown(self):
+        with pytest.raises(KeyError):
+            preset("56gbps")
+
+    def test_gbps_constant(self):
+        assert GBPS == pytest.approx(1.25e8)

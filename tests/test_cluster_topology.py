@@ -1,0 +1,108 @@
+"""ClusterSpec: rank/node arithmetic, stragglers, jitter."""
+
+import math
+
+import pytest
+
+from repro.cluster import ClusterSpec, NVLINK, TCP_10G, paper_cluster
+
+
+class TestLayout:
+    def test_world_size(self):
+        assert ClusterSpec(num_nodes=3, workers_per_node=4).world_size == 12
+
+    def test_node_of_is_node_major(self):
+        spec = ClusterSpec(num_nodes=2, workers_per_node=4)
+        assert [spec.node_of(r) for r in range(8)] == [0, 0, 0, 0, 1, 1, 1, 1]
+
+    def test_local_rank(self):
+        spec = ClusterSpec(num_nodes=2, workers_per_node=4)
+        assert spec.local_rank(5) == 1
+
+    def test_same_node(self):
+        spec = ClusterSpec(num_nodes=2, workers_per_node=4)
+        assert spec.same_node(0, 3)
+        assert not spec.same_node(3, 4)
+
+    def test_link_between(self):
+        spec = ClusterSpec(num_nodes=2, workers_per_node=2, inter_node=TCP_10G)
+        assert spec.link_between(0, 1) is spec.intra_node
+        assert spec.link_between(1, 2) is TCP_10G
+
+    def test_link_to_self_raises(self):
+        with pytest.raises(ValueError):
+            ClusterSpec().link_between(0, 0)
+
+    def test_node_ranks(self):
+        spec = ClusterSpec(num_nodes=2, workers_per_node=3)
+        assert spec.node_ranks(1) == [3, 4, 5]
+
+    def test_node_leaders(self):
+        spec = ClusterSpec(num_nodes=3, workers_per_node=4)
+        assert spec.node_leaders() == [0, 4, 8]
+
+    def test_rank_out_of_range(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(num_nodes=1, workers_per_node=2).node_of(2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(num_nodes=0)
+        with pytest.raises(ValueError):
+            ClusterSpec(workers_per_node=0)
+
+
+class TestCompute:
+    def test_compute_time_scales_with_flops(self):
+        spec = ClusterSpec(worker_flops=1e12)
+        assert spec.compute_time(2e12) == pytest.approx(2.0)
+
+    def test_straggler_scale(self):
+        spec = ClusterSpec(num_nodes=1, workers_per_node=2, straggler_slowdown={1: 2.0})
+        assert spec.compute_scale(0) == 1.0
+        assert spec.compute_scale(1) == 2.0
+        assert spec.compute_time(1e12, rank=1) == 2 * spec.compute_time(1e12, rank=0)
+
+    def test_straggler_validation(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(num_nodes=1, workers_per_node=1, straggler_slowdown={5: 2.0})
+        with pytest.raises(ValueError):
+            ClusterSpec(num_nodes=1, workers_per_node=1, straggler_slowdown={0: 0.5})
+
+    def test_negative_flops_raises(self):
+        with pytest.raises(ValueError):
+            ClusterSpec().compute_time(-1.0)
+
+
+class TestJitter:
+    def test_factor_grows_with_world_size(self):
+        small = ClusterSpec(num_nodes=1, workers_per_node=2)
+        big = ClusterSpec(num_nodes=16, workers_per_node=8)
+        assert big.sync_jitter_factor() > small.sync_jitter_factor() > 1.0
+
+    def test_factor_formula(self):
+        spec = ClusterSpec(num_nodes=2, workers_per_node=2, compute_jitter_sigma=0.1)
+        expected = 1.0 + 0.1 * math.sqrt(2 * math.log(4))
+        assert spec.sync_jitter_factor() == pytest.approx(expected)
+
+    def test_no_jitter_for_single_worker(self):
+        spec = ClusterSpec(num_nodes=1, workers_per_node=1)
+        assert spec.sync_jitter_factor() == 1.0
+
+    def test_zero_sigma(self):
+        spec = ClusterSpec(compute_jitter_sigma=0.0)
+        assert spec.sync_jitter_factor() == 1.0
+
+
+class TestPaperCluster:
+    def test_shape(self):
+        spec = paper_cluster("10gbps")
+        assert spec.num_nodes == 16
+        assert spec.workers_per_node == 8
+        assert spec.world_size == 128
+        assert spec.inter_node.name == "tcp-10g"
+        assert spec.intra_node is NVLINK
+
+    def test_straggler_passthrough(self):
+        spec = paper_cluster("25gbps", straggler_slowdown={0: 2.2})
+        assert spec.compute_scale(0) == 2.2

@@ -1,0 +1,157 @@
+"""Transport: delivery, time accounting, NIC contention, traffic stats."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterSpec, Link, Message, Transport, payload_nbytes
+
+
+def flat_cluster(**kw) -> ClusterSpec:
+    defaults = dict(
+        num_nodes=2,
+        workers_per_node=2,
+        inter_node=Link(latency_s=1e-3, bandwidth_Bps=1e9, ramp_bytes=0, name="tcp-test"),
+        intra_node=Link(latency_s=1e-6, bandwidth_Bps=100e9, ramp_bytes=0, name="nv-test"),
+    )
+    defaults.update(kw)
+    return ClusterSpec(**defaults)
+
+
+class TestPayloadSize:
+    def test_ndarray(self):
+        assert payload_nbytes(np.zeros(10)) == 80.0
+
+    def test_wire_bytes_attr(self):
+        class Stub:
+            wire_bytes = 123.0
+
+        assert payload_nbytes(Stub()) == 123.0
+
+    def test_tuple_recurses(self):
+        assert payload_nbytes((1, np.zeros(4))) == 8.0 + 32.0
+
+    def test_scalar_default(self):
+        assert payload_nbytes("ctl") == 8.0
+
+
+class TestMessage:
+    def test_auto_size(self):
+        m = Message(0, 1, np.zeros(8))
+        assert m.nbytes == 64.0
+
+    def test_self_message_rejected(self):
+        with pytest.raises(ValueError):
+            Message(2, 2, np.zeros(1))
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            Message(0, 1, None, nbytes=-1)
+
+
+class TestDelivery:
+    def test_payload_reaches_receiver(self):
+        tr = Transport(flat_cluster())
+        inbox = tr.exchange([Message(0, 3, np.arange(4.0))])
+        np.testing.assert_array_equal(inbox[3][0].payload, np.arange(4.0))
+
+    def test_receiver_clock_includes_latency_and_wire(self):
+        tr = Transport(flat_cluster())
+        nbytes = 1e6  # 1 MB over 1 GB/s = 1 ms wire
+        tr.exchange([Message(0, 2, None, nbytes=nbytes)])
+        assert tr.now(2) == pytest.approx(1e-3 + 1e-3)
+
+    def test_sender_clock_advances_by_wire_only(self):
+        tr = Transport(flat_cluster())
+        tr.exchange([Message(0, 2, None, nbytes=1e6)])
+        assert tr.now(0) == pytest.approx(1e-3)
+
+    def test_uninvolved_ranks_untouched(self):
+        tr = Transport(flat_cluster())
+        tr.exchange([Message(0, 2, None, nbytes=1e6)])
+        assert tr.now(1) == 0.0
+        assert tr.now(3) == 0.0
+
+    def test_intra_node_uses_fast_link(self):
+        tr = Transport(flat_cluster())
+        tr.exchange([Message(0, 1, None, nbytes=1e6)])
+        assert tr.now(1) < 1e-4  # NVLink, not the 1 ms TCP latency
+
+
+class TestNICContention:
+    def test_inter_node_shares_per_node_nic(self):
+        # Two workers on node 0 each send 1 MB to node 1: the node NIC
+        # serializes them, so the second arrival is ~1 wire-time later.
+        tr = Transport(flat_cluster())
+        tr.exchange(
+            [Message(0, 2, None, nbytes=1e6), Message(1, 3, None, nbytes=1e6)]
+        )
+        late = max(tr.now(2), tr.now(3))
+        assert late == pytest.approx(2e-3 + 1e-3, rel=0.01)
+
+    def test_intra_node_links_are_independent(self):
+        spec = flat_cluster(workers_per_node=4, num_nodes=1)
+        tr = Transport(spec)
+        tr.exchange(
+            [Message(0, 1, None, nbytes=1e6), Message(2, 3, None, nbytes=1e6)]
+        )
+        # Different sender/receiver pairs on NVLink do not serialize.
+        assert abs(tr.now(1) - tr.now(3)) < 1e-9
+
+    def test_ingress_serializes_at_receiver_node(self):
+        spec = ClusterSpec(
+            num_nodes=3,
+            workers_per_node=1,
+            inter_node=Link(latency_s=0, bandwidth_Bps=1e9, ramp_bytes=0, name="t"),
+        )
+        tr = Transport(spec)
+        tr.exchange(
+            [Message(0, 2, None, nbytes=1e6), Message(1, 2, None, nbytes=1e6)]
+        )
+        # Two 1 ms messages into one NIC: total ~2 ms.
+        assert tr.now(2) == pytest.approx(2e-3, rel=0.01)
+
+
+class TestTimeUtilities:
+    def test_compute_charges_one_rank(self):
+        tr = Transport(flat_cluster())
+        tr.compute(1, 0.5)
+        assert tr.now(1) == 0.5
+        assert tr.now(0) == 0.0
+
+    def test_compute_respects_straggler(self):
+        spec = flat_cluster(straggler_slowdown={1: 2.0})
+        tr = Transport(spec)
+        tr.compute(1, 0.5)
+        assert tr.now(1) == 1.0
+
+    def test_barrier_aligns_clocks(self):
+        tr = Transport(flat_cluster())
+        tr.compute(0, 1.0)
+        tr.barrier()
+        assert all(tr.now(r) == 1.0 for r in range(4))
+
+    def test_barrier_subset(self):
+        tr = Transport(flat_cluster())
+        tr.compute(0, 1.0)
+        tr.barrier([0, 1])
+        assert tr.now(1) == 1.0
+        assert tr.now(2) == 0.0
+
+    def test_reset(self):
+        tr = Transport(flat_cluster())
+        tr.exchange([Message(0, 2, None, nbytes=100)])
+        tr.reset()
+        assert tr.max_time() == 0.0
+        assert tr.stats.messages == 0
+
+
+class TestStats:
+    def test_byte_accounting(self):
+        tr = Transport(flat_cluster())
+        tr.exchange([Message(0, 2, None, nbytes=100), Message(0, 1, None, nbytes=50)])
+        assert tr.stats.total_bytes == 150
+        assert tr.stats.inter_node_bytes == 100
+        assert tr.stats.intra_node_bytes == 50
+        assert tr.stats.messages == 2
+        assert tr.stats.rounds == 1
+        assert tr.stats.per_rank_sent_bytes[0] == 150

@@ -1,0 +1,249 @@
+"""Compression codecs: round-trip fidelity, wire sizes, error feedback."""
+
+import numpy as np
+import pytest
+
+from repro.compression import (
+    COMPRESSOR_REGISTRY,
+    CompressedPayload,
+    ErrorFeedback,
+    FP16Compressor,
+    IdentityCompressor,
+    OneBitCompressor,
+    QSGDCompressor,
+    RandomKCompressor,
+    SignSGDCompressor,
+    TernGradCompressor,
+    TopKCompressor,
+    make_compressor,
+)
+
+ALL_CODECS = [
+    IdentityCompressor(),
+    FP16Compressor(),
+    QSGDCompressor(bits=8),
+    QSGDCompressor(bits=4),
+    OneBitCompressor(),
+    TopKCompressor(ratio=0.1),
+    RandomKCompressor(ratio=0.1),
+    TernGradCompressor(),
+    SignSGDCompressor(),
+]
+
+
+@pytest.fixture
+def x(rng) -> np.ndarray:
+    return rng.standard_normal(500)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("codec", ALL_CODECS, ids=lambda c: c.name)
+    def test_shape_preserved(self, codec, x):
+        out = codec.decompress(codec.compress(x))
+        assert out.shape == x.shape
+
+    @pytest.mark.parametrize("codec", ALL_CODECS, ids=lambda c: c.name)
+    def test_payload_metadata(self, codec, x):
+        payload = codec.compress(x)
+        assert isinstance(payload, CompressedPayload)
+        assert payload.n == 500
+        assert payload.wire_bytes == codec.wire_bytes(500)
+
+    @pytest.mark.parametrize("codec", ALL_CODECS, ids=lambda c: c.name)
+    def test_zero_vector(self, codec):
+        out = codec.decompress(codec.compress(np.zeros(64)))
+        np.testing.assert_allclose(out, np.zeros(64), atol=1e-12)
+
+    def test_identity_is_lossless(self, x):
+        codec = IdentityCompressor()
+        np.testing.assert_array_equal(codec.decompress(codec.compress(x)), x)
+
+    def test_fp16_small_error(self, x):
+        codec = FP16Compressor()
+        out = codec.decompress(codec.compress(x))
+        assert np.abs(out - x).max() < 1e-2
+
+
+class TestWireSizes:
+    def test_ordering(self):
+        n = 1 << 16
+        fp32 = IdentityCompressor().wire_bytes(n)
+        fp16 = FP16Compressor().wire_bytes(n)
+        q8 = QSGDCompressor(bits=8).wire_bytes(n)
+        onebit = OneBitCompressor().wire_bytes(n)
+        assert fp32 > fp16 > q8 > onebit
+
+    def test_compression_ratios(self):
+        assert FP16Compressor().compression_ratio() == pytest.approx(2.0, rel=0.01)
+        assert QSGDCompressor(bits=8).compression_ratio() == pytest.approx(4.0, rel=0.01)
+        assert OneBitCompressor().compression_ratio() == pytest.approx(32.0, rel=0.01)
+
+    def test_topk_wire_scales_with_ratio(self):
+        n = 10_000
+        assert TopKCompressor(0.01).wire_bytes(n) < TopKCompressor(0.1).wire_bytes(n)
+
+
+class TestQSGD:
+    def test_unbiased(self, rng):
+        codec = QSGDCompressor(bits=4, rng=rng)
+        x = rng.standard_normal(64)
+        total = np.zeros_like(x)
+        trials = 400
+        for _ in range(trials):
+            total += codec.decompress(codec.compress(x))
+        np.testing.assert_allclose(total / trials, x, atol=0.08)
+
+    def test_more_bits_less_error(self, rng):
+        x = rng.standard_normal(2000)
+        err4 = np.linalg.norm(
+            QSGDCompressor(bits=4).decompress(QSGDCompressor(bits=4).compress(x)) - x
+        )
+        err8 = np.linalg.norm(
+            QSGDCompressor(bits=8).decompress(QSGDCompressor(bits=8).compress(x)) - x
+        )
+        assert err8 < err4
+
+    def test_bits_validation(self):
+        with pytest.raises(ValueError):
+            QSGDCompressor(bits=1)
+        with pytest.raises(ValueError):
+            QSGDCompressor(bits=20)
+
+
+class TestOneBit:
+    def test_preserves_signs(self, x):
+        codec = OneBitCompressor()
+        out = codec.decompress(codec.compress(x))
+        positive = x > 0
+        assert np.all((out > 0) == positive)
+
+    def test_preserves_mean_magnitudes(self, x):
+        codec = OneBitCompressor()
+        out = codec.decompress(codec.compress(x))
+        pos = x > 0
+        assert out[pos].max() == pytest.approx(x[pos].mean())
+        assert (-out[~pos]).max() == pytest.approx((-x[~pos]).mean())
+
+    def test_all_positive_input(self):
+        codec = OneBitCompressor()
+        x = np.abs(np.random.default_rng(0).standard_normal(32)) + 0.1
+        out = codec.decompress(codec.compress(x))
+        assert np.all(out > 0)
+
+
+class TestSparsifiers:
+    def test_topk_keeps_largest(self, rng):
+        x = rng.standard_normal(100)
+        codec = TopKCompressor(ratio=0.05)
+        out = codec.decompress(codec.compress(x))
+        kept = np.nonzero(out)[0]
+        assert len(kept) == 5
+        threshold = np.sort(np.abs(x))[-5]
+        assert np.all(np.abs(x[kept]) >= threshold - 1e-12)
+
+    def test_topk_exact_on_kept(self, rng):
+        x = rng.standard_normal(50)
+        codec = TopKCompressor(ratio=0.2)
+        out = codec.decompress(codec.compress(x))
+        kept = np.nonzero(out)[0]
+        np.testing.assert_array_equal(out[kept], x[kept])
+
+    def test_topk_full_ratio_lossless(self, x):
+        codec = TopKCompressor(ratio=1.0)
+        np.testing.assert_allclose(codec.decompress(codec.compress(x)), x)
+
+    def test_randomk_unbiased(self, rng):
+        codec = RandomKCompressor(ratio=0.25, rng=rng)
+        x = rng.standard_normal(40)
+        total = np.zeros_like(x)
+        trials = 600
+        for _ in range(trials):
+            total += codec.decompress(codec.compress(x))
+        np.testing.assert_allclose(total / trials, x, atol=0.3)
+
+    def test_ratio_validation(self):
+        with pytest.raises(ValueError):
+            TopKCompressor(ratio=0.0)
+        with pytest.raises(ValueError):
+            RandomKCompressor(ratio=1.5)
+
+
+class TestTernAndSign:
+    def test_terngrad_values_ternary(self, rng):
+        codec = TernGradCompressor(rng=rng)
+        x = rng.standard_normal(128)
+        out = codec.decompress(codec.compress(x))
+        scale = np.abs(x).max()
+        unique = set(np.round(np.unique(out / scale), 9))
+        assert unique <= {-1.0, 0.0, 1.0}
+
+    def test_terngrad_unbiased(self, rng):
+        codec = TernGradCompressor(rng=rng)
+        x = rng.standard_normal(32)
+        total = np.zeros_like(x)
+        trials = 800
+        for _ in range(trials):
+            total += codec.decompress(codec.compress(x))
+        np.testing.assert_allclose(total / trials, x, atol=0.15)
+
+    def test_signsgd_scale(self, x):
+        codec = SignSGDCompressor()
+        out = codec.decompress(codec.compress(x))
+        np.testing.assert_allclose(np.abs(out), np.abs(x).mean())
+
+
+class TestErrorFeedback:
+    def test_residual_invariant(self, rng):
+        """compensated = Q(compensated) + residual' holds exactly."""
+        ef = ErrorFeedback(OneBitCompressor())
+        x = rng.standard_normal(64)
+        payload = ef.compress(x, key="k")
+        decompressed = ef.decompress(payload)
+        residual = ef.residual("k", 64)
+        np.testing.assert_allclose(decompressed + residual, x, atol=1e-12)
+
+    def test_accumulates_over_steps(self, rng):
+        """Sum of transmitted values approaches sum of true values."""
+        ef = ErrorFeedback(OneBitCompressor())
+        true_total = np.zeros(32)
+        sent_total = np.zeros(32)
+        for _ in range(50):
+            g = rng.standard_normal(32)
+            true_total += g
+            sent_total += ef.decompress(ef.compress(g, key="g"))
+        # With error feedback the residual stays bounded, so the averages track.
+        residual_norm = ef.total_residual_norm()
+        np.testing.assert_allclose(sent_total + ef.residual("g", 32), true_total, atol=1e-9)
+        assert residual_norm < 10.0
+
+    def test_separate_keys_independent(self, rng):
+        ef = ErrorFeedback(OneBitCompressor())
+        ef.compress(rng.standard_normal(8), key="a")
+        assert np.all(ef.residual("b", 8) == 0)
+
+    def test_size_mismatch_raises(self, rng):
+        ef = ErrorFeedback(OneBitCompressor())
+        ef.compress(rng.standard_normal(8), key="a")
+        with pytest.raises(ValueError):
+            ef.residual("a", 16)
+
+    def test_reset(self, rng):
+        ef = ErrorFeedback(OneBitCompressor())
+        ef.compress(rng.standard_normal(8), key="a")
+        ef.reset()
+        assert ef.total_residual_norm() == 0.0
+
+
+class TestRegistry:
+    def test_all_names_constructible(self):
+        for name in COMPRESSOR_REGISTRY:
+            codec = make_compressor(name)
+            assert codec.wire_bytes(100) > 0
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            make_compressor("zip9000")
+
+    def test_kwargs_passthrough(self):
+        codec = make_compressor("qsgd8", bits=4)
+        assert codec.bits == 4

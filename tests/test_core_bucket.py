@@ -1,0 +1,119 @@
+"""Tensor buckets: flattening, aliasing, gradient views, partitioning."""
+
+import numpy as np
+import pytest
+
+from repro.core import TensorBucket, partition_into_buckets
+from repro.tensor import Tensor
+
+
+def make_params(rng, shapes):
+    return [Tensor(rng.standard_normal(s), requires_grad=True) for s in shapes]
+
+
+class TestFlattening:
+    def test_flat_data_is_view_of_shared_buffer(self, rng):
+        params = make_params(rng, [(2, 3), (4,)])
+        bucket = TensorBucket(params, flatten=True)
+        flat = bucket.flat_data()
+        # Mutating the flat view mutates the parameters: zero-copy.
+        flat[0] = 42.0
+        assert params[0].data[0, 0] == 42.0
+
+    def test_parameters_repointed_into_buffer(self, rng):
+        params = make_params(rng, [(3,), (2, 2)])
+        original = [p.data.copy() for p in params]
+        bucket = TensorBucket(params, flatten=True)
+        for p, orig in zip(params, original):
+            np.testing.assert_array_equal(p.data, orig)
+        # In-place update through a parameter reflects in the flat view.
+        params[1].data[0, 0] = -7.0
+        assert bucket.flat_data()[3] == -7.0
+
+    def test_unflattened_flat_data_is_copy(self, rng):
+        params = make_params(rng, [(2,), (2,)])
+        bucket = TensorBucket(params, flatten=False)
+        flat = bucket.flat_data()
+        flat[0] = 99.0
+        assert params[0].data[0] != 99.0
+
+    def test_set_flat_data_roundtrip_unflattened(self, rng):
+        params = make_params(rng, [(2,), (3,)])
+        bucket = TensorBucket(params, flatten=False)
+        target = np.arange(5.0)
+        bucket.set_flat_data(target)
+        np.testing.assert_array_equal(params[0].data, [0, 1])
+        np.testing.assert_array_equal(params[1].data, [2, 3, 4])
+
+    def test_set_flat_data_shape_check(self, rng):
+        bucket = TensorBucket(make_params(rng, [(2,)]), flatten=True)
+        with pytest.raises(ValueError):
+            bucket.set_flat_data(np.zeros(3))
+
+    def test_empty_bucket_rejected(self):
+        with pytest.raises(ValueError):
+            TensorBucket([])
+
+
+class TestGradients:
+    def test_flat_grad_concatenates(self, rng):
+        params = make_params(rng, [(2,), (3,)])
+        params[0].grad = np.array([1.0, 2.0])
+        params[1].grad = np.array([3.0, 4.0, 5.0])
+        bucket = TensorBucket(params, flatten=True)
+        np.testing.assert_array_equal(bucket.flat_grad(), [1, 2, 3, 4, 5])
+
+    def test_missing_grad_is_zero(self, rng):
+        params = make_params(rng, [(2,), (2,)])
+        params[0].grad = np.ones(2)
+        bucket = TensorBucket(params)
+        np.testing.assert_array_equal(bucket.flat_grad(), [1, 1, 0, 0])
+
+    def test_set_flat_grad_scatters(self, rng):
+        params = make_params(rng, [(2,), (1, 2)])
+        bucket = TensorBucket(params)
+        bucket.set_flat_grad(np.arange(4.0))
+        np.testing.assert_array_equal(params[1].grad, [[2, 3]])
+
+    def test_grads_ready(self, rng):
+        params = make_params(rng, [(2,), (2,)])
+        bucket = TensorBucket(params)
+        assert not bucket.grads_ready()
+        for p in params:
+            p.grad = np.zeros(2)
+        assert bucket.grads_ready()
+
+    def test_zero_grad(self, rng):
+        params = make_params(rng, [(2,)])
+        params[0].grad = np.ones(2)
+        bucket = TensorBucket(params)
+        bucket.zero_grad()
+        assert params[0].grad is None
+
+
+class TestPartitioning:
+    def test_respects_byte_cap(self, rng):
+        params = make_params(rng, [(100,)] * 10)
+        buckets = partition_into_buckets(params, bucket_bytes=100 * 4 * 3)
+        assert all(len(b) <= 3 for b in buckets)
+        assert sum(len(b) for b in buckets) == 10
+
+    def test_oversized_tensor_gets_own_bucket(self, rng):
+        params = make_params(rng, [(10,), (1000,), (10,)])
+        buckets = partition_into_buckets(params, bucket_bytes=200)
+        assert [len(b) for b in buckets] == [1, 1, 1]
+
+    def test_order_preserved(self, rng):
+        params = make_params(rng, [(5,), (6,), (7,)])
+        buckets = partition_into_buckets(params, bucket_bytes=1e9)
+        assert buckets[0].params == params
+
+    def test_invalid_cap(self, rng):
+        with pytest.raises(ValueError):
+            partition_into_buckets(make_params(rng, [(2,)]), bucket_bytes=0)
+
+    def test_total_elements(self, rng):
+        params = make_params(rng, [(3,), (2, 2)])
+        bucket = TensorBucket(params)
+        assert bucket.total_elements == 7
+        assert bucket.nbytes_fp32 == 28.0

@@ -1,0 +1,190 @@
+"""BAGUA primitives: C_FP_S, C_LP_S, D_FP_S, D_LP_S and peer selectors."""
+
+import numpy as np
+import pytest
+
+from repro.compression import ErrorFeedback, IdentityCompressor, OneBitCompressor, QSGDCompressor
+from repro.core import RandomPeers, RingPeers, c_fp_s, c_lp_s, d_fp_s, d_lp_s
+
+from .conftest import make_group
+
+
+@pytest.fixture
+def arrays(rng, group):
+    return [rng.standard_normal(37) for _ in range(group.size)]
+
+
+class TestCFPS:
+    def test_sum_semantics(self, group, arrays):
+        expected = np.sum(arrays, axis=0)
+        for out in c_fp_s(arrays, group):
+            np.testing.assert_allclose(out, expected, atol=1e-10)
+
+    def test_hierarchical_same_result(self, group, arrays):
+        flat = c_fp_s(arrays, group)
+        hier = c_fp_s(arrays, make_group(2, 4), hierarchical=True)
+        # Re-run on a fresh group because transports accumulate state.
+        np.testing.assert_allclose(hier[0], flat[0], atol=1e-10)
+
+
+class TestCLPS:
+    def test_identity_codec_exact(self, group, arrays):
+        expected = np.sum(arrays, axis=0)
+        for out in c_lp_s(arrays, group, compressor=IdentityCompressor()):
+            np.testing.assert_allclose(out, expected, atol=1e-10)
+
+    def test_qsgd_close(self, group, arrays):
+        expected = np.sum(arrays, axis=0)
+        outs = c_lp_s(arrays, group, compressor=QSGDCompressor(bits=8))
+        err = np.linalg.norm(outs[0] - expected) / np.linalg.norm(expected)
+        assert err < 0.15
+
+    def test_error_feedback_requires_both_sides(self, group, arrays):
+        efs = [ErrorFeedback(OneBitCompressor()) for _ in range(group.size)]
+        with pytest.raises(ValueError):
+            c_lp_s(arrays, group, compressor=OneBitCompressor(), worker_errors=efs)
+
+    def test_error_feedback_wrong_count(self, group, arrays):
+        efs = [ErrorFeedback(OneBitCompressor())]
+        with pytest.raises(ValueError):
+            c_lp_s(
+                arrays, group, compressor=OneBitCompressor(),
+                worker_errors=efs, server_errors=efs,
+            )
+
+    def test_error_feedback_improves_repeated_aggregation(self, rng):
+        """Averaged over steps, EF-compensated 1-bit tracks the true sums."""
+        codec = OneBitCompressor()
+        n = 4
+        group_ef = make_group(2, 2)
+        worker_efs = [ErrorFeedback(codec) for _ in range(n)]
+        server_efs = [ErrorFeedback(codec) for _ in range(n)]
+
+        true_running = np.zeros(32)
+        ef_running = np.zeros(32)
+        plain_running = np.zeros(32)
+        group_plain = make_group(2, 2)
+        for _ in range(40):
+            step_arrays = [rng.standard_normal(32) for _ in range(n)]
+            true_running += np.sum(step_arrays, axis=0)
+            ef_running += c_lp_s(
+                step_arrays, group_ef, compressor=codec,
+                worker_errors=worker_efs, server_errors=server_efs,
+            )[0]
+            plain_running += c_lp_s(step_arrays, group_plain, compressor=codec)[0]
+
+        ef_err = np.linalg.norm(ef_running - true_running)
+        plain_err = np.linalg.norm(plain_running - true_running)
+        assert ef_err < plain_err
+
+    def test_compressed_bytes_on_wire(self, rng):
+        arrays = [rng.standard_normal(1024) for _ in range(4)]
+        g_fp = make_group(2, 2)
+        c_fp_s(arrays, g_fp)
+        g_lp = make_group(2, 2)
+        c_lp_s(arrays, g_lp, compressor=OneBitCompressor())
+        assert g_lp.transport.stats.total_bytes < g_fp.transport.stats.total_bytes / 10
+
+
+class TestPeerSelectors:
+    def test_ring_neighbors(self):
+        peers = RingPeers().neighbors(5, step=0)
+        assert peers[0] == [4, 1]
+        assert peers[3] == [2, 4]
+
+    def test_ring_two_members(self):
+        assert RingPeers().neighbors(2, step=0) == [[1], [0]]
+
+    def test_ring_single(self):
+        assert RingPeers().neighbors(1, step=0) == [[]]
+
+    def test_random_pairing_is_symmetric(self):
+        for step in range(10):
+            peers = RandomPeers(seed=3).neighbors(8, step)
+            for i, neigh in enumerate(peers):
+                for j in neigh:
+                    assert i in peers[j]
+
+    def test_random_pairing_changes_with_step(self):
+        a = RandomPeers(seed=0).neighbors(8, step=1)
+        b = RandomPeers(seed=0).neighbors(8, step=2)
+        assert a != b
+
+    def test_random_pairing_deterministic_per_step(self):
+        a = RandomPeers(seed=0).neighbors(8, step=5)
+        b = RandomPeers(seed=0).neighbors(8, step=5)
+        assert a == b
+
+    def test_random_odd_world_leaves_one_idle(self):
+        peers = RandomPeers(seed=0).neighbors(7, step=0)
+        idle = [i for i, neigh in enumerate(peers) if not neigh]
+        assert len(idle) == 1
+
+
+class TestDFPS:
+    def test_ring_average(self, group, arrays):
+        outs = d_fp_s(arrays, group, peers=RingPeers(), step=0)
+        n = group.size
+        for i in range(n):
+            expected = (arrays[(i - 1) % n] + arrays[i] + arrays[(i + 1) % n]) / 3
+            np.testing.assert_allclose(outs[i], expected, atol=1e-10)
+
+    def test_preserves_global_mean(self, group, arrays):
+        outs = d_fp_s(arrays, group, peers=RingPeers(), step=0)
+        np.testing.assert_allclose(
+            np.mean(outs, axis=0), np.mean(arrays, axis=0), atol=1e-10
+        )
+
+    def test_random_pairs_average(self, group, arrays):
+        peers = RandomPeers(seed=1)
+        outs = d_fp_s(arrays, group, peers=peers, step=3)
+        neighbor_sets = peers.neighbors(group.size, 3)
+        for i, neigh in enumerate(neighbor_sets):
+            if neigh:
+                expected = (arrays[i] + arrays[neigh[0]]) / 2
+                np.testing.assert_allclose(outs[i], expected, atol=1e-10)
+            else:
+                np.testing.assert_allclose(outs[i], arrays[i])
+
+    def test_only_neighbors_synchronize_clocks(self, rng):
+        group = make_group(4, 1)
+        arrays = [rng.standard_normal(10) for _ in range(4)]
+        group.transport.compute(0, 100.0)  # rank 0 is far in the future
+        d_fp_s(arrays, group, peers=RandomPeers(seed=0), step=0)
+        # At least one rank not paired with 0 keeps a small clock.
+        times = [group.transport.now(r) for r in range(4)]
+        assert min(times) < 50.0
+
+    def test_repeated_gossip_converges_to_consensus(self, rng):
+        group = make_group(2, 4)
+        arrays = [rng.standard_normal(8) for _ in range(8)]
+        target = np.mean(arrays, axis=0)
+        current = arrays
+        for step in range(60):
+            current = d_fp_s(current, group, peers=RandomPeers(seed=7), step=step)
+        for out in current:
+            np.testing.assert_allclose(out, target, atol=1e-3)
+
+
+class TestDLPS:
+    def test_identity_codec_matches_d_fp_s(self, group, arrays):
+        lp = d_lp_s(arrays, group, compressor=IdentityCompressor(), peers=RingPeers())
+        fp = d_fp_s(arrays, make_group(2, 4), peers=RingPeers())
+        for a, b in zip(lp, fp):
+            np.testing.assert_allclose(a, b, atol=1e-10)
+
+    def test_qsgd_close_to_full_precision(self, group, arrays):
+        lp = d_lp_s(
+            arrays, group, compressor=QSGDCompressor(bits=8), peers=RingPeers()
+        )
+        fp = d_fp_s(arrays, make_group(2, 4), peers=RingPeers())
+        for a, b in zip(lp, fp):
+            assert np.linalg.norm(a - b) / np.linalg.norm(b) < 0.05
+
+    def test_compressed_traffic(self, rng):
+        arrays = [rng.standard_normal(1024) for _ in range(8)]
+        g_fp = make_group(2, 4)
+        d_fp_s(arrays, g_fp, peers=RingPeers())
+        g_lp = make_group(2, 4)
+        d_lp_s(arrays, g_lp, compressor=QSGDCompressor(bits=8), peers=RingPeers())
+        assert g_lp.transport.stats.total_bytes < g_fp.transport.stats.total_bytes / 2

@@ -1,0 +1,59 @@
+"""Smoke tests: every example script runs end to end.
+
+These double as integration tests of the public API surface the examples
+advertise.  The heavyweight reproduce_paper script is exercised through its
+argument parser with a stub experiment list instead of a full run.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, argv=None):
+    argv = argv if argv is not None else []
+    old_argv = sys.argv
+    sys.argv = [name] + argv
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        run_example("quickstart.py")
+        out = capsys.readouterr().out
+        assert "epoch 5" in out
+        assert "traffic" in out
+
+    def test_custom_algorithm(self, capsys):
+        run_example("custom_algorithm.py")
+        out = capsys.readouterr().out
+        assert "less traffic" in out
+
+    def test_algorithm_tradeoffs(self, capsys):
+        run_example("algorithm_tradeoffs.py")
+        out = capsys.readouterr().out
+        assert "best BAGUA algorithm" in out
+        assert "1bit-adam" in out
+
+    def test_pipeline_visualization(self, capsys):
+        run_example("pipeline_visualization.py")
+        out = capsys.readouterr().out
+        assert "Figure 2" in out and "compute |" in out
+
+    def test_checkpoint_resume(self, capsys):
+        run_example("checkpoint_resume.py")
+        out = capsys.readouterr().out
+        assert "round trip OK" in out
+
+    def test_reproduce_paper_help(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            run_example("reproduce_paper.py", argv=["--help"])
+        assert excinfo.value.code == 0
+        assert "skip-convergence" in capsys.readouterr().out

@@ -1,0 +1,129 @@
+"""Model zoo: spec accounting vs Table 2, trainable proxies."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.paper_reference import TABLE2_MODELS
+from repro.models import (
+    BERTProxy,
+    LSTMAlexNetProxy,
+    LayerSpec,
+    TransformerProxy,
+    VGGProxy,
+    all_specs,
+    bert_base_proxy,
+    bert_large_proxy,
+    conv_layer,
+    linear_layer,
+    lstm_layer,
+    vgg16_spec,
+)
+from repro.tensor import Tensor
+
+
+class TestLayerSpecs:
+    def test_linear_accounting(self):
+        spec = linear_layer("fc", 100, 50)
+        assert spec.params == 100 * 50 + 50
+        assert spec.fwd_flops == 2 * 100 * 50
+        assert spec.bwd_flops == 2 * spec.fwd_flops
+
+    def test_conv_accounting(self):
+        spec = conv_layer("c", 3, 64, 3, 32)
+        assert spec.params == 64 * 3 * 9 + 64
+        assert spec.fwd_flops == 2 * 3 * 9 * 64 * 32 * 32
+
+    def test_lstm_accounting(self):
+        spec = lstm_layer("l", 10, 20, steps=5)
+        assert spec.params == 4 * 20 * (10 + 20 + 1)
+        assert spec.fwd_flops == 5 * 2 * 4 * 20 * 30
+
+    def test_explicit_bwd(self):
+        spec = LayerSpec("x", 10, fwd_flops=4.0, bwd_flops=6.0)
+        assert spec.bwd_flops == 6.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LayerSpec("x", -1, fwd_flops=0)
+        with pytest.raises(ValueError):
+            LayerSpec("x", 1, fwd_flops=-1)
+
+
+class TestZooSpecs:
+    @pytest.mark.parametrize("name", list(TABLE2_MODELS))
+    def test_params_match_paper_within_3pct(self, name):
+        spec = all_specs()[name]
+        paper_params, _ = TABLE2_MODELS[name]
+        assert spec.total_params / 1e6 == pytest.approx(paper_params, rel=0.03)
+
+    @pytest.mark.parametrize("name", list(TABLE2_MODELS))
+    def test_flops_match_paper_within_10pct(self, name):
+        spec = all_specs()[name]
+        _, paper_gflops = TABLE2_MODELS[name]
+        assert spec.fwd_flops_per_sample / 1e9 == pytest.approx(paper_gflops, rel=0.10)
+
+    def test_vgg16_exact_params(self):
+        # The canonical 138.36M figure.
+        assert vgg16_spec().total_params == 138_357_544
+
+    def test_layer_names_unique(self):
+        for spec in all_specs().values():
+            names = [layer.name for layer in spec.layers]
+            assert len(names) == len(set(names)), spec.name
+
+    def test_iterations_per_epoch(self):
+        spec = vgg16_spec()
+        assert spec.iterations_per_epoch(128) == spec.samples_per_epoch // (32 * 128)
+        assert spec.iterations_per_epoch(10**9) == 1  # floor at 1
+
+    def test_bert_large_has_many_small_tensors(self):
+        # The paper calls BERT-LARGE "a problem with many small tensors".
+        spec = all_specs()["BERT-LARGE"]
+        small = [l for l in spec.layers if 0 < l.params < 10_000]
+        assert len(small) > 100
+
+    def test_describe(self):
+        assert "VGG16" in vgg16_spec().describe()
+
+
+class TestTrainableProxies:
+    def test_vgg_forward_shape(self, rng):
+        model = VGGProxy(rng=rng)
+        out = model(rng.standard_normal((2, 3, 16, 16)))
+        assert out.shape == (2, 10)
+
+    def test_bert_forward_shape(self, rng):
+        model = BERTProxy(rng=rng)
+        out = model(rng.integers(0, 64, size=(2, 10)))
+        assert out.shape == (2, 4)
+
+    def test_bert_sizes_ordered(self, rng):
+        base = bert_base_proxy(rng=np.random.default_rng(0))
+        large = bert_large_proxy(rng=np.random.default_rng(0))
+        assert large.num_parameters() > base.num_parameters()
+
+    def test_transformer_proxy(self, rng):
+        model = TransformerProxy(rng=rng)
+        out = model(rng.integers(0, 64, size=(3, 12)))
+        assert out.shape == (3, 4)
+
+    def test_multimodal_forward(self, rng):
+        model = LSTMAlexNetProxy(rng=rng)
+        images = rng.standard_normal((2, 3, 12, 12))
+        tokens = rng.integers(0, 32, size=(2, 8))
+        out = model((images, tokens))
+        assert out.shape == (2, 6)
+
+    def test_proxies_deterministic_per_seed(self):
+        a = VGGProxy(rng=np.random.default_rng(3))
+        b = VGGProxy(rng=np.random.default_rng(3))
+        for (_, pa), (_, pb) in zip(a.named_parameters(), b.named_parameters()):
+            np.testing.assert_array_equal(pa.data, pb.data)
+
+    def test_all_params_reachable_by_backward(self, rng):
+        model = LSTMAlexNetProxy(rng=rng)
+        images = rng.standard_normal((2, 3, 12, 12))
+        tokens = rng.integers(0, 32, size=(2, 8))
+        model((images, tokens)).sum().backward()
+        for name, p in model.named_parameters():
+            assert p.grad is not None, name

@@ -1,0 +1,80 @@
+"""Report renderers and worker-context plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterSpec, Transport, make_workers
+from repro.experiments.report import render_series, render_table
+
+
+class TestRenderTable:
+    def test_alignment_and_separator(self):
+        text = render_table(["a", "bb"], [[1, 2.5], ["xx", True]])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert set(lines[1]) <= {"-", "+"}
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # all rows equal width
+
+    def test_title(self):
+        text = render_table(["x"], [[1]], title="T")
+        assert text.splitlines()[0] == "T"
+
+    def test_bool_rendering(self):
+        text = render_table(["x"], [[True], [False]])
+        assert "yes" in text and "-" in text
+
+    def test_float_format(self):
+        text = render_table(["x"], [[1.23456]], float_fmt="{:.1f}")
+        assert "1.2" in text
+        assert "1.23" not in text
+
+
+class TestRenderSeries:
+    def test_columns_per_series(self):
+        text = render_series("t", [1, 2], {"a": [0.1, 0.2], "b": [0.3, 0.4]})
+        header = text.splitlines()[0]
+        assert "t" in header and "a" in header and "b" in header
+        assert "0.300" in text
+
+    def test_title(self):
+        text = render_series("t", [1], {"a": [1.0]}, title="Fig")
+        assert text.startswith("Fig")
+
+
+class TestWorkerContext:
+    def test_make_workers_shares_transport(self):
+        spec = ClusterSpec(num_nodes=2, workers_per_node=2)
+        workers = make_workers(spec)
+        assert len(workers) == 4
+        assert all(w.transport is workers[0].transport for w in workers)
+
+    def test_context_properties(self):
+        spec = ClusterSpec(num_nodes=2, workers_per_node=2)
+        workers = make_workers(spec)
+        w = workers[3]
+        assert w.rank == 3
+        assert w.node == 1
+        assert w.local_rank == 1
+        assert w.world_size == 4
+        assert w.now == 0.0
+
+    def test_rng_streams_decorrelated_but_deterministic(self):
+        spec = ClusterSpec(num_nodes=1, workers_per_node=2)
+        a = make_workers(spec, seed=5)
+        b = make_workers(spec, Transport(spec), seed=5)
+        # Same seed, same rank -> same stream.
+        np.testing.assert_array_equal(
+            a[0].rng.standard_normal(4), b[0].rng.standard_normal(4)
+        )
+        # Different ranks -> different streams.
+        assert not np.array_equal(
+            a[0].rng.standard_normal(4), a[1].rng.standard_normal(4)
+        )
+
+    def test_now_tracks_transport(self):
+        spec = ClusterSpec(num_nodes=1, workers_per_node=2)
+        workers = make_workers(spec)
+        workers[0].transport.compute(0, 1.5)
+        assert workers[0].now == 1.5
+        assert workers[1].now == 0.0

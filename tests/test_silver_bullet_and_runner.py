@@ -1,0 +1,58 @@
+"""Silver-bullet grid shape checks and runner formatting."""
+
+import pytest
+
+from repro.cluster import paper_cluster
+from repro.experiments import silver_bullet
+from repro.models import vgg16_spec
+from repro.simulation import CommCostModel, bagua_system, simulate_epoch
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return silver_bullet.run(networks=("100gbps", "10gbps"))
+
+
+class TestSilverBullet:
+    def test_multiple_distinct_winners(self, grid):
+        assert len(grid.distinct_winners()) >= 3
+
+    def test_unsafe_algorithms_never_win(self, grid):
+        # 1-bit Adam must not win any conv/recurrent cell.
+        for (_net, model), winner in grid.winners.items():
+            if model in ("VGG16", "LSTM+AlexNet"):
+                assert winner != "1bit-adam", model
+
+    def test_compression_wins_slow_bert(self, grid):
+        assert grid.winners[("10gbps", "BERT-LARGE")] == "1bit-adam"
+
+    def test_winner_never_slower_than_allreduce(self, grid):
+        # allreduce is always safe, so the safe winner can't lose to it.
+        for key, winner in grid.winners.items():
+            cell = grid.grid[key]
+            assert cell[winner] <= cell["allreduce"] * 1.0001
+
+    def test_render(self, grid):
+        text = grid.render()
+        assert "distinct winners" in text
+        assert "10gbps" in text
+
+
+class TestRunnerFormatting:
+    def test_epoch_result_str(self):
+        cluster = paper_cluster("25gbps")
+        cost = CommCostModel(cluster)
+        result = simulate_epoch(vgg16_spec(), cluster, bagua_system(cost, "allreduce"))
+        text = str(result)
+        assert "VGG16" in text
+        assert "epoch" in text
+        assert "iters" in text
+
+    def test_heterogeneity_rows(self):
+        from repro.models import lstm_alexnet_spec
+        from repro.simulation import run_heterogeneity_study
+
+        result = run_heterogeneity_study(lstm_alexnet_spec(), paper_cluster("25gbps"))
+        rows = result.rows()
+        assert [r["setting"] for r in rows] == ["uniform", "straggler"]
+        assert rows[1]["sync"] > rows[0]["sync"]

@@ -1,0 +1,206 @@
+"""Autograd core: arithmetic, broadcasting, backward, hooks."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, ones, randn, tensor, zeros
+from repro.tensor.tensor import _unbroadcast
+
+
+def numeric_grad(f, x: Tensor, index, eps: float = 1e-6) -> float:
+    x.data[index] += eps
+    hi = f().item()
+    x.data[index] -= 2 * eps
+    lo = f().item()
+    x.data[index] += eps
+    return (hi - lo) / (2 * eps)
+
+
+class TestBasics:
+    def test_constructor_properties(self):
+        t = Tensor(np.arange(6).reshape(2, 3), requires_grad=True, name="w")
+        assert t.shape == (2, 3)
+        assert t.ndim == 2
+        assert t.numel() == 6
+        assert t.name == "w"
+        assert t.dtype.kind == "f"
+
+    def test_factories(self):
+        assert zeros((2, 2)).data.sum() == 0
+        assert ones((3,)).data.sum() == 3
+        assert randn(4, 5, rng=np.random.default_rng(0)).shape == (4, 5)
+        assert tensor([1.0, 2.0]).shape == (2,)
+
+    def test_detach_breaks_graph(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = (a * 2).detach()
+        assert not b.requires_grad
+
+    def test_copy_is_independent(self):
+        a = Tensor([1.0], requires_grad=True)
+        b = a.copy()
+        b.data[0] = 5.0
+        assert a.data[0] == 1.0
+
+
+class TestArithmeticBackward:
+    def test_add_grad(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([3.0, 4.0], requires_grad=True)
+        (a + b).sum().backward()
+        np.testing.assert_allclose(a.grad, [1, 1])
+        np.testing.assert_allclose(b.grad, [1, 1])
+
+    def test_mul_grad(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([3.0, 4.0], requires_grad=True)
+        (a * b).sum().backward()
+        np.testing.assert_allclose(a.grad, [3, 4])
+        np.testing.assert_allclose(b.grad, [1, 2])
+
+    def test_sub_and_neg(self):
+        a = Tensor([2.0], requires_grad=True)
+        ((-a) - a).sum().backward()
+        np.testing.assert_allclose(a.grad, [-2.0])
+
+    def test_div_grad(self):
+        a = Tensor([4.0], requires_grad=True)
+        b = Tensor([2.0], requires_grad=True)
+        (a / b).sum().backward()
+        np.testing.assert_allclose(a.grad, [0.5])
+        np.testing.assert_allclose(b.grad, [-1.0])
+
+    def test_pow_grad(self):
+        a = Tensor([3.0], requires_grad=True)
+        (a ** 2).sum().backward()
+        np.testing.assert_allclose(a.grad, [6.0])
+
+    def test_rsub_rtruediv(self):
+        a = Tensor([2.0], requires_grad=True)
+        (1.0 - a).sum().backward()
+        np.testing.assert_allclose(a.grad, [-1.0])
+        a.zero_grad()
+        (1.0 / a).sum().backward()
+        np.testing.assert_allclose(a.grad, [-0.25])
+
+    def test_matmul_2d(self, rng):
+        a = Tensor(rng.standard_normal((3, 4)), requires_grad=True)
+        b = Tensor(rng.standard_normal((4, 5)), requires_grad=True)
+        (a @ b).sum().backward()
+        expected = numeric_grad(lambda: (a @ b).sum(), a, (1, 2))
+        assert abs(a.grad[1, 2] - expected) < 1e-6
+
+    def test_matmul_batched(self, rng):
+        a = Tensor(rng.standard_normal((2, 3, 4)), requires_grad=True)
+        b = Tensor(rng.standard_normal((2, 4, 5)), requires_grad=True)
+        (a @ b).sum().backward()
+        expected = numeric_grad(lambda: (a @ b).sum(), b, (1, 2, 3))
+        assert abs(b.grad[1, 2, 3] - expected) < 1e-6
+
+    def test_broadcast_add_grad(self):
+        a = Tensor(np.ones((2, 3)), requires_grad=True)
+        b = Tensor(np.ones((3,)), requires_grad=True)
+        (a + b).sum().backward()
+        np.testing.assert_allclose(b.grad, [2, 2, 2])
+
+    def test_grad_accumulates_across_uses(self):
+        a = Tensor([1.0], requires_grad=True)
+        (a * 2 + a * 3).sum().backward()
+        np.testing.assert_allclose(a.grad, [5.0])
+
+
+class TestShapeOps:
+    def test_reshape_roundtrip_grad(self, rng):
+        a = Tensor(rng.standard_normal((2, 6)), requires_grad=True)
+        a.reshape(3, 4).sum().backward()
+        assert a.grad.shape == (2, 6)
+        np.testing.assert_allclose(a.grad, np.ones((2, 6)))
+
+    def test_transpose_grad(self, rng):
+        a = Tensor(rng.standard_normal((2, 3)), requires_grad=True)
+        (a.T * Tensor(np.arange(6.0).reshape(3, 2))).sum().backward()
+        np.testing.assert_allclose(a.grad, np.arange(6.0).reshape(3, 2).T)
+
+    def test_getitem_grad_scatter(self):
+        a = Tensor(np.arange(5.0), requires_grad=True)
+        a[1:3].sum().backward()
+        np.testing.assert_allclose(a.grad, [0, 1, 1, 0, 0])
+
+    def test_mean_grad(self):
+        a = Tensor(np.ones((4,)), requires_grad=True)
+        a.mean().backward()
+        np.testing.assert_allclose(a.grad, [0.25] * 4)
+
+    def test_sum_axis_keepdims(self, rng):
+        a = Tensor(rng.standard_normal((2, 3)), requires_grad=True)
+        a.sum(axis=1, keepdims=True).sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((2, 3)))
+
+
+class TestBackwardMechanics:
+    def test_backward_requires_scalar(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(ValueError):
+            (a * 2).backward()
+
+    def test_backward_with_explicit_grad(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        (a * 2).backward(np.array([1.0, 10.0]))
+        np.testing.assert_allclose(a.grad, [2.0, 20.0])
+
+    def test_deep_chain_no_recursion(self):
+        a = Tensor([1.0], requires_grad=True)
+        x = a
+        for _ in range(3000):
+            x = x + 0.0
+        x.sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0])
+
+    def test_post_grad_hook_fires_once_with_final_grad(self):
+        a = Tensor([1.0], requires_grad=True)
+        seen = []
+        a.register_post_grad_hook(lambda t: seen.append(t.grad.copy()))
+        (a * 2 + a * 3).sum().backward()
+        assert len(seen) == 1
+        np.testing.assert_allclose(seen[0], [5.0])
+
+    def test_hooks_fire_in_backward_order(self):
+        a = Tensor([1.0], requires_grad=True, name="a")
+        b = Tensor([1.0], requires_grad=True, name="b")
+        order = []
+        a.register_post_grad_hook(lambda t: order.append("a"))
+        b.register_post_grad_hook(lambda t: order.append("b"))
+        # b enters the graph later (closer to the loss) -> its hook fires first.
+        ((a * 2) + b).sum().backward()
+        assert order == ["b", "a"]
+
+    def test_clear_post_grad_hooks(self):
+        a = Tensor([1.0], requires_grad=True)
+        seen = []
+        a.register_post_grad_hook(lambda t: seen.append(1))
+        a.clear_post_grad_hooks()
+        (a * 1).sum().backward()
+        assert seen == []
+
+    def test_no_grad_flow_into_non_requires(self):
+        a = Tensor([1.0], requires_grad=False)
+        b = Tensor([1.0], requires_grad=True)
+        (a * b).sum().backward()
+        assert a.grad is None
+        assert b.grad is not None
+
+
+class TestUnbroadcast:
+    def test_extra_leading_dims(self):
+        g = np.ones((4, 2, 3))
+        out = _unbroadcast(g, (2, 3))
+        np.testing.assert_allclose(out, np.full((2, 3), 4.0))
+
+    def test_size_one_dims(self):
+        g = np.ones((2, 3))
+        out = _unbroadcast(g, (2, 1))
+        np.testing.assert_allclose(out, np.full((2, 1), 3.0))
+
+    def test_noop_when_equal(self):
+        g = np.ones((2, 2))
+        assert _unbroadcast(g, (2, 2)) is g

@@ -1,0 +1,106 @@
+"""Convolution and pooling: shapes and numeric gradients."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor
+from repro.tensor import functional as F
+
+
+def central_difference(build, param: Tensor, index, eps=1e-6):
+    param.data[index] += eps
+    hi = build().item()
+    param.data[index] -= 2 * eps
+    lo = build().item()
+    param.data[index] += eps
+    return (hi - lo) / (2 * eps)
+
+
+@pytest.fixture
+def x(rng) -> Tensor:
+    return Tensor(rng.standard_normal((2, 3, 8, 8)), requires_grad=True)
+
+
+@pytest.fixture
+def w(rng) -> Tensor:
+    return Tensor(rng.standard_normal((4, 3, 3, 3)) * 0.3, requires_grad=True)
+
+
+class TestConv2d:
+    def test_output_shape_no_padding(self, x, w):
+        assert F.conv2d(x, w).shape == (2, 4, 6, 6)
+
+    def test_output_shape_padding(self, x, w):
+        assert F.conv2d(x, w, padding=1).shape == (2, 4, 8, 8)
+
+    def test_output_shape_stride(self, x, w):
+        assert F.conv2d(x, w, stride=2, padding=1).shape == (2, 4, 4, 4)
+
+    def test_matches_direct_convolution(self, rng):
+        x = Tensor(rng.standard_normal((1, 1, 5, 5)))
+        w = Tensor(rng.standard_normal((1, 1, 3, 3)))
+        out = F.conv2d(x, w).data[0, 0]
+        expected = np.zeros((3, 3))
+        for i in range(3):
+            for j in range(3):
+                expected[i, j] = np.sum(x.data[0, 0, i : i + 3, j : j + 3] * w.data[0, 0])
+        np.testing.assert_allclose(out, expected, atol=1e-12)
+
+    def test_weight_grad(self, x, w):
+        def build():
+            return (F.conv2d(x, w, padding=1) ** 2).sum()
+
+        x.zero_grad(); w.zero_grad()
+        build().backward()
+        numeric = central_difference(build, w, (2, 1, 0, 2))
+        assert abs(w.grad[2, 1, 0, 2] - numeric) < 1e-4
+
+    def test_input_grad(self, x, w):
+        def build():
+            return (F.conv2d(x, w, stride=2, padding=1) ** 2).sum()
+
+        x.zero_grad(); w.zero_grad()
+        build().backward()
+        numeric = central_difference(build, x, (1, 2, 3, 4))
+        assert abs(x.grad[1, 2, 3, 4] - numeric) < 1e-4
+
+    def test_bias_grad(self, x, w, rng):
+        b = Tensor(rng.standard_normal(4), requires_grad=True)
+
+        def build():
+            return F.conv2d(x, w, b).sum()
+
+        build().backward()
+        # d(sum)/d(bias_c) = number of output positions x batch.
+        np.testing.assert_allclose(b.grad, np.full(4, 2 * 6 * 6), atol=1e-9)
+
+
+class TestPooling:
+    def test_max_pool_shape_and_values(self):
+        x = Tensor(np.arange(16.0).reshape(1, 1, 4, 4))
+        out = F.max_pool2d(x, 2)
+        np.testing.assert_allclose(out.data[0, 0], [[5, 7], [13, 15]])
+
+    def test_max_pool_grad_routes_to_argmax(self):
+        x = Tensor(np.arange(16.0).reshape(1, 1, 4, 4), requires_grad=True)
+        F.max_pool2d(x, 2).sum().backward()
+        grad = x.grad[0, 0]
+        assert grad[1, 1] == 1 and grad[0, 0] == 0
+        assert grad.sum() == 4
+
+    def test_avg_pool_values(self):
+        x = Tensor(np.arange(16.0).reshape(1, 1, 4, 4))
+        out = F.avg_pool2d(x, 2)
+        np.testing.assert_allclose(out.data[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_avg_pool_grad_uniform(self):
+        x = Tensor(np.arange(16.0).reshape(1, 1, 4, 4), requires_grad=True)
+        F.avg_pool2d(x, 2).sum().backward()
+        np.testing.assert_allclose(x.grad, np.full((1, 1, 4, 4), 0.25))
+
+    def test_max_pool_stride(self, rng):
+        x = Tensor(rng.standard_normal((1, 2, 6, 6)), requires_grad=True)
+        out = F.max_pool2d(x, 2, stride=1)
+        assert out.shape == (1, 2, 5, 5)
+        out.sum().backward()
+        assert x.grad.shape == x.data.shape

@@ -1,0 +1,141 @@
+"""Differentiable ops: numeric gradient checks and semantics."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor
+from repro.tensor import functional as F
+
+
+def check_grad(build, x: Tensor, index, eps: float = 1e-6, tol: float = 1e-5):
+    """Compare autograd gradient at ``x[index]`` against central differences."""
+    x.zero_grad()
+    build().backward()
+    auto = x.grad[index]
+    x.data[index] += eps
+    hi = build().item()
+    x.data[index] -= 2 * eps
+    lo = build().item()
+    x.data[index] += eps
+    numeric = (hi - lo) / (2 * eps)
+    assert abs(auto - numeric) < tol, f"auto={auto} numeric={numeric}"
+
+
+@pytest.fixture
+def x(rng) -> Tensor:
+    return Tensor(rng.standard_normal((3, 4)), requires_grad=True)
+
+
+class TestElementwise:
+    @pytest.mark.parametrize("op", [F.relu, F.tanh, F.sigmoid, F.gelu, F.exp])
+    def test_gradients(self, op, x):
+        check_grad(lambda: op(x).sum(), x, (1, 2))
+
+    def test_log_sqrt_grad(self, rng):
+        x = Tensor(rng.random((3, 3)) + 0.5, requires_grad=True)
+        check_grad(lambda: F.log(x).sum(), x, (0, 1))
+        check_grad(lambda: F.sqrt(x).sum(), x, (2, 2))
+
+    def test_relu_zeroes_negatives(self):
+        out = F.relu(Tensor([-1.0, 0.0, 2.0]))
+        np.testing.assert_allclose(out.data, [0, 0, 2])
+
+    def test_clip_grad_masks_outside(self):
+        x = Tensor([-2.0, 0.5, 2.0], requires_grad=True)
+        F.clip(x, -1.0, 1.0).sum().backward()
+        np.testing.assert_allclose(x.grad, [0, 1, 0])
+
+    def test_sigmoid_saturates_safely(self):
+        out = F.sigmoid(Tensor([-1000.0, 1000.0]))
+        assert np.all(np.isfinite(out.data))
+
+
+class TestSoftmaxLosses:
+    def test_softmax_rows_sum_to_one(self, x):
+        out = F.softmax(x)
+        np.testing.assert_allclose(out.data.sum(axis=-1), np.ones(3))
+
+    def test_softmax_grad(self, x):
+        check_grad(lambda: (F.softmax(x) * F.softmax(x)).sum(), x, (0, 1))
+
+    def test_log_softmax_equals_log_of_softmax(self, x):
+        np.testing.assert_allclose(
+            F.log_softmax(x).data, np.log(F.softmax(x).data), atol=1e-12
+        )
+
+    def test_cross_entropy_matches_manual(self, rng):
+        logits = Tensor(rng.standard_normal((4, 3)), requires_grad=True)
+        y = np.array([0, 2, 1, 1])
+        loss = F.cross_entropy(logits, y)
+        manual = -np.mean(
+            np.log(F.softmax(logits).data[np.arange(4), y])
+        )
+        assert abs(loss.item() - manual) < 1e-10
+
+    def test_cross_entropy_grad(self, rng):
+        logits = Tensor(rng.standard_normal((4, 3)), requires_grad=True)
+        y = np.array([0, 2, 1, 1])
+        check_grad(lambda: F.cross_entropy(logits, y), logits, (2, 1))
+
+    def test_mse_loss_grad(self, rng):
+        pred = Tensor(rng.standard_normal((5,)), requires_grad=True)
+        target = rng.standard_normal(5)
+        check_grad(lambda: F.mse_loss(pred, target), pred, (3,))
+
+    def test_nll_loss_matches_cross_entropy(self, rng):
+        logits = Tensor(rng.standard_normal((4, 3)), requires_grad=True)
+        y = np.array([1, 0, 2, 1])
+        ce = F.cross_entropy(logits, y).item()
+        nll = F.nll_loss(F.log_softmax(logits), y).item()
+        assert abs(ce - nll) < 1e-10
+
+
+class TestStructural:
+    def test_concat_grad_splits(self, rng):
+        a = Tensor(rng.standard_normal((2, 2)), requires_grad=True)
+        b = Tensor(rng.standard_normal((2, 3)), requires_grad=True)
+        F.concat([a, b], axis=1).sum().backward()
+        assert a.grad.shape == (2, 2)
+        assert b.grad.shape == (2, 3)
+
+    def test_stack_grad(self, rng):
+        a = Tensor(rng.standard_normal((2,)), requires_grad=True)
+        b = Tensor(rng.standard_normal((2,)), requires_grad=True)
+        out = F.stack([a, b], axis=0)
+        assert out.shape == (2, 2)
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, [1, 1])
+
+    def test_dropout_eval_is_identity(self, rng, x):
+        out = F.dropout(x, 0.5, rng, training=False)
+        assert out is x
+
+    def test_dropout_preserves_expectation(self, rng):
+        x = Tensor(np.ones(20_000), requires_grad=True)
+        out = F.dropout(x, 0.25, rng, training=True)
+        assert abs(out.data.mean() - 1.0) < 0.02
+
+    def test_embedding_lookup_grad_accumulates(self, rng):
+        w = Tensor(rng.standard_normal((5, 3)), requires_grad=True)
+        idx = np.array([[1, 1], [2, 4]])
+        F.embedding_lookup(w, idx).sum().backward()
+        np.testing.assert_allclose(w.grad[1], [2, 2, 2])
+        np.testing.assert_allclose(w.grad[0], [0, 0, 0])
+
+
+class TestLayerNorm:
+    def test_normalizes_last_axis(self, rng):
+        x = Tensor(rng.standard_normal((4, 8)) * 5 + 3)
+        w = Tensor(np.ones(8), requires_grad=True)
+        b = Tensor(np.zeros(8), requires_grad=True)
+        out = F.layer_norm(x, w, b)
+        np.testing.assert_allclose(out.data.mean(axis=-1), np.zeros(4), atol=1e-10)
+        np.testing.assert_allclose(out.data.std(axis=-1), np.ones(4), atol=1e-2)
+
+    def test_grads(self, rng):
+        x = Tensor(rng.standard_normal((2, 6)), requires_grad=True)
+        w = Tensor(rng.standard_normal(6), requires_grad=True)
+        b = Tensor(rng.standard_normal(6), requires_grad=True)
+        check_grad(lambda: (F.layer_norm(x, w, b) ** 2).sum(), x, (1, 3), tol=1e-4)
+        check_grad(lambda: (F.layer_norm(x, w, b) ** 2).sum(), w, (2,), tol=1e-4)
+        check_grad(lambda: (F.layer_norm(x, w, b) ** 2).sum(), b, (4,), tol=1e-4)

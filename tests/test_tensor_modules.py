@@ -1,0 +1,160 @@
+"""Module system: registration, traversal, state dicts, layers."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import (
+    Conv2d,
+    Dropout,
+    Embedding,
+    Flatten,
+    LayerNorm,
+    Linear,
+    MaxPool2d,
+    Module,
+    ModuleList,
+    ReLU,
+    Sequential,
+    Tensor,
+)
+from repro.tensor import functional as F
+
+
+class TwoLayer(Module):
+    def __init__(self, rng):
+        super().__init__()
+        self.fc1 = Linear(4, 8, rng=rng)
+        self.fc2 = Linear(8, 2, rng=rng)
+
+    def forward(self, x):
+        return self.fc2(F.relu(self.fc1(x)))
+
+
+class TestRegistration:
+    def test_named_parameters_order_follows_registration(self, rng):
+        net = TwoLayer(rng)
+        names = [n for n, _ in net.named_parameters()]
+        assert names == ["fc1.weight", "fc1.bias", "fc2.weight", "fc2.bias"]
+
+    def test_parameters_require_grad(self, rng):
+        assert all(p.requires_grad for p in TwoLayer(rng).parameters())
+
+    def test_num_parameters(self, rng):
+        assert TwoLayer(rng).num_parameters() == 4 * 8 + 8 + 8 * 2 + 2
+
+    def test_modules_iterates_tree(self, rng):
+        mods = list(TwoLayer(rng).modules())
+        assert len(mods) == 3  # self + 2 Linear
+
+    def test_setattr_before_init_raises(self):
+        class Broken(Module):
+            def __init__(self):
+                self.layer = Linear(2, 2)  # no super().__init__()
+
+        with pytest.raises(RuntimeError):
+            Broken()
+
+
+class TestStateDict:
+    def test_roundtrip(self, rng):
+        a = TwoLayer(rng)
+        b = TwoLayer(np.random.default_rng(99))
+        b.load_state_dict(a.state_dict())
+        for (_, pa), (_, pb) in zip(a.named_parameters(), b.named_parameters()):
+            np.testing.assert_array_equal(pa.data, pb.data)
+
+    def test_state_dict_copies(self, rng):
+        net = TwoLayer(rng)
+        state = net.state_dict()
+        state["fc1.weight"][...] = 0
+        assert net.fc1.weight.data.sum() != 0
+
+    def test_load_missing_key_raises(self, rng):
+        net = TwoLayer(rng)
+        state = net.state_dict()
+        del state["fc1.bias"]
+        with pytest.raises(KeyError):
+            net.load_state_dict(state)
+
+    def test_load_shape_mismatch_raises(self, rng):
+        net = TwoLayer(rng)
+        state = net.state_dict()
+        state["fc1.weight"] = np.zeros((3, 3))
+        with pytest.raises(ValueError):
+            net.load_state_dict(state)
+
+
+class TestTrainEvalZeroGrad:
+    def test_train_eval_propagates(self, rng):
+        net = Sequential(Linear(2, 2, rng=rng), Dropout(0.5))
+        net.eval()
+        assert all(not m.training for m in net.modules())
+        net.train()
+        assert all(m.training for m in net.modules())
+
+    def test_zero_grad_clears(self, rng):
+        net = TwoLayer(rng)
+        x = Tensor(rng.standard_normal((3, 4)))
+        net(x).sum().backward()
+        assert net.fc1.weight.grad is not None
+        net.zero_grad()
+        assert all(p.grad is None for p in net.parameters())
+
+
+class TestContainers:
+    def test_sequential_applies_in_order(self, rng):
+        net = Sequential(Linear(4, 4, rng=rng), ReLU())
+        x = Tensor(rng.standard_normal((2, 4)))
+        out = net(x)
+        assert (out.data >= 0).all()
+
+    def test_sequential_append_and_len(self, rng):
+        net = Sequential(Linear(2, 2, rng=rng))
+        net.append(ReLU())
+        assert len(net) == 2
+        assert len(list(iter(net))) == 2
+
+    def test_module_list_indexing(self, rng):
+        layers = ModuleList([Linear(2, 2, rng=rng) for _ in range(3)])
+        assert len(layers) == 3
+        assert isinstance(layers[1], Linear)
+        # parameters from list members are registered
+        assert len(list(layers.named_parameters())) == 6
+
+
+class TestLayers:
+    def test_linear_shapes(self, rng):
+        layer = Linear(4, 7, rng=rng)
+        assert layer(Tensor(rng.standard_normal((5, 4)))).shape == (5, 7)
+
+    def test_linear_no_bias(self, rng):
+        layer = Linear(4, 7, bias=False, rng=rng)
+        assert layer.bias is None
+        assert len(list(layer.named_parameters())) == 1
+
+    def test_conv_module(self, rng):
+        layer = Conv2d(3, 8, 3, padding=1, rng=rng)
+        assert layer(Tensor(rng.standard_normal((2, 3, 5, 5)))).shape == (2, 8, 5, 5)
+
+    def test_flatten(self, rng):
+        out = Flatten()(Tensor(rng.standard_normal((2, 3, 4))))
+        assert out.shape == (2, 12)
+
+    def test_maxpool_module(self, rng):
+        out = MaxPool2d(2)(Tensor(rng.standard_normal((1, 1, 4, 4))))
+        assert out.shape == (1, 1, 2, 2)
+
+    def test_layernorm_module(self, rng):
+        layer = LayerNorm(6)
+        out = layer(Tensor(rng.standard_normal((3, 6))))
+        np.testing.assert_allclose(out.data.mean(axis=-1), 0, atol=1e-10)
+
+    def test_embedding_module(self, rng):
+        emb = Embedding(10, 4, rng=rng)
+        out = emb(np.array([[1, 2], [3, 4]]))
+        assert out.shape == (2, 2, 4)
+
+    def test_identical_seed_identical_params(self):
+        a = Linear(3, 3, rng=np.random.default_rng(7))
+        b = Linear(3, 3, rng=np.random.default_rng(7))
+        np.testing.assert_array_equal(a.weight.data, b.weight.data)

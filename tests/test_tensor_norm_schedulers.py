@@ -1,0 +1,138 @@
+"""BatchNorm2d and learning-rate schedulers."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import (
+    BatchNorm2d,
+    CosineAnnealingLR,
+    SGD,
+    StepLR,
+    Tensor,
+    WarmupLR,
+)
+from repro.tensor.schedulers import lr_trace
+
+
+def make_sgd(lr=1.0):
+    p = Tensor(np.zeros(2), requires_grad=True)
+    return SGD([p], lr=lr)
+
+
+class TestBatchNorm:
+    def test_training_normalizes_batch(self, rng):
+        bn = BatchNorm2d(3)
+        x = Tensor(rng.standard_normal((8, 3, 4, 4)) * 5 + 2)
+        out = bn(x)
+        means = out.data.mean(axis=(0, 2, 3))
+        stds = out.data.std(axis=(0, 2, 3))
+        np.testing.assert_allclose(means, np.zeros(3), atol=1e-10)
+        np.testing.assert_allclose(stds, np.ones(3), atol=1e-2)
+
+    def test_running_stats_updated_in_training_only(self, rng):
+        bn = BatchNorm2d(3, momentum=0.5)
+        x = Tensor(rng.standard_normal((8, 3, 4, 4)) + 10)
+        bn(x)
+        assert bn.running_mean.mean() > 1.0
+        frozen = bn.running_mean.copy()
+        bn.eval()
+        bn(x)
+        np.testing.assert_array_equal(bn.running_mean, frozen)
+
+    def test_eval_uses_running_stats(self, rng):
+        bn = BatchNorm2d(2, momentum=1.0)
+        x = Tensor(rng.standard_normal((16, 2, 3, 3)) * 3 + 1)
+        bn(x)  # running stats <- batch stats
+        bn.eval()
+        out = bn(x)
+        np.testing.assert_allclose(out.data.mean(axis=(0, 2, 3)), np.zeros(2), atol=0.05)
+
+    def test_gradients_numeric(self, rng):
+        bn = BatchNorm2d(2)
+        x = Tensor(rng.standard_normal((4, 2, 3, 3)), requires_grad=True)
+
+        def loss():
+            bn.running_mean[...] = 0
+            bn.running_var[...] = 1
+            return (bn(x) ** 2).sum()
+
+        loss().backward()
+        auto = x.grad[1, 0, 2, 1]
+        eps = 1e-6
+        x.data[1, 0, 2, 1] += eps
+        hi = loss().item()
+        x.data[1, 0, 2, 1] -= 2 * eps
+        lo = loss().item()
+        x.data[1, 0, 2, 1] += eps
+        assert abs(auto - (hi - lo) / (2 * eps)) < 1e-4
+
+    def test_weight_bias_grads(self, rng):
+        bn = BatchNorm2d(2)
+        x = Tensor(rng.standard_normal((4, 2, 3, 3)))
+        (bn(x) ** 2).sum().backward()
+        assert bn.weight.grad is not None
+        assert bn.bias.grad is not None
+
+    def test_buffers_not_parameters(self):
+        bn = BatchNorm2d(4)
+        names = [n for n, _ in bn.named_parameters()]
+        assert names == ["weight", "bias"]
+
+
+class TestStepLR:
+    def test_decays_at_boundaries(self):
+        sched = StepLR(make_sgd(1.0), step_size=2, gamma=0.1)
+        assert lr_trace(sched, 5) == pytest.approx([1.0, 0.1, 0.1, 0.01, 0.01])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StepLR(make_sgd(), step_size=0)
+
+
+class TestCosine:
+    def test_endpoints(self):
+        sched = CosineAnnealingLR(make_sgd(1.0), total_steps=10, min_lr=0.1)
+        trace = lr_trace(sched, 10)
+        assert trace[0] < 1.0
+        assert trace[-1] == pytest.approx(0.1)
+
+    def test_monotone_decreasing(self):
+        sched = CosineAnnealingLR(make_sgd(1.0), total_steps=20)
+        trace = lr_trace(sched, 20)
+        assert all(a >= b for a, b in zip(trace, trace[1:]))
+
+    def test_clamped_after_total(self):
+        sched = CosineAnnealingLR(make_sgd(1.0), total_steps=5, min_lr=0.2)
+        trace = lr_trace(sched, 8)
+        assert trace[-1] == pytest.approx(0.2)
+
+
+class TestWarmup:
+    def test_linear_ramp(self):
+        sched = WarmupLR(make_sgd(1.0), warmup_steps=4)
+        assert lr_trace(sched, 4) == pytest.approx([0.25, 0.5, 0.75, 1.0])
+
+    def test_holds_after_warmup(self):
+        sched = WarmupLR(make_sgd(1.0), warmup_steps=2)
+        assert lr_trace(sched, 4)[-1] == pytest.approx(1.0)
+
+    def test_chains_into_inner_schedule(self):
+        opt = make_sgd(1.0)
+        inner = StepLR(opt, step_size=1, gamma=0.5)
+        sched = WarmupLR(opt, warmup_steps=2, after=inner)
+        trace = lr_trace(sched, 5)
+        assert trace[:2] == pytest.approx([0.5, 1.0])
+        # After warmup, StepLR halves per step: 0.5, 0.25, 0.125.
+        assert trace[2:] == pytest.approx([0.5, 0.25, 0.125])
+
+    def test_applies_to_optimizer(self):
+        opt = make_sgd(1.0)
+        WarmupLR(opt, warmup_steps=4).step()
+        assert opt.lr == pytest.approx(0.25)
+
+    def test_rejects_unschedulable_optimizer(self):
+        class NoLR:
+            pass
+
+        with pytest.raises(TypeError):
+            WarmupLR(NoLR(), warmup_steps=2)

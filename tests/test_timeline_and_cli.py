@@ -1,0 +1,118 @@
+"""Pipeline span timelines, Gantt rendering, and the CLI entry point."""
+
+import pytest
+
+from repro.__main__ import main as cli_main
+from repro.cluster import paper_cluster
+from repro.models import vgg16_spec
+from repro.simulation import CommCostModel, bagua_system, pytorch_ddp_system, simulate_iteration, vanilla_system
+from repro.simulation.pipeline import Span
+from repro.simulation.timeline import compare_systems, render_gantt
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return paper_cluster("25gbps")
+
+
+@pytest.fixture(scope="module")
+def cost(cluster):
+    return CommCostModel(cluster)
+
+
+class TestSpans:
+    def test_spans_recorded_for_last_iteration(self, cluster, cost):
+        timing = simulate_iteration(vgg16_spec(), cluster, pytorch_ddp_system(cost))
+        assert timing.spans
+        kinds = {s.kind for s in timing.spans}
+        assert kinds == {"fwd", "bwd", "comm", "update"}
+
+    def test_spans_well_formed(self, cluster, cost):
+        timing = simulate_iteration(vgg16_spec(), cluster, pytorch_ddp_system(cost))
+        for span in timing.spans:
+            assert span.end >= span.start
+            assert span.stream in ("compute", "comm")
+            assert span.duration >= 0
+
+    def test_streams_never_self_overlap(self, cluster, cost):
+        timing = simulate_iteration(vgg16_spec(), cluster, bagua_system(cost, "allreduce"))
+        for stream in ("compute", "comm"):
+            spans = sorted(
+                (s for s in timing.spans if s.stream == stream), key=lambda s: s.start
+            )
+            for a, b in zip(spans, spans[1:]):
+                assert b.start >= a.end - 1e-12
+
+    def test_vanilla_comm_after_backward(self, cluster, cost):
+        timing = simulate_iteration(vgg16_spec(), cluster, vanilla_system(cost))
+        bwd_end = max(s.end for s in timing.spans if s.kind == "bwd")
+        first_comm = min(s.start for s in timing.spans if s.kind == "comm")
+        assert first_comm >= bwd_end - 1e-12
+
+    def test_ddp_comm_overlaps_backward(self, cluster, cost):
+        timing = simulate_iteration(vgg16_spec(), cluster, pytorch_ddp_system(cost))
+        bwd_end = max(s.end for s in timing.spans if s.kind == "bwd")
+        first_comm = min(s.start for s in timing.spans if s.kind == "comm")
+        assert first_comm < bwd_end
+
+
+class TestGanttRendering:
+    def test_render_contains_streams(self, cluster, cost):
+        timing = simulate_iteration(vgg16_spec(), cluster, pytorch_ddp_system(cost))
+        text = render_gantt(timing.spans, width=60, title="ddp")
+        assert "compute |" in text and "comm    |" in text
+        assert "ddp" in text
+
+    def test_render_empty(self):
+        assert "(no spans)" in render_gantt([], title="x")
+
+    def test_render_glyphs(self):
+        spans = [
+            Span("compute", "fwd", "f", 0.0, 1.0),
+            Span("comm", "comm", "c", 1.0, 2.0),
+        ]
+        text = render_gantt(spans, width=10)
+        assert "F" in text and "c" in text
+
+    def test_compare_systems_shared_axis(self, cluster, cost):
+        text = compare_systems(
+            vgg16_spec(), cluster,
+            [vanilla_system(cost), pytorch_ddp_system(cost)],
+            width=50,
+        )
+        assert "Vanilla" in text and "PyTorch-DDP" in text
+        assert text.count("compute |") == 2
+
+
+class TestCLI:
+    def test_run_table1(self, capsys):
+        assert cli_main(["run", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+
+    def test_run_table2(self, capsys):
+        assert cli_main(["run", "table2"]) == 0
+        assert "VGG16" in capsys.readouterr().out
+
+    def test_autotune_known_model(self, capsys):
+        assert cli_main(["autotune", "VGG16", "--network", "25gbps"]) == 0
+        out = capsys.readouterr().out
+        assert "recommended" in out
+
+    def test_autotune_unknown_model(self, capsys):
+        assert cli_main(["autotune", "ResNet"]) == 2
+
+    def test_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            cli_main(["run", "table99"])
+
+
+class TestTimeToLoss:
+    def test_report_runs_and_bagua_wins(self):
+        from repro.experiments import time_to_loss
+
+        report = time_to_loss.run(task_names=("VGG16",), epochs=3)
+        result = report.results["VGG16"]
+        assert result.speedup is not None
+        assert result.speedup > 1.0
+        assert "time to target loss" in report.render()

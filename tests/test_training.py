@@ -1,0 +1,143 @@
+"""Trainer, metrics, and task bundles (functional mode plumbing)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import AllreduceSGD
+from repro.cluster import ClusterSpec
+from repro.training import (
+    ConvergenceRecord,
+    DistributedTrainer,
+    all_tasks,
+    epochs_to_reach,
+    get_task,
+    make_accuracy_eval,
+)
+
+WORLD = ClusterSpec(num_nodes=2, workers_per_node=2)
+
+
+class TestConvergenceRecord:
+    def test_record_and_summaries(self):
+        rec = ConvergenceRecord(label="x")
+        rec.record_epoch(1.0, accuracy=0.5, sim_time=2.0)
+        rec.record_epoch(0.5, accuracy=0.9, sim_time=4.0)
+        assert rec.final_loss == 0.5
+        assert rec.best_loss == 0.5
+        assert rec.epoch_accuracies == [0.5, 0.9]
+        assert "final_loss" in rec.summary()
+
+    def test_divergence_detection(self):
+        rec = ConvergenceRecord(label="x")
+        rec.record_epoch(float("nan"))
+        assert rec.diverged
+        rec2 = ConvergenceRecord(label="y")
+        rec2.record_epoch(1e9)
+        assert rec2.diverged
+        assert "DIVERGED" in rec2.summary()
+
+    def test_empty_record_raises(self):
+        with pytest.raises(ValueError):
+            ConvergenceRecord(label="x").final_loss
+
+    def test_epochs_to_reach(self):
+        rec = ConvergenceRecord(label="x", epoch_losses=[3.0, 1.0, 0.4])
+        assert epochs_to_reach(rec, 1.0) == 2
+        assert epochs_to_reach(rec, 0.1) is None
+
+
+class TestTasks:
+    def test_five_tasks_matching_paper(self):
+        names = [t.name for t in all_tasks()]
+        assert names == ["VGG16", "BERT-LARGE", "BERT-BASE", "Transformer", "LSTM+AlexNet"]
+
+    def test_get_task_unknown(self):
+        with pytest.raises(KeyError):
+            get_task("ResNet")
+
+    @pytest.mark.parametrize("name", [t.name for t in all_tasks()])
+    def test_task_components_runnable(self, name):
+        task = get_task(name)
+        model = task.model_factory(np.random.default_rng(0))
+        loaders = task.make_loaders(world_size=2, seed=0)
+        batch = next(loaders[0].epoch())
+        loss = task.loss_fn(model, batch)
+        assert np.isfinite(loss.item())
+        opt = task.make_optimizer(model)
+        loss.backward()
+        opt.step()
+
+    def test_loaders_shard_disjointly(self):
+        task = get_task("VGG16")
+        loaders = task.make_loaders(world_size=4, seed=0)
+        shards = [set(l.indices.tolist()) for l in loaders]
+        for i in range(4):
+            for j in range(i + 1, 4):
+                assert not (shards[i] & shards[j])
+
+
+class TestTrainer:
+    def test_records_per_epoch(self):
+        task = get_task("VGG16")
+        trainer = DistributedTrainer(
+            WORLD, task.model_factory, task.make_optimizer, AllreduceSGD(), seed=0
+        )
+        loaders = task.make_loaders(WORLD.world_size, seed=0)
+        record = trainer.train(loaders, task.loss_fn, epochs=2, label="run")
+        assert record.label == "run"
+        assert len(record.epoch_losses) == 2
+        assert len(record.epoch_sim_times) == 2
+        assert record.epoch_sim_times[1] > record.epoch_sim_times[0]
+
+    def test_wrong_loader_count(self):
+        task = get_task("VGG16")
+        trainer = DistributedTrainer(
+            WORLD, task.model_factory, task.make_optimizer, AllreduceSGD(), seed=0
+        )
+        loaders = task.make_loaders(2, seed=0)
+        with pytest.raises(ValueError):
+            trainer.train(loaders, task.loss_fn, epochs=1)
+
+    def test_deterministic_given_seed(self):
+        task = get_task("VGG16")
+
+        def run():
+            trainer = DistributedTrainer(
+                WORLD, task.model_factory, task.make_optimizer, AllreduceSGD(), seed=3
+            )
+            loaders = task.make_loaders(WORLD.world_size, seed=3)
+            return trainer.train(loaders, task.loss_fn, epochs=1).epoch_losses
+
+        assert run() == run()
+
+    def test_accuracy_eval(self):
+        task = get_task("VGG16")
+        dataset = task.dataset_factory(0)
+        evaluate = make_accuracy_eval(dataset, task.predict, limit=64)
+        trainer = DistributedTrainer(
+            WORLD, task.model_factory, task.make_optimizer, AllreduceSGD(), seed=0
+        )
+        loaders = task.make_loaders(WORLD.world_size, seed=0)
+        record = trainer.train(
+            loaders, task.loss_fn, epochs=3, eval_fn=evaluate
+        )
+        assert len(record.epoch_accuracies) == 3
+        # Training several epochs on the easy synthetic task lifts accuracy
+        # well above the 10-class chance level.
+        assert record.epoch_accuracies[-1] > 0.5
+
+    def test_divergence_stops_early(self):
+        task = get_task("VGG16")
+
+        def hot_optimizer(model):
+            from repro.tensor import SGD
+
+            return SGD(model.parameters(), lr=500.0, momentum=0.9)
+
+        trainer = DistributedTrainer(
+            WORLD, task.model_factory, hot_optimizer, AllreduceSGD(), seed=0
+        )
+        loaders = task.make_loaders(WORLD.world_size, seed=0)
+        record = trainer.train(loaders, task.loss_fn, epochs=10)
+        assert record.diverged
+        assert len(record.epoch_losses) < 10
