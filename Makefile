@@ -1,0 +1,23 @@
+# Developer entry points.  `make check` is the pre-PR gate: lint (when ruff
+# is available), the tier-1 test suite, and the static analyzer sweep over
+# every registered algorithm.
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: check lint test analyze
+
+check: lint test analyze
+
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks; \
+	else \
+		echo "ruff not installed; skipping lint"; \
+	fi
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+analyze:
+	$(PYTHON) -m repro analyze --all

@@ -4,8 +4,6 @@ Why BAGUA's centralized primitives use the hierarchical ScatterReduce:
 compared per tensor size at paper scale (128 workers, 25 Gbps).
 """
 
-import pytest
-
 from repro.cluster import paper_cluster
 from repro.experiments.report import render_series
 from repro.simulation import CommCostModel

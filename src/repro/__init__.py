@@ -41,6 +41,7 @@ __version__ = "0.1.0"
 
 from . import (  # noqa: F401  (re-exported subpackages)
     algorithms,
+    analysis,
     baselines,
     cluster,
     comm,
@@ -61,6 +62,7 @@ __all__ = [
     "compression",
     "core",
     "algorithms",
+    "analysis",
     "baselines",
     "models",
     "data",

@@ -1,13 +1,15 @@
 """Command-line entry point: ``python -m repro <experiment> [options]``.
 
 Regenerates individual tables/figures of the paper's evaluation, runs the
-auto-tuner, or prints the system inventory.  ``python -m repro all`` is the
-same as ``examples/reproduce_paper.py``.
+auto-tuner, statically analyzes algorithm communication schedules
+(``python -m repro analyze``), or prints the system inventory.
+``python -m repro all`` is the same as ``examples/reproduce_paper.py``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Callable, Dict
 
@@ -45,6 +47,41 @@ EXPERIMENTS: Dict[str, Callable[[], object]] = {
 }
 
 
+def _run_analyze(args) -> int:
+    from .algorithms.registry import ALGORITHM_REGISTRY
+    from .analysis import analyze_algorithm, analyze_all
+
+    if args.nodes < 1 or args.gpus_per_node < 1:
+        print("--nodes and --gpus-per-node must be >= 1", file=sys.stderr)
+        return 2
+    if args.steps < 1:
+        print("--steps must be >= 1 (0 steps would pass vacuously)", file=sys.stderr)
+        return 2
+    if args.all:
+        report = analyze_all(
+            num_nodes=args.nodes, gpus_per_node=args.gpus_per_node, steps=args.steps
+        )
+    else:
+        if args.algorithm is None:
+            print("analyze needs an algorithm name or --all", file=sys.stderr)
+            return 2
+        if args.algorithm not in ALGORITHM_REGISTRY:
+            print(
+                f"unknown algorithm {args.algorithm!r}; options: "
+                f"{sorted(ALGORITHM_REGISTRY)}",
+                file=sys.stderr,
+            )
+            return 2
+        report = analyze_algorithm(
+            args.algorithm,
+            num_nodes=args.nodes,
+            gpus_per_node=args.gpus_per_node,
+            steps=args.steps,
+        )
+    print(json.dumps(report.to_dict(), indent=2) if args.json else report.render())
+    return 0 if report.ok else 1
+
+
 def _run_autotune(args) -> int:
     specs = all_specs()
     if args.model not in specs:
@@ -74,9 +111,36 @@ def main(argv=None) -> int:
         "--network", default="25gbps", choices=["10gbps", "25gbps", "100gbps"]
     )
 
+    analyze_parser = subparsers.add_parser(
+        "analyze",
+        help="statically verify an algorithm's communication schedule",
+        description=(
+            "Dry-run an algorithm on a small simulated cluster, lower its "
+            "execution plan, and run the checker suite (rank-symmetry, "
+            "peer-matching, overlap-race, buffer-aliasing, ef-invariant). "
+            "Exit code 1 when any error-severity finding fires."
+        ),
+    )
+    analyze_parser.add_argument(
+        "algorithm", nargs="?", default=None, help="registry name, e.g. 'allreduce'"
+    )
+    analyze_parser.add_argument(
+        "--all", action="store_true", help="sweep every registered algorithm"
+    )
+    analyze_parser.add_argument("--nodes", type=int, default=2)
+    analyze_parser.add_argument("--gpus-per-node", type=int, default=2)
+    analyze_parser.add_argument(
+        "--steps", type=int, default=5, help="dry-run iterations to record"
+    )
+    analyze_parser.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+
     args = parser.parse_args(argv)
     if args.command == "autotune":
         return _run_autotune(args)
+    if args.command == "analyze":
+        return _run_analyze(args)
 
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:

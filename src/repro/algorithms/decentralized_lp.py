@@ -32,6 +32,9 @@ from ..core.primitives import RingPeers
 
 class LowPrecisionDecentralizedSGD(Algorithm):
     name = "decentralized-8bit"
+    #: fixed communication topology; the analyzer's peer-matching rule
+    #: verifies the traced neighbor sets against it
+    topology = "ring"
 
     def __init__(self, bits: int = 8, compressor: Compressor | None = None) -> None:
         self.compressor = compressor or QSGDCompressor(bits=bits)
@@ -58,7 +61,18 @@ class LowPrecisionDecentralizedSGD(Algorithm):
 
         n = engine.world_size
         group = engine.group
+        neighbor_sets = self.peers.neighbors(n, step)
         for k in range(engine.num_buckets):
+            if group.tracer is not None:
+                group.tracer.on_collective(
+                    group,
+                    "compressed_gossip",
+                    engine.workers[0].buckets[k].total_elements,
+                    bucket=engine.workers[0].buckets[k].name,
+                    compressor=self.compressor.name,
+                    biased=self.compressor.biased,
+                    peers_by_member=neighbor_sets,
+                )
             # Compress each worker's delta against its own public view.
             payloads = []
             for i, worker in enumerate(engine.workers):

@@ -1,0 +1,70 @@
+"""repro.analysis — static verifier for BAGUA execution plans and traces.
+
+The execution optimizer (paper §3) rewrites communication schedules behind
+the user's back; this subsystem catches the bugs such rewriting can
+introduce — mismatched collectives across ranks, asymmetric gossip peers,
+optimizer updates racing overlapped communication, aliasing bucket buffers,
+and biased compressors running without error-feedback state — *before* a
+run, from a recorded one-iteration dry run or a lowered plan.
+
+Layers:
+
+* :mod:`~repro.analysis.ir` — the comm-op IR (:class:`CommOp`,
+  :class:`CommTrace`, bucket :class:`BucketExtent` layouts);
+* :mod:`~repro.analysis.recorder` — :class:`TraceRecorder`, the
+  instrumentation mode of the communication stack;
+* :mod:`~repro.analysis.lowering` — :func:`lower_plan` /
+  :func:`layout_from_buckets`, the static producers;
+* :mod:`~repro.analysis.checkers` — the five rules;
+* :mod:`~repro.analysis.report` — :class:`Finding` and report rendering;
+* :mod:`~repro.analysis.driver` — :func:`analyze_algorithm` /
+  :func:`analyze_all`, the ``python -m repro analyze`` entry points.
+"""
+
+from .checkers import (  # noqa: F401
+    ALL_CHECKERS,
+    BufferAliasingChecker,
+    Checker,
+    EFInvariantChecker,
+    OverlapRaceChecker,
+    PeerMatchingChecker,
+    RankSymmetryChecker,
+    run_checkers,
+)
+from .driver import analyze_algorithm, analyze_all  # noqa: F401
+from .ir import (  # noqa: F401
+    AnalysisSubject,
+    BucketExtent,
+    CommOp,
+    CommTrace,
+    ParamView,
+)
+from .lowering import layout_from_buckets, layout_from_plan, lower_plan  # noqa: F401
+from .recorder import TraceRecorder, recording  # noqa: F401
+from .report import AnalysisReport, Finding, SweepReport  # noqa: F401
+
+__all__ = [
+    "ALL_CHECKERS",
+    "AnalysisReport",
+    "AnalysisSubject",
+    "BucketExtent",
+    "BufferAliasingChecker",
+    "Checker",
+    "CommOp",
+    "CommTrace",
+    "EFInvariantChecker",
+    "Finding",
+    "OverlapRaceChecker",
+    "ParamView",
+    "PeerMatchingChecker",
+    "RankSymmetryChecker",
+    "SweepReport",
+    "TraceRecorder",
+    "analyze_algorithm",
+    "analyze_all",
+    "layout_from_buckets",
+    "layout_from_plan",
+    "lower_plan",
+    "recording",
+    "run_checkers",
+]

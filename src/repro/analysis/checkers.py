@@ -1,0 +1,409 @@
+"""The checker suite: five static rules over the comm-op IR.
+
+Every checker consumes an :class:`~repro.analysis.ir.AnalysisSubject` and
+returns :class:`~repro.analysis.report.Finding` objects.  The rules encode
+the failure modes that BAGUA-style schedule rewriting (overlap / fusion /
+hierarchy, paper §3.4) can introduce silently:
+
+* ``rank-symmetry`` — within each communication group, every member issues
+  the same collective sequence with matching sizes/codecs; a divergence is a
+  deadlock (one rank waits in a collective the others never enter) or a
+  silent size mismatch;
+* ``peer-matching`` — decentralized gossip neighbor sets are symmetric per
+  round (i lists j iff j lists i), consistent with a declared ring topology,
+  and every point-to-point send has a matching receive;
+* ``overlap-race`` — in an O-optimized schedule no optimizer update or
+  error-feedback write touches a bucket whose communication was issued but
+  not yet awaited, and nothing issued is left un-awaited;
+* ``buffer-aliasing`` — fused bucket extents never overlap and every
+  parameter view stays inside its bucket's extent;
+* ``ef-invariant`` — a biased compressor is never used in a collective
+  without error-feedback state (§2.2's two-sided error compensation is what
+  the convergence proofs assume).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .ir import AnalysisSubject, CommOp
+from .report import Finding
+
+GOSSIP_KINDS = frozenset({"gossip", "compressed_gossip"})
+
+
+class Checker:
+    """Base class: one rule over one analysis subject."""
+
+    rule: str = "base"
+
+    def check(self, subject: AnalysisSubject) -> List[Finding]:
+        raise NotImplementedError
+
+    def finding(self, message: str, severity: str = "error", **loc) -> Finding:
+        return Finding(rule=self.rule, severity=severity, message=message, **loc)
+
+
+# ----------------------------------------------------------------------
+# rank-symmetry
+# ----------------------------------------------------------------------
+class RankSymmetryChecker(Checker):
+    """Every member of a group must run the same collective sequence."""
+
+    rule = "rank-symmetry"
+
+    def check(self, subject: AnalysisSubject) -> List[Finding]:
+        trace = subject.trace
+        if trace is None:
+            return []
+        findings: List[Finding] = []
+        # Ops are compared within each communication group: hierarchical
+        # schedules legally run extra collectives on the leader subgroup, so
+        # ranks are only held to the groups they are members of.
+        by_group: Dict[Tuple[int, ...], Dict[int, List[CommOp]]] = {}
+        for rank in trace.ranks:
+            for op in trace.collective_ops(rank):
+                if not op.group:
+                    continue
+                by_group.setdefault(op.group, {}).setdefault(rank, []).append(op)
+
+        for group, per_rank in sorted(by_group.items()):
+            members = list(group)
+            reference_rank = members[0]
+            reference = per_rank.get(reference_rank, [])
+            for rank in members[1:]:
+                ops = per_rank.get(rank, [])
+                findings.extend(self._compare(group, reference_rank, reference, rank, ops))
+        return findings
+
+    def _compare(
+        self,
+        group: Tuple[int, ...],
+        ref_rank: int,
+        reference: List[CommOp],
+        rank: int,
+        ops: List[CommOp],
+    ) -> List[Finding]:
+        for i in range(min(len(reference), len(ops))):
+            if reference[i].signature() != ops[i].signature():
+                return [
+                    self.finding(
+                        f"collective sequence diverges in group {list(group)}: rank "
+                        f"{ref_rank} op #{i} is {reference[i].describe()} but rank "
+                        f"{rank} issues {ops[i].describe()} — ranks would deadlock "
+                        "or reduce mismatched payloads",
+                        rank=rank,
+                        seq=ops[i].seq,
+                        step=ops[i].step,
+                    )
+                ]
+        if len(reference) != len(ops):
+            shorter, longer = (rank, ref_rank) if len(ops) < len(reference) else (ref_rank, rank)
+            missing = (reference if len(ops) < len(reference) else ops)[min(len(reference), len(ops))]
+            return [
+                self.finding(
+                    f"rank {shorter} issues {min(len(reference), len(ops))} collective(s) in "
+                    f"group {list(group)} but rank {longer} issues "
+                    f"{max(len(reference), len(ops))}; first unmatched op is "
+                    f"{missing.describe()} — rank {longer} would block forever",
+                    rank=shorter,
+                    seq=missing.seq,
+                    step=missing.step,
+                )
+            ]
+        return []
+
+
+# ----------------------------------------------------------------------
+# peer-matching
+# ----------------------------------------------------------------------
+class PeerMatchingChecker(Checker):
+    """Gossip peer sets are symmetric; sends and receives pair up."""
+
+    rule = "peer-matching"
+
+    def check(self, subject: AnalysisSubject) -> List[Finding]:
+        trace = subject.trace
+        if trace is None:
+            return []
+        findings = self._check_gossip(subject)
+        findings.extend(self._check_p2p(subject))
+        return findings
+
+    def _check_gossip(self, subject: AnalysisSubject) -> List[Finding]:
+        trace = subject.trace
+        findings: List[Finding] = []
+        # k-th gossip op of each member of a group forms round k.
+        by_group: Dict[Tuple[int, ...], Dict[int, List[CommOp]]] = {}
+        for rank in trace.ranks:
+            for op in trace.collective_ops(rank):
+                if op.kind in GOSSIP_KINDS and op.group:
+                    by_group.setdefault(op.group, {}).setdefault(rank, []).append(op)
+
+        for group, per_rank in sorted(by_group.items()):
+            rounds = min((len(ops) for ops in per_rank.values()), default=0)
+            if len(per_rank) < len(group):
+                rounds = 0  # missing ranks entirely — rank-symmetry reports it
+            for k in range(rounds):
+                peers_of = {rank: set(per_rank[rank][k].peers) for rank in group}
+                for rank in group:
+                    op = per_rank[rank][k]
+                    for peer in sorted(peers_of[rank]):
+                        if peer not in peers_of:
+                            findings.append(
+                                self.finding(
+                                    f"gossip round {k}: rank {rank} lists peer {peer} "
+                                    f"outside group {list(group)}",
+                                    rank=rank,
+                                    seq=op.seq,
+                                    step=op.step,
+                                )
+                            )
+                        elif rank not in peers_of[peer]:
+                            findings.append(
+                                self.finding(
+                                    f"gossip round {k}: rank {rank} exchanges with "
+                                    f"{peer} but rank {peer}'s peer set is "
+                                    f"{sorted(peers_of[peer])} — rank {rank} would "
+                                    "wait on a recv that is never posted",
+                                    rank=rank,
+                                    seq=op.seq,
+                                    step=op.step,
+                                )
+                            )
+                if subject.expected_topology == "ring":
+                    findings.extend(self._check_ring(group, per_rank, k))
+        return findings
+
+    def _check_ring(
+        self,
+        group: Tuple[int, ...],
+        per_rank: Dict[int, List[CommOp]],
+        k: int,
+    ) -> List[Finding]:
+        findings: List[Finding] = []
+        n = len(group)
+        for i, rank in enumerate(group):
+            op = per_rank[rank][k]
+            expected = set() if n == 1 else {group[(i - 1) % n], group[(i + 1) % n]}
+            if set(op.peers) != expected:
+                findings.append(
+                    self.finding(
+                        f"ring topology declared but gossip round {k} pairs rank "
+                        f"{rank} with {sorted(op.peers)} instead of ring neighbors "
+                        f"{sorted(expected)}",
+                        rank=rank,
+                        seq=op.seq,
+                        step=op.step,
+                    )
+                )
+        return findings
+
+    def _check_p2p(self, subject: AnalysisSubject) -> List[Finding]:
+        trace = subject.trace
+        findings: List[Finding] = []
+        # Pair (src, dst, nbytes) sends against receives within each round.
+        rounds: Dict[int, Dict[str, List[CommOp]]] = {}
+        for rank in trace.ranks:
+            for op in trace.p2p_ops(rank):
+                rounds.setdefault(op.round, {"send": [], "recv": []})[op.kind].append(op)
+        for round_id in sorted(rounds):
+            sends = rounds[round_id]["send"]
+            recvs = rounds[round_id]["recv"]
+            unmatched = list(recvs)
+            for send in sends:
+                dst = send.peers[0] if send.peers else None
+                match = next(
+                    (
+                        r
+                        for r in unmatched
+                        if r.rank == dst and r.peers == (send.rank,) and r.nbytes == send.nbytes
+                    ),
+                    None,
+                )
+                if match is None:
+                    findings.append(
+                        self.finding(
+                            f"round {round_id}: send from rank {send.rank} to {dst} "
+                            f"({send.nbytes:.0f} B) has no matching recv",
+                            rank=send.rank,
+                            seq=send.seq,
+                            step=send.step,
+                        )
+                    )
+                else:
+                    unmatched.remove(match)
+            for recv in unmatched:
+                src = recv.peers[0] if recv.peers else None
+                findings.append(
+                    self.finding(
+                        f"round {round_id}: rank {recv.rank} expects {recv.nbytes:.0f} B "
+                        f"from rank {src} but no such send exists — the recv blocks "
+                        "forever",
+                        rank=recv.rank,
+                        seq=recv.seq,
+                        step=recv.step,
+                    )
+                )
+        return findings
+
+
+# ----------------------------------------------------------------------
+# overlap-race
+# ----------------------------------------------------------------------
+class OverlapRaceChecker(Checker):
+    """No local write to a bucket while its communication is in flight."""
+
+    rule = "overlap-race"
+
+    WRITE_KINDS = frozenset({"opt_step", "ef_write"})
+
+    def check(self, subject: AnalysisSubject) -> List[Finding]:
+        trace = subject.trace
+        if trace is None:
+            return []
+        findings: List[Finding] = []
+        for rank in trace.ranks:
+            outstanding: Dict[str, CommOp] = {}
+            for op in trace.ops_of(rank):
+                if op.kind == "issue":
+                    outstanding[op.bucket] = op
+                elif op.kind == "await":
+                    outstanding.pop(op.bucket, None)
+                elif op.kind in self.WRITE_KINDS:
+                    racing = (
+                        sorted(outstanding) if not op.bucket else
+                        ([op.bucket] if op.bucket in outstanding else [])
+                    )
+                    for bucket in racing:
+                        findings.append(
+                            self.finding(
+                                f"{op.kind} on {bucket} while its communication "
+                                f"(issued at op {outstanding[bucket].seq}) has not "
+                                "been awaited — the reduction would read or clobber "
+                                "concurrently-written memory",
+                                rank=rank,
+                                seq=op.seq,
+                                bucket=bucket,
+                                step=op.step,
+                            )
+                        )
+            for bucket, issue in sorted(outstanding.items()):
+                findings.append(
+                    self.finding(
+                        f"communication of {bucket} issued at op {issue.seq} is never "
+                        "awaited — its result is never observed and the next "
+                        "iteration races it",
+                        rank=rank,
+                        seq=issue.seq,
+                        bucket=bucket,
+                        step=issue.step,
+                    )
+                )
+        return findings
+
+
+# ----------------------------------------------------------------------
+# buffer-aliasing
+# ----------------------------------------------------------------------
+class BufferAliasingChecker(Checker):
+    """Bucket extents are disjoint; every param view stays inside its bucket."""
+
+    rule = "buffer-aliasing"
+
+    def check(self, subject: AnalysisSubject) -> List[Finding]:
+        findings: List[Finding] = []
+        extents = sorted(subject.layout, key=lambda e: (e.start, e.stop))
+        for a, b in zip(extents, extents[1:]):
+            if b.start < a.stop:
+                findings.append(
+                    self.finding(
+                        f"bucket {a.name} [{a.start}, {a.stop}) overlaps bucket "
+                        f"{b.name} [{b.start}, {b.stop}) — a reduction into one "
+                        "silently corrupts the other",
+                        bucket=a.name,
+                    )
+                )
+        for extent in subject.layout:
+            views = sorted(extent.views, key=lambda v: (v.start, v.stop))
+            for view in views:
+                if view.stop < view.start:
+                    findings.append(
+                        self.finding(
+                            f"param view {view.name} has negative extent "
+                            f"[{view.start}, {view.stop})",
+                            bucket=extent.name,
+                        )
+                    )
+                elif view.start < extent.start or view.stop > extent.stop:
+                    findings.append(
+                        self.finding(
+                            f"param view {view.name} [{view.start}, {view.stop}) "
+                            f"escapes bucket {extent.name} [{extent.start}, "
+                            f"{extent.stop}) — the flat view would touch foreign "
+                            "memory",
+                            bucket=extent.name,
+                        )
+                    )
+            for va, vb in zip(views, views[1:]):
+                if vb.start < va.stop:
+                    findings.append(
+                        self.finding(
+                            f"param views {va.name} and {vb.name} overlap inside "
+                            f"bucket {extent.name}",
+                            bucket=extent.name,
+                        )
+                    )
+        return findings
+
+
+# ----------------------------------------------------------------------
+# ef-invariant
+# ----------------------------------------------------------------------
+class EFInvariantChecker(Checker):
+    """Biased compressors require error-feedback residual state (§2.2)."""
+
+    rule = "ef-invariant"
+
+    def check(self, subject: AnalysisSubject) -> List[Finding]:
+        trace = subject.trace
+        if trace is None:
+            return []
+        findings: List[Finding] = []
+        for rank in trace.ranks:
+            for op in trace.collective_ops(rank):
+                if op.compressor and op.biased and not op.error_feedback:
+                    findings.append(
+                        self.finding(
+                            f"biased compressor {op.compressor!r} used in {op.kind} "
+                            "without error-feedback residual state — compression "
+                            "error accumulates and the convergence guarantees of "
+                            "error-compensated C_LP_S no longer hold",
+                            rank=rank,
+                            seq=op.seq,
+                            bucket=op.bucket or None,
+                            step=op.step,
+                        )
+                    )
+        return findings
+
+
+#: The default suite, in reporting order.
+ALL_CHECKERS: Tuple[Checker, ...] = (
+    RankSymmetryChecker(),
+    PeerMatchingChecker(),
+    OverlapRaceChecker(),
+    BufferAliasingChecker(),
+    EFInvariantChecker(),
+)
+
+
+def run_checkers(
+    subject: AnalysisSubject,
+    checkers: Optional[Sequence[Checker]] = None,
+) -> List[Finding]:
+    """Run ``checkers`` (default: the full suite) over one subject."""
+    findings: List[Finding] = []
+    for checker in checkers if checkers is not None else ALL_CHECKERS:
+        findings.extend(checker.check(subject))
+    return findings

@@ -1,0 +1,191 @@
+"""Comm-op IR: the static-analysis view of a BAGUA execution.
+
+Every analyzable artifact — a recorded dry run, a lowered
+:class:`~repro.core.optimizer_framework.ExecutionPlan`, or a hand-built
+counterexample in a test — is normalized into the same two structures:
+
+* a :class:`CommTrace` of per-rank :class:`CommOp` sequences.  One op is one
+  event in a rank's program order: a collective invocation, a point-to-point
+  send/recv, or a local scheduling event (communication issue/await,
+  optimizer update, error-feedback residual write);
+* a tuple of :class:`BucketExtent` records describing the address layout of
+  the fused buckets and the parameter views inside them.
+
+The checkers in :mod:`repro.analysis.checkers` consume only this IR, so the
+same rules apply to live traces and to plans that were never executed —
+exactly how the DAG model of S-SGD (Shi et al., 2018) treats communication
+schedules as statically analyzable dependency graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Optional, Tuple
+
+#: Op kinds with collective scope (all group members participate).
+COLLECTIVE_KINDS = frozenset(
+    {"allreduce", "compressed_allreduce", "gossip", "compressed_gossip", "barrier"}
+)
+#: Op kinds with point-to-point scope.
+P2P_KINDS = frozenset({"send", "recv"})
+#: Local scheduling kinds (no communication; used by the overlap analysis).
+SCHEDULE_KINDS = frozenset({"issue", "await", "opt_step", "ef_write"})
+
+
+@dataclass(frozen=True)
+class CommOp:
+    """One event in a single rank's communication/scheduling program.
+
+    ``seq`` is the op's position in the rank's program order; ``group`` is the
+    tuple of global ranks participating in a collective (empty for p2p and
+    local ops).  ``peers`` is the rank's own neighbor set for gossip ops, or
+    the single remote endpoint for send/recv.
+    """
+
+    rank: int
+    seq: int
+    kind: str
+    step: int = -1
+    round: int = -1
+    bucket: str = ""
+    elements: int = 0
+    nbytes: float = 0.0
+    compressor: str = ""
+    biased: bool = False
+    error_feedback: bool = False
+    peers: Tuple[int, ...] = ()
+    group: Tuple[int, ...] = ()
+
+    @property
+    def scope(self) -> str:
+        if self.kind in P2P_KINDS:
+            return "p2p"
+        if self.kind in SCHEDULE_KINDS:
+            return "schedule"
+        return "collective"
+
+    def signature(self) -> Tuple:
+        """What must match across ranks for the schedule to be symmetric.
+
+        Peer sets are deliberately excluded: decentralized ranks legally talk
+        to different neighbors, but kind, payload size and codec must agree.
+        """
+        return (self.kind, self.bucket, self.elements, self.compressor, self.error_feedback)
+
+    def describe(self) -> str:
+        parts = [self.kind]
+        if self.bucket:
+            parts.append(self.bucket)
+        if self.elements:
+            parts.append(f"{self.elements}el")
+        if self.compressor:
+            parts.append(self.compressor)
+        if self.peers:
+            parts.append(f"peers={list(self.peers)}")
+        return ":".join(str(p) for p in parts)
+
+
+class CommTrace:
+    """Per-rank op sequences for one analyzed execution (or plan)."""
+
+    def __init__(self, world_size: int) -> None:
+        if world_size < 1:
+            raise ValueError(f"world_size must be >= 1, got {world_size}")
+        self.world_size = world_size
+        self._ops: Dict[int, List[CommOp]] = {r: [] for r in range(world_size)}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add(self, rank: int, kind: str, **fields) -> CommOp:
+        """Append an op to ``rank``'s program; ``seq`` is assigned here."""
+        if not 0 <= rank < self.world_size:
+            raise ValueError(f"rank {rank} outside world of {self.world_size}")
+        op = CommOp(rank=rank, seq=len(self._ops[rank]), kind=kind, **fields)
+        self._ops[rank].append(op)
+        return op
+
+    def extend(self, ops: Iterable[CommOp]) -> None:
+        """Append pre-built ops, renumbering ``seq`` per rank."""
+        for op in ops:
+            self._ops[op.rank].append(replace(op, seq=len(self._ops[op.rank])))
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    @property
+    def ranks(self) -> List[int]:
+        return list(range(self.world_size))
+
+    def ops_of(self, rank: int) -> List[CommOp]:
+        return list(self._ops[rank])
+
+    def all_ops(self) -> List[CommOp]:
+        return [op for rank in self.ranks for op in self._ops[rank]]
+
+    def collective_ops(self, rank: int) -> List[CommOp]:
+        return [op for op in self._ops[rank] if op.scope == "collective"]
+
+    def p2p_ops(self, rank: int) -> List[CommOp]:
+        return [op for op in self._ops[rank] if op.scope == "p2p"]
+
+    def schedule_ops(self, rank: int) -> List[CommOp]:
+        return [op for op in self._ops[rank] if op.scope == "schedule"]
+
+    @property
+    def num_ops(self) -> int:
+        return sum(len(ops) for ops in self._ops.values())
+
+    def __repr__(self) -> str:
+        return f"CommTrace(world_size={self.world_size}, ops={self.num_ops})"
+
+
+# ----------------------------------------------------------------------
+# Bucket address layout
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ParamView:
+    """One parameter's slice of a bucket's (real or planned) address space."""
+
+    name: str
+    start: int
+    stop: int
+
+    @property
+    def size(self) -> int:
+        return self.stop - self.start
+
+
+@dataclass(frozen=True)
+class BucketExtent:
+    """A bucket's address range plus the parameter views it must contain.
+
+    Addresses are element offsets in a shared space: real byte/element
+    addresses for live flattened buckets, planned cumulative offsets for
+    lowered plans.  Two buckets whose extents intersect alias memory; a view
+    outside its bucket's extent reads or writes another bucket's data.
+    """
+
+    name: str
+    start: int
+    stop: int
+    views: Tuple[ParamView, ...] = ()
+
+    @property
+    def size(self) -> int:
+        return self.stop - self.start
+
+
+@dataclass
+class AnalysisSubject:
+    """Everything the checker suite needs about one analyzed execution."""
+
+    world_size: int
+    trace: Optional[CommTrace] = None
+    layout: Tuple[BucketExtent, ...] = ()
+    #: declared peer topology ("ring") when the algorithm commits to one;
+    #: peer-matching then verifies gossip neighbors against it.
+    expected_topology: Optional[str] = None
+    #: free-form description of where this subject came from (for reports).
+    source: str = ""
+    notes: Dict[str, object] = field(default_factory=dict)

@@ -1,0 +1,168 @@
+"""Lowering execution plans and live buckets into the comm-op IR.
+
+Two producers feed the checker suite without (or alongside) a dry run:
+
+* :func:`lower_plan` turns an :class:`ExecutionPlan` into the SPMD schedule
+  every rank would execute — communication issues at each bucket's gradient
+  -ready point (when overlap is on), awaits, the collective itself, and the
+  optimizer updates that must come after.  This is the static path: a plan
+  can be verified before anything runs;
+* :func:`layout_from_plan` / :func:`layout_from_buckets` produce the bucket
+  address layout, planned (cumulative offsets) or real (byte addresses of
+  the live flattened buffers), for the aliasing analysis.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..compression.base import Compressor
+from ..core.bucket import TensorBucket
+from ..core.optimizer_framework import ExecutionPlan
+from .ir import AnalysisSubject, BucketExtent, CommTrace, ParamView
+
+
+def lower_plan(
+    plan: ExecutionPlan,
+    world_size: int,
+    compressor: Optional[Compressor] = None,
+    error_feedback: bool = False,
+) -> AnalysisSubject:
+    """Lower ``plan`` into the per-rank schedule trace + planned layout.
+
+    The schedule is identical on every rank (the plan is SPMD by
+    construction); the value of lowering is that checkers then prove
+    properties of the *schedule shape* — every optimizer update on a bucket
+    is preceded by the await of that bucket's communication, sizes agree,
+    and the planned extents do not alias.
+    """
+    trace = CommTrace(world_size)
+    units = plan.communication_units()
+    codec = compressor.name if compressor is not None else ""
+    biased = bool(getattr(compressor, "biased", False)) if compressor is not None else False
+    kind = "compressed_allreduce" if compressor is not None else "allreduce"
+    group = tuple(range(world_size))
+
+    for rank in range(world_size):
+        peers = tuple(r for r in group if r != rank)
+        if plan.config.overlap:
+            # Issue each bucket's communication at its gradient-ready point,
+            # concurrent with the rest of backward; await everything at the
+            # end, then update.
+            for unit in units:
+                trace.add(rank, "issue", bucket=f"bucket{unit.index}", elements=unit.elements)
+            for unit in units:
+                trace.add(rank, "await", bucket=f"bucket{unit.index}", elements=unit.elements)
+                trace.add(
+                    rank,
+                    kind,
+                    bucket=f"bucket{unit.index}",
+                    elements=unit.elements,
+                    compressor=codec,
+                    biased=biased,
+                    error_feedback=error_feedback,
+                    peers=peers,
+                    group=group,
+                )
+        else:
+            # No overlap: communication blocks, issue/await adjacent.
+            for unit in units:
+                trace.add(rank, "issue", bucket=f"bucket{unit.index}", elements=unit.elements)
+                trace.add(rank, "await", bucket=f"bucket{unit.index}", elements=unit.elements)
+                trace.add(
+                    rank,
+                    kind,
+                    bucket=f"bucket{unit.index}",
+                    elements=unit.elements,
+                    compressor=codec,
+                    biased=biased,
+                    error_feedback=error_feedback,
+                    peers=peers,
+                    group=group,
+                )
+        for unit in units:
+            trace.add(rank, "opt_step", bucket=f"bucket{unit.index}", elements=unit.elements)
+
+    return AnalysisSubject(
+        world_size=world_size,
+        trace=trace,
+        layout=layout_from_plan(plan),
+        source=f"plan({plan.config.describe()})",
+    )
+
+
+def layout_from_plan(plan: ExecutionPlan) -> Tuple[BucketExtent, ...]:
+    """Planned bucket layout: buckets packed back-to-back in one address space."""
+    extents: List[BucketExtent] = []
+    base = 0
+    for bucket in plan.buckets:
+        views = []
+        offset = base
+        for record in bucket.records:
+            views.append(ParamView(name=record.name, start=offset, stop=offset + record.elements))
+            offset += record.elements
+        extents.append(
+            BucketExtent(
+                name=f"bucket{bucket.index}",
+                start=base,
+                stop=base + bucket.elements,
+                views=tuple(views),
+            )
+        )
+        base += bucket.elements
+    return tuple(extents)
+
+
+def layout_from_buckets(buckets: Sequence[TensorBucket]) -> Tuple[BucketExtent, ...]:
+    """Real layout of live buckets.
+
+    Flattened buckets use actual byte addresses — a parameter whose storage
+    was not re-pointed into the fused buffer, or two buffers that genuinely
+    share memory, show up as real aliasing violations.  Non-flattened buckets
+    have no shared buffer; they get synthetic back-to-back extents so the
+    structural checks (views inside extent, no cross-bucket overlap) still
+    apply.
+    """
+    flattened = [b for b in buckets if b.buffer is not None]
+    if len(flattened) == len(buckets):
+        extents = []
+        for bucket in buckets:
+            buffer = bucket.buffer
+            base = buffer.__array_interface__["data"][0]
+            views = []
+            for i, (param, lo, hi) in enumerate(bucket.param_slices()):
+                addr = param.data.__array_interface__["data"][0]
+                views.append(
+                    ParamView(
+                        name=f"{bucket.name}[{i}]",
+                        start=addr,
+                        stop=addr + param.data.nbytes,
+                    )
+                )
+            extents.append(
+                BucketExtent(
+                    name=bucket.name,
+                    start=base,
+                    stop=base + buffer.nbytes,
+                    views=tuple(views),
+                )
+            )
+        return tuple(extents)
+
+    # Unflattened (or mixed): synthetic contiguous address space.
+    extents = []
+    base = 0
+    for bucket in buckets:
+        views = []
+        for i, (_param, lo, hi) in enumerate(bucket.param_slices()):
+            views.append(ParamView(name=f"{bucket.name}[{i}]", start=base + lo, stop=base + hi))
+        extents.append(
+            BucketExtent(
+                name=bucket.name,
+                start=base,
+                stop=base + bucket.total_elements,
+                views=tuple(views),
+            )
+        )
+        base += bucket.total_elements
+    return tuple(extents)

@@ -1,0 +1,130 @@
+"""Trace recorder: instrumentation mode for the simulated communication stack.
+
+A :class:`TraceRecorder` installs on a
+:class:`~repro.cluster.transport.Transport` and passively logs every
+communication event into the comm-op IR:
+
+* :meth:`on_exchange` — called by the transport for every point-to-point
+  message round; records a ``send`` op at the source rank and a ``recv`` op
+  at the destination rank (with wire size, so compressed traffic is visible);
+* :meth:`on_collective` — called by the primitives in
+  :mod:`repro.core.primitives` at every invocation; records one op per group
+  member carrying the payload size, codec, error-feedback flag and the
+  member's peer set;
+* :meth:`on_local` — called by the engine for local scheduling events
+  (optimizer updates on buckets).
+
+Recording is an explicit mode: nothing is logged until ``install`` (or the
+``recording`` context manager) attaches the recorder, and the hot path pays
+one attribute check per round when not recording.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional, Sequence
+
+from ..cluster.transport import Message, Transport
+from .ir import CommTrace
+
+
+class TraceRecorder:
+    """Accumulates a :class:`CommTrace` from live instrumentation callbacks."""
+
+    def __init__(self, world_size: int) -> None:
+        self.trace = CommTrace(world_size)
+        self._step = -1
+        self._round = 0
+        self._transport: Optional[Transport] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def install(self, transport: Transport) -> "TraceRecorder":
+        if transport.tracer is not None and transport.tracer is not self:
+            raise RuntimeError("transport already has a tracer installed")
+        transport.tracer = self
+        self._transport = transport
+        return self
+
+    def uninstall(self) -> None:
+        if self._transport is not None and self._transport.tracer is self:
+            self._transport.tracer = None
+        self._transport = None
+
+    def begin_step(self, step: int) -> None:
+        """Mark the start of training iteration ``step`` for subsequent ops."""
+        self._step = step
+
+    # ------------------------------------------------------------------
+    # Instrumentation callbacks
+    # ------------------------------------------------------------------
+    def on_exchange(self, messages: Sequence[Message]) -> None:
+        round_id = self._round
+        self._round += 1
+        for message in messages:
+            self.trace.add(
+                message.src,
+                "send",
+                step=self._step,
+                round=round_id,
+                nbytes=float(message.nbytes),
+                peers=(message.dst,),
+            )
+            self.trace.add(
+                message.dst,
+                "recv",
+                step=self._step,
+                round=round_id,
+                nbytes=float(message.nbytes),
+                peers=(message.src,),
+            )
+
+    def on_collective(
+        self,
+        group,
+        kind: str,
+        elements: int,
+        bucket: str = "",
+        compressor: str = "",
+        biased: bool = False,
+        error_feedback: bool = False,
+        peers_by_member: Optional[Sequence[Sequence[int]]] = None,
+    ) -> None:
+        """Record one collective invocation as an op on every group member.
+
+        ``peers_by_member[i]`` holds member ``i``'s neighbor *indices within
+        the group* (gossip primitives); they are translated to global ranks.
+        Without it, every member's peer set is the whole rest of the group.
+        """
+        ranks = tuple(group.ranks)
+        for i, rank in enumerate(ranks):
+            if peers_by_member is not None:
+                peers = tuple(ranks[j] for j in peers_by_member[i])
+            else:
+                peers = tuple(r for r in ranks if r != rank)
+            self.trace.add(
+                rank,
+                kind,
+                step=self._step,
+                bucket=bucket,
+                elements=int(elements),
+                compressor=compressor,
+                biased=biased,
+                error_feedback=error_feedback,
+                peers=peers,
+                group=ranks,
+            )
+
+    def on_local(self, rank: int, kind: str, bucket: str = "", elements: int = 0) -> None:
+        self.trace.add(rank, kind, step=self._step, bucket=bucket, elements=int(elements))
+
+
+@contextmanager
+def recording(transport: Transport) -> Iterator[TraceRecorder]:
+    """Context manager: record all traffic on ``transport`` while inside."""
+    recorder = TraceRecorder(transport.spec.world_size).install(transport)
+    try:
+        yield recorder
+    finally:
+        recorder.uninstall()

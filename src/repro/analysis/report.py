@@ -1,0 +1,142 @@
+"""Findings and reports: the analyzer's structured output.
+
+A :class:`Finding` is one rule violation pinned to (rule, severity, rank,
+op index, bucket).  :class:`AnalysisReport` aggregates findings for one
+algorithm; :class:`SweepReport` aggregates reports across the registry for
+``python -m repro analyze --all``.  Both render as text or plain dicts (for
+``--json``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+SEVERITIES = ("error", "warning", "info")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation (or advisory) discovered by a checker."""
+
+    rule: str
+    severity: str
+    message: str
+    rank: Optional[int] = None
+    seq: Optional[int] = None
+    bucket: Optional[str] = None
+    step: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(f"severity must be one of {SEVERITIES}, got {self.severity!r}")
+
+    def location(self) -> str:
+        parts = []
+        if self.rank is not None:
+            parts.append(f"rank {self.rank}")
+        if self.seq is not None:
+            parts.append(f"op {self.seq}")
+        if self.bucket:
+            parts.append(self.bucket)
+        if self.step is not None and self.step >= 0:
+            parts.append(f"step {self.step}")
+        return ", ".join(parts)
+
+    def render(self) -> str:
+        where = self.location()
+        suffix = f" [{where}]" if where else ""
+        return f"{self.severity.upper()} {self.rule}: {self.message}{suffix}"
+
+    def to_dict(self) -> Dict:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "message": self.message,
+            "rank": self.rank,
+            "seq": self.seq,
+            "bucket": self.bucket,
+            "step": self.step,
+        }
+
+
+@dataclass
+class AnalysisReport:
+    """All findings for one algorithm on one cluster shape."""
+
+    algorithm: str
+    world: str
+    checkers: List[str] = field(default_factory=list)
+    findings: List[Finding] = field(default_factory=list)
+    num_ops: int = 0
+    sources: List[str] = field(default_factory=list)
+
+    @property
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == "error"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def rules_fired(self) -> List[str]:
+        return sorted({f.rule for f in self.findings})
+
+    def render(self) -> str:
+        status = "PASS" if self.ok else "FAIL"
+        lines = [
+            f"{status} {self.algorithm} on {self.world}: "
+            f"{self.num_ops} ops, {len(self.checkers)} checkers, "
+            f"{len(self.findings)} finding(s)"
+        ]
+        for source in self.sources:
+            lines.append(f"  analyzed: {source}")
+        for finding in self.findings:
+            lines.append(f"  {finding.render()}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict:
+        return {
+            "algorithm": self.algorithm,
+            "world": self.world,
+            "ok": self.ok,
+            "num_ops": self.num_ops,
+            "checkers": list(self.checkers),
+            "sources": list(self.sources),
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+
+@dataclass
+class SweepReport:
+    """One :class:`AnalysisReport` per registered algorithm."""
+
+    reports: List[AnalysisReport] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(r.ok for r in self.reports)
+
+    def render(self) -> str:
+        width = max((len(r.algorithm) for r in self.reports), default=10)
+        lines = [f"{'algorithm'.ljust(width)}  status  ops    findings"]
+        for report in self.reports:
+            status = "PASS" if report.ok else "FAIL"
+            lines.append(
+                f"{report.algorithm.ljust(width)}  {status:6s}  {report.num_ops:<5d}  "
+                f"{len(report.findings)}"
+            )
+        failing = [r for r in self.reports if not r.ok]
+        for report in failing:
+            lines.append("")
+            lines.append(report.render())
+        total = sum(len(r.findings) for r in self.reports)
+        lines.append("")
+        lines.append(
+            f"{len(self.reports)} algorithm(s), {total} finding(s), "
+            f"{len(failing)} failing"
+        )
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict:
+        return {"ok": self.ok, "reports": [r.to_dict() for r in self.reports]}

@@ -99,6 +99,9 @@ class Transport:
         self.spec = spec
         self.clocks: List[VirtualClock] = [VirtualClock() for _ in range(spec.world_size)]
         self.stats = TrafficStats()
+        # Optional instrumentation sink (repro.analysis.recorder.TraceRecorder):
+        # when set, every exchanged round is reported before delivery.
+        self.tracer = None
 
     # ------------------------------------------------------------------
     # Time
@@ -139,6 +142,8 @@ class Transport:
         on this: non-neighbors do not synchronize).
         """
         self.stats.rounds += 1
+        if self.tracer is not None:
+            self.tracer.on_exchange(messages)
         egress_free: Dict[Tuple[int, str], float] = {}
         ingress_free: Dict[Tuple[int, str], float] = {}
         arrivals: Dict[int, float] = {}

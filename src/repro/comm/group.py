@@ -35,6 +35,11 @@ class CommGroup:
     def spec(self):
         return self.transport.spec
 
+    @property
+    def tracer(self):
+        """The transport's installed trace recorder, or ``None``."""
+        return self.transport.tracer
+
     def index_of(self, rank: int) -> int:
         return self.ranks.index(rank)
 

@@ -40,6 +40,11 @@ class Compressor:
     #: short identifier used in registries and reports
     name: str = "identity"
 
+    #: True when ``E[decompress(compress(x))] != x``.  Biased codecs need
+    #: error-feedback residual state to converge (paper §2.2); the analyzer's
+    #: ``ef-invariant`` rule enforces exactly this flag.
+    biased: bool = False
+
     def compress(self, array: np.ndarray) -> CompressedPayload:
         raise NotImplementedError
 

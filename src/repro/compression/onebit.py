@@ -16,6 +16,7 @@ from .base import CompressedPayload, Compressor
 
 class OneBitCompressor(Compressor):
     name = "1bit"
+    biased = True
 
     def compress(self, array: np.ndarray) -> CompressedPayload:
         array = np.asarray(array, dtype=np.float64)

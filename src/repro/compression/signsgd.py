@@ -14,6 +14,7 @@ from .base import CompressedPayload, Compressor
 
 class SignSGDCompressor(Compressor):
     name = "signsgd"
+    biased = True
 
     def compress(self, array: np.ndarray) -> CompressedPayload:
         array = np.asarray(array, dtype=np.float64).reshape(-1)

@@ -15,6 +15,8 @@ from .base import CompressedPayload, Compressor
 class TopKCompressor(Compressor):
     """Keep a ``ratio`` fraction (at least one) of entries by magnitude."""
 
+    biased = True
+
     def __init__(self, ratio: float = 0.01) -> None:
         if not 0.0 < ratio <= 1.0:
             raise ValueError(f"ratio must be in (0, 1], got {ratio}")

@@ -46,6 +46,21 @@ class TensorBucket:
         self._buffer = buffer
 
     # ------------------------------------------------------------------
+    # Introspection (used by repro.analysis)
+    # ------------------------------------------------------------------
+    @property
+    def buffer(self) -> Optional[np.ndarray]:
+        """The fused backing buffer, or ``None`` when not flattened."""
+        return self._buffer
+
+    def param_slices(self) -> List[tuple]:
+        """``(param, start, stop)`` element offsets of each parameter."""
+        return [
+            (p, int(lo), int(hi))
+            for p, lo, hi in zip(self.params, self._offsets, self._offsets[1:])
+        ]
+
+    # ------------------------------------------------------------------
     # Flat views of parameters
     # ------------------------------------------------------------------
     def flat_data(self) -> np.ndarray:

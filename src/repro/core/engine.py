@@ -68,6 +68,12 @@ class WorkerReplica:
         buckets are flattened the update is in place on the fused buffers;
         otherwise results are scattered back to the parameters.
         """
+        tracer = self.ctx.transport.tracer
+        if tracer is not None:
+            for bucket in self.buckets:
+                tracer.on_local(
+                    self.rank, "opt_step", bucket=bucket.name, elements=bucket.total_elements
+                )
         arrays = [b.flat_data() for b in self.buckets]
         if grads is None:
             grads = [b.flat_grad() for b in self.buckets]

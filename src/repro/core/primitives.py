@@ -33,6 +33,21 @@ from ..cluster.transport import Message
 
 
 # ----------------------------------------------------------------------
+# Instrumentation
+# ----------------------------------------------------------------------
+def _trace_collective(group: CommGroup, kind: str, elements: int, **meta) -> None:
+    """Report one collective invocation to an installed trace recorder.
+
+    A no-op unless a :class:`repro.analysis.recorder.TraceRecorder` is
+    attached to the group's transport — the analysis subsystem's view into
+    which primitives ran, with what payloads, codecs and peer sets.
+    """
+    tracer = group.tracer
+    if tracer is not None:
+        tracer.on_collective(group, kind, elements, **meta)
+
+
+# ----------------------------------------------------------------------
 # Centralized
 # ----------------------------------------------------------------------
 def c_fp_s(
@@ -41,6 +56,7 @@ def c_fp_s(
     hierarchical: bool = False,
 ) -> List[np.ndarray]:
     """Centralized full-precision sum: ``x'_i = sum_j x_j`` for all i."""
+    _trace_collective(group, "allreduce", arrays[0].size)
     if hierarchical:
         return HierarchicalComm(group).allreduce(arrays)
     return scatter_reduce(arrays, group)
@@ -75,6 +91,14 @@ def c_lp_s(
     use_ef = worker_errors is not None
     if use_ef and (len(worker_errors) != group.size or len(server_errors) != group.size):
         raise ValueError("need one error-feedback store per group member")
+    _trace_collective(
+        group,
+        "compressed_allreduce",
+        arrays[0].size,
+        compressor=compressor.name,
+        biased=compressor.biased,
+        error_feedback=use_ef,
+    )
 
     if use_ef:
         def compress1(chunk: np.ndarray, member: int, chunk_id: int):
@@ -191,6 +215,7 @@ def d_fp_s(
         return HierarchicalComm(group).decentralized_average(arrays, exchange)
 
     neighbor_sets = peers.neighbors(group.size, step)
+    _trace_collective(group, "gossip", arrays[0].size, peers_by_member=neighbor_sets)
     received = _peer_exchange([a.astype(np.float64, copy=False) for a in arrays], neighbor_sets, group)
     results = []
     for i in range(group.size):
@@ -223,6 +248,14 @@ def d_lp_s(
         return HierarchicalComm(group).decentralized_average(arrays, exchange)
 
     neighbor_sets = peers.neighbors(group.size, step)
+    _trace_collective(
+        group,
+        "compressed_gossip",
+        arrays[0].size,
+        compressor=compressor.name,
+        biased=compressor.biased,
+        peers_by_member=neighbor_sets,
+    )
     payloads = [compressor.compress(a) for a in arrays]
     received = _peer_exchange(payloads, neighbor_sets, group)
     results = []

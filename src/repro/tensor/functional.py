@@ -403,7 +403,6 @@ def layer_norm(x: Tensor, weight: Tensor, bias: Tensor, eps: float = 1e-5) -> Te
             axes = tuple(range(grad.ndim - 1))
             bias._accumulate(grad.sum(axis=axes))
         if x.requires_grad:
-            n = x.data.shape[-1]
             dxhat = grad * weight.data
             dx = (
                 dxhat

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.cluster import ClusterSpec, Transport
 from repro.comm import (
     CommGroup,
     allgather_payloads,

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.comm import CommGroup, HierarchicalComm, ring_allreduce, scatter_reduce
+from repro.comm import HierarchicalComm, ring_allreduce, scatter_reduce
 from repro.compression import QSGDCompressor
 
 from .conftest import make_group

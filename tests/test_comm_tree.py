@@ -5,7 +5,7 @@ import math
 import numpy as np
 import pytest
 
-from repro.comm import CommGroup, tree_allreduce, tree_broadcast, tree_reduce
+from repro.comm import tree_allreduce, tree_broadcast, tree_reduce
 
 from .conftest import make_group
 

@@ -18,7 +18,6 @@ from repro.models import (
     lstm_layer,
     vgg16_spec,
 )
-from repro.tensor import Tensor
 
 
 class TestLayerSpecs:

@@ -1,7 +1,6 @@
 """Report renderers and worker-context plumbing."""
 
 import numpy as np
-import pytest
 
 from repro.cluster import ClusterSpec, Transport, make_workers
 from repro.experiments.report import render_series, render_table

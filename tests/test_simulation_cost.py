@@ -5,7 +5,7 @@ import pytest
 
 from repro.cluster import ClusterSpec, Transport
 from repro.comm import CommGroup, ring_allreduce, scatter_reduce
-from repro.compression import FP16Compressor, OneBitCompressor, QSGDCompressor
+from repro.compression import OneBitCompressor, QSGDCompressor
 from repro.core.primitives import RingPeers, d_fp_s
 from repro.simulation import CommCostModel
 from repro.simulation.patterns import (

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cluster import ClusterSpec, TCP_10G, TCP_100G, paper_cluster
+from repro.cluster import ClusterSpec, paper_cluster
 from repro.core import BaguaConfig
 from repro.models import bert_large_spec, vgg16_spec
 from repro.simulation import (

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.tensor import LSTM, LSTMCell, MultiHeadAttention, Tensor, TransformerEncoderLayer
-from repro.tensor import functional as F
 
 
 class TestLSTMCell:
