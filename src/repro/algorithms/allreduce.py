@@ -9,18 +9,19 @@ from ..core.primitives import c_fp_s
 class AllreduceSGD(Algorithm):
     """Textbook data-parallel SGD: average gradients, then step.
 
-    Every bucket's gradients are summed across workers with the centralized
-    full-precision primitive and divided by the world size, after which each
-    worker applies its own optimizer — replicas stay bit-identical.
+    Each bucket's gradients are summed across workers with the centralized
+    full-precision primitive and divided by the world size the moment the
+    bucket is ready, after which each worker steps its optimizer on that
+    bucket alone — replicas stay bit-identical, and the scheduler can
+    overlap bucket k's reduction with the backward of earlier layers.
     """
 
     name = "allreduce"
 
-    def on_backward_done(self, engine: BaguaEngine, step: int) -> None:
+    def comm_bucket(self, engine: BaguaEngine, k: int, step: int) -> None:
         n = engine.world_size
-        for k in range(engine.num_buckets):
-            grads = engine.grads_of_bucket(k)
-            summed = c_fp_s(grads, engine.group, hierarchical=engine.hierarchical)
-            engine.set_grads_of_bucket(k, [s / n for s in summed])
+        grads = engine.grads_of_bucket(k)
+        summed = c_fp_s(grads, engine.group, hierarchical=engine.hierarchical)
+        engine.set_grads_of_bucket(k, [s / n for s in summed])
         for worker in engine.workers:
-            worker.optimizer_step_on_buckets()
+            worker.optimizer_step_on_bucket(k)

@@ -57,35 +57,28 @@ class AsyncQSGD(Algorithm):
             self.lr /= engine.world_size
         self._server_rank = engine.group.ranks[0]
 
-    def on_backward_done(self, engine: BaguaEngine, step: int) -> None:
+    def comm_bucket(self, engine: BaguaEngine, k: int, step: int) -> None:
         group = engine.group
         n = engine.world_size
         order = [(step + i) % n for i in range(n)]
         for i in order:
             worker = engine.workers[i]
-            # Push: quantized gradients (wire size = compressed size).
-            payloads = [
-                self.compressor.compress(b.flat_grad()) for b in worker.buckets
-            ]
+            bucket = worker.buckets[k]
+            # Push: quantized gradient (wire size = compressed size).
+            payload = self.compressor.compress(bucket.flat_grad())
             if worker.rank != self._server_rank:
                 group.transport.exchange(
-                    [Message(worker.rank, self._server_rank, payloads)]
+                    [Message(worker.rank, self._server_rank, payload)]
                 )
-            for server_x, payload in zip(self._server, payloads):
-                server_x -= self.lr * self.compressor.decompress(payload)
+            self._server[k] -= self.lr * self.compressor.decompress(payload)
             # Pull: quantized model *delta* against the worker's current copy
             # (absolute weights do not survive aggressive quantization).
-            deltas = [
-                self.compressor.compress(server_x - bucket.flat_data())
-                for server_x, bucket in zip(self._server, worker.buckets)
-            ]
+            delta = self.compressor.compress(self._server[k] - bucket.flat_data())
             if worker.rank != self._server_rank:
                 group.transport.exchange(
-                    [Message(self._server_rank, worker.rank, deltas)]
+                    [Message(self._server_rank, worker.rank, delta)]
                 )
-            for bucket, payload in zip(worker.buckets, deltas):
-                updated = bucket.flat_data() + self.compressor.decompress(payload)
-                bucket.set_flat_data(updated)
+            bucket.set_flat_data(bucket.flat_data() + self.compressor.decompress(delta))
 
 
 class AsyncDecentralizedSGD(Algorithm):
@@ -106,21 +99,22 @@ class AsyncDecentralizedSGD(Algorithm):
             for worker in engine.workers
         ]
 
-    def on_backward_done(self, engine: BaguaEngine, step: int) -> None:
+    def comm_bucket(self, engine: BaguaEngine, k: int, step: int) -> None:
         n = engine.world_size
         group = engine.group
 
         # Local optimizer step — never waits for anyone.
         for worker in engine.workers:
-            worker.optimizer_step_on_buckets()
+            worker.optimizer_step_on_bucket(k)
 
-        # Publish (possibly stale from then on) snapshots.
+        # Publish (possibly stale from then on) this bucket's snapshot.
         if step % self.publish_interval == 0:
             for i, worker in enumerate(engine.workers):
-                for k, bucket in enumerate(worker.buckets):
-                    self._mailbox[i][k] = bucket.flat_data().copy()
+                self._mailbox[i][k] = worker.buckets[k].flat_data().copy()
 
-        # Each worker averages with one random peer's published snapshot.
+        # Each worker averages with one random peer's published snapshot;
+        # the permutation is seeded by the step, so every bucket of one
+        # iteration pairs with the same peer.
         rng = np.random.default_rng(np.random.SeedSequence([self.seed, step]))
         peers = rng.permutation(n)
         messages = []
@@ -128,7 +122,7 @@ class AsyncDecentralizedSGD(Algorithm):
             j = int(peers[i])
             if j != i:
                 messages.append(
-                    Message(group.ranks[j], group.ranks[i], self._mailbox[j])
+                    Message(group.ranks[j], group.ranks[i], self._mailbox[j][k])
                 )
         if messages:
             group.transport.exchange(messages)
@@ -136,7 +130,5 @@ class AsyncDecentralizedSGD(Algorithm):
             j = int(peers[i])
             if j == i:
                 continue
-            worker = engine.workers[i]
-            for k, bucket in enumerate(worker.buckets):
-                averaged = 0.5 * (bucket.flat_data() + self._mailbox[j][k])
-                bucket.set_flat_data(averaged)
+            bucket = engine.workers[i].buckets[k]
+            bucket.set_flat_data(0.5 * (bucket.flat_data() + self._mailbox[j][k]))

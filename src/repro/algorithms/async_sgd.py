@@ -59,26 +59,29 @@ class AsyncSGD(Algorithm):
             self.lr /= engine.world_size
         self._server_rank = engine.group.ranks[0]
 
-    def on_backward_done(self, engine: BaguaEngine, step: int) -> None:
+    def comm_bucket(self, engine: BaguaEngine, k: int, step: int) -> None:
+        # Server bucket states are independent, so the per-worker rotation
+        # replays per bucket with identical staleness: a worker's pull of
+        # bucket k still observes exactly the earlier workers' pushes of
+        # bucket k this round.
         n = engine.world_size
         group = engine.group
         order = [(step + i) % n for i in range(n)]
 
         for i in order:
             worker = engine.workers[i]
-            grads = worker.bucket_grads()
+            g = worker.buckets[k].flat_grad()
             # Push: gradient travels to the server host (no-op for rank 0).
             if worker.rank != self._server_rank:
                 group.transport.exchange(
-                    [Message(worker.rank, self._server_rank, grads)]
+                    [Message(worker.rank, self._server_rank, g)]
                 )
-            for server_x, g in zip(self._server, grads):
-                server_x -= self.lr * g
+            self._server[k] -= self.lr * g
             # Pull: only every pull_interval steps; stale in between.
             if step % self.pull_interval == 0:
-                snapshot = [x.copy() for x in self._server]
+                snapshot = self._server[k].copy()
                 if worker.rank != self._server_rank:
                     group.transport.exchange(
                         [Message(self._server_rank, worker.rank, snapshot)]
                     )
-                worker.set_bucket_weights(snapshot)
+                worker.buckets[k].set_flat_data(snapshot)

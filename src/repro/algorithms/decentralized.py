@@ -27,21 +27,22 @@ class DecentralizedSGD(Algorithm):
         self.peers = _make_peer_selector(topology, seed)
         self.topology = topology
 
-    def on_backward_done(self, engine: BaguaEngine, step: int) -> None:
-        # Local model update first (no gradient synchronization at all).
+    def comm_bucket(self, engine: BaguaEngine, k: int, step: int) -> None:
+        # Local model update first (no gradient synchronization at all);
+        # the peer matching is a function of ``step`` alone, so every bucket
+        # of one iteration gossips with the same partner.
         for worker in engine.workers:
-            worker.optimizer_step_on_buckets()
-        # Then gossip-average weights with this step's peers.
-        for k in range(engine.num_buckets):
-            weights = engine.weights_of_bucket(k)
-            averaged = d_fp_s(
-                weights,
-                engine.group,
-                peers=self.peers,
-                step=step,
-                hierarchical=engine.hierarchical,
-            )
-            engine.set_weights_of_bucket(k, averaged)
+            worker.optimizer_step_on_bucket(k)
+        # Then gossip-average this bucket's weights with the step's peers.
+        weights = engine.weights_of_bucket(k)
+        averaged = d_fp_s(
+            weights,
+            engine.group,
+            peers=self.peers,
+            step=step,
+            hierarchical=engine.hierarchical,
+        )
+        engine.set_weights_of_bucket(k, averaged)
 
 
 def _make_peer_selector(topology: str, seed: int) -> PeerSelector:

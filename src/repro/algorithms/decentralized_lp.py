@@ -55,55 +55,54 @@ class LowPrecisionDecentralizedSGD(Algorithm):
             worker.state["views"] = views
             worker.state["neighbors"] = neighbor_sets[i]
 
-    def on_backward_done(self, engine: BaguaEngine, step: int) -> None:
+    def comm_bucket(self, engine: BaguaEngine, k: int, step: int) -> None:
         for worker in engine.workers:
-            worker.optimizer_step_on_buckets()
+            worker.optimizer_step_on_bucket(k)
 
         n = engine.world_size
         group = engine.group
         neighbor_sets = self.peers.neighbors(n, step)
-        for k in range(engine.num_buckets):
-            if group.tracer is not None:
-                group.tracer.on_collective(
-                    group,
-                    "compressed_gossip",
-                    engine.workers[0].buckets[k].total_elements,
-                    bucket=engine.workers[0].buckets[k].name,
-                    compressor=self.compressor.name,
-                    biased=self.compressor.biased,
-                    peers_by_member=neighbor_sets,
-                )
-            # Compress each worker's delta against its own public view.
-            payloads = []
-            for i, worker in enumerate(engine.workers):
-                x = worker.buckets[k].flat_data()
-                view_self = worker.state["views"][k][i]
-                payloads.append(self.compressor.compress(x - view_self))
+        if group.tracer is not None:
+            group.tracer.on_collective(
+                group,
+                "compressed_gossip",
+                engine.workers[0].buckets[k].total_elements,
+                bucket=engine.workers[0].buckets[k].name,
+                compressor=self.compressor.name,
+                biased=self.compressor.biased,
+                peers_by_member=neighbor_sets,
+            )
+        # Compress each worker's delta against its own public view.
+        payloads = []
+        for i, worker in enumerate(engine.workers):
+            x = worker.buckets[k].flat_data()
+            view_self = worker.state["views"][k][i]
+            payloads.append(self.compressor.compress(x - view_self))
 
-            # One message round around the ring with the compressed deltas.
-            messages = []
-            for i, worker in enumerate(engine.workers):
-                for j in worker.state["neighbors"]:
-                    messages.append(Message(group.ranks[i], group.ranks[j], (i, payloads[i])))
-            inbox = group.transport.exchange(messages) if messages else {}
+        # One message round around the ring with the compressed deltas.
+        messages = []
+        for i, worker in enumerate(engine.workers):
+            for j in worker.state["neighbors"]:
+                messages.append(Message(group.ranks[i], group.ranks[j], (i, payloads[i])))
+        inbox = group.transport.exchange(messages) if messages else {}
 
-            # Everyone folds the traveling deltas into the shared views.
-            for i, worker in enumerate(engine.workers):
-                delta_self = self.compressor.decompress(payloads[i])
-                worker.state["views"][k][i] += delta_self
-            received: List[Dict[int, np.ndarray]] = [{} for _ in range(n)]
-            for j in range(n):
-                for msg in inbox.get(group.ranks[j], []):
-                    src, payload = msg.payload
-                    delta = self.compressor.decompress(payload)
-                    engine.workers[j].state["views"][k][src] += delta
-                    received[j][src] = engine.workers[j].state["views"][k][src]
+        # Everyone folds the traveling deltas into the shared views.
+        for i, worker in enumerate(engine.workers):
+            delta_self = self.compressor.decompress(payloads[i])
+            worker.state["views"][k][i] += delta_self
+        received: List[Dict[int, np.ndarray]] = [{} for _ in range(n)]
+        for j in range(n):
+            for msg in inbox.get(group.ranks[j], []):
+                src, payload = msg.payload
+                delta = self.compressor.decompress(payload)
+                engine.workers[j].state["views"][k][src] += delta
+                received[j][src] = engine.workers[j].state["views"][k][src]
 
-            # Gossip average with reconstructed neighbor weights.
-            for i, worker in enumerate(engine.workers):
-                x = worker.buckets[k].flat_data().copy()
-                acc = x.copy()
-                for _src, neighbor_weights in sorted(received[i].items()):
-                    acc += neighbor_weights
-                averaged = acc / (1 + len(received[i]))
-                worker.buckets[k].set_flat_data(averaged)
+        # Gossip average with reconstructed neighbor weights.
+        for i, worker in enumerate(engine.workers):
+            x = worker.buckets[k].flat_data().copy()
+            acc = x.copy()
+            for _src, neighbor_weights in sorted(received[i].items()):
+                acc += neighbor_weights
+            averaged = acc / (1 + len(received[i]))
+            worker.buckets[k].set_flat_data(averaged)

@@ -21,13 +21,12 @@ class LocalSGD(Algorithm):
             raise ValueError(f"frequency must be >= 1, got {frequency}")
         self.frequency = frequency
 
-    def on_backward_done(self, engine: BaguaEngine, step: int) -> None:
+    def comm_bucket(self, engine: BaguaEngine, k: int, step: int) -> None:
         for worker in engine.workers:
-            worker.optimizer_step_on_buckets()
+            worker.optimizer_step_on_bucket(k)
         if (step + 1) % self.frequency != 0:
             return
         n = engine.world_size
-        for k in range(engine.num_buckets):
-            weights = engine.weights_of_bucket(k)
-            summed = c_fp_s(weights, engine.group, hierarchical=engine.hierarchical)
-            engine.set_weights_of_bucket(k, [s / n for s in summed])
+        weights = engine.weights_of_bucket(k)
+        summed = c_fp_s(weights, engine.group, hierarchical=engine.hierarchical)
+        engine.set_weights_of_bucket(k, [s / n for s in summed])

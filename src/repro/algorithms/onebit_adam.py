@@ -58,62 +58,62 @@ class OneBitAdam(Algorithm):
             ]
         self._t = 0
 
-    def on_backward_done(self, engine: BaguaEngine, step: int) -> None:
-        self._t += 1
+    def comm_bucket(self, engine: BaguaEngine, k: int, step: int) -> None:
+        # Adam's step count advances once per iteration regardless of how
+        # many buckets carry it (the engine calls every bucket every step).
+        self._t = step + 1
         if step < self.warmup_steps:
-            self._warmup_step(engine)
+            self._warmup_bucket(engine, k)
         else:
-            self._compressed_step(engine)
+            self._compressed_bucket(engine, k)
 
     # ------------------------------------------------------------------
-    def _warmup_step(self, engine: BaguaEngine) -> None:
+    def _warmup_bucket(self, engine: BaguaEngine, k: int) -> None:
         n = engine.world_size
         bc1 = 1.0 - self.beta1 ** self._t
         bc2 = 1.0 - self.beta2 ** self._t
-        for k in range(engine.num_buckets):
-            grads = engine.grads_of_bucket(k)
-            summed = c_fp_s(grads, engine.group, hierarchical=engine.hierarchical)
-            for worker, total in zip(engine.workers, summed):
-                g = total / n
-                m = worker.state["m"][k]
-                v = worker.state["v"][k]
-                m *= self.beta1
-                m += (1 - self.beta1) * g
-                v *= self.beta2
-                v += (1 - self.beta2) * g * g
-                x = worker.buckets[k].flat_data()
-                x -= self.lr * (m / bc1) / (np.sqrt(v / bc2) + self.eps)
-                if not worker.buckets[k].flattened:
-                    worker.buckets[k].set_flat_data(x)
+        grads = engine.grads_of_bucket(k)
+        summed = c_fp_s(grads, engine.group, hierarchical=engine.hierarchical)
+        for worker, total in zip(engine.workers, summed):
+            g = total / n
+            m = worker.state["m"][k]
+            v = worker.state["v"][k]
+            m *= self.beta1
+            m += (1 - self.beta1) * g
+            v *= self.beta2
+            v += (1 - self.beta2) * g * g
+            x = worker.buckets[k].flat_data()
+            x -= self.lr * (m / bc1) / (np.sqrt(v / bc2) + self.eps)
+            if not worker.buckets[k].flattened:
+                worker.buckets[k].set_flat_data(x)
 
-    def _compressed_step(self, engine: BaguaEngine) -> None:
+    def _compressed_bucket(self, engine: BaguaEngine, k: int) -> None:
         n = engine.world_size
-        for k in range(engine.num_buckets):
-            worker_efs = [w.state["worker_ef"][k] for w in engine.workers]
-            server_efs = [w.state["server_ef"][k] for w in engine.workers]
-            # Local momentum update with the *local* gradient.
-            locals_m: List[np.ndarray] = []
-            for worker in engine.workers:
-                g = worker.buckets[k].flat_grad()
-                m = worker.state["m"][k]
-                m *= self.beta1
-                m += (1 - self.beta1) * g
-                locals_m.append(m.copy())
-            # Error-compensated 1-bit aggregation of momentum.
-            summed = c_lp_s(
-                locals_m,
-                engine.group,
-                compressor=self.compressor,
-                worker_errors=worker_efs,
-                server_errors=server_efs,
-                hierarchical=engine.hierarchical,
-            )
-            for worker, total in zip(engine.workers, summed):
-                m_avg = total / n
-                # Workers adopt the synchronized momentum so replicas track.
-                worker.state["m"][k][...] = m_avg
-                v = worker.state["v"][k]  # frozen preconditioner
-                x = worker.buckets[k].flat_data()
-                x -= self.lr * m_avg / (np.sqrt(v) + self.eps)
-                if not worker.buckets[k].flattened:
-                    worker.buckets[k].set_flat_data(x)
+        worker_efs = [w.state["worker_ef"][k] for w in engine.workers]
+        server_efs = [w.state["server_ef"][k] for w in engine.workers]
+        # Local momentum update with the *local* gradient.
+        locals_m: List[np.ndarray] = []
+        for worker in engine.workers:
+            g = worker.buckets[k].flat_grad()
+            m = worker.state["m"][k]
+            m *= self.beta1
+            m += (1 - self.beta1) * g
+            locals_m.append(m.copy())
+        # Error-compensated 1-bit aggregation of momentum.
+        summed = c_lp_s(
+            locals_m,
+            engine.group,
+            compressor=self.compressor,
+            worker_errors=worker_efs,
+            server_errors=server_efs,
+            hierarchical=engine.hierarchical,
+        )
+        for worker, total in zip(engine.workers, summed):
+            m_avg = total / n
+            # Workers adopt the synchronized momentum so replicas track.
+            worker.state["m"][k][...] = m_avg
+            v = worker.state["v"][k]  # frozen preconditioner
+            x = worker.buckets[k].flat_data()
+            x -= self.lr * m_avg / (np.sqrt(v) + self.eps)
+            if not worker.buckets[k].flattened:
+                worker.buckets[k].set_flat_data(x)

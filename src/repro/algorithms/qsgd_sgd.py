@@ -21,16 +21,15 @@ class QSGD(Algorithm):
     def __init__(self, bits: int = 8, compressor: Optional[Compressor] = None) -> None:
         self.compressor = compressor or QSGDCompressor(bits=bits)
 
-    def on_backward_done(self, engine: BaguaEngine, step: int) -> None:
+    def comm_bucket(self, engine: BaguaEngine, k: int, step: int) -> None:
         n = engine.world_size
-        for k in range(engine.num_buckets):
-            grads = engine.grads_of_bucket(k)
-            summed = c_lp_s(
-                grads,
-                engine.group,
-                compressor=self.compressor,
-                hierarchical=engine.hierarchical,
-            )
-            engine.set_grads_of_bucket(k, [s / n for s in summed])
+        grads = engine.grads_of_bucket(k)
+        summed = c_lp_s(
+            grads,
+            engine.group,
+            compressor=self.compressor,
+            hierarchical=engine.hierarchical,
+        )
+        engine.set_grads_of_bucket(k, [s / n for s in summed])
         for worker in engine.workers:
-            worker.optimizer_step_on_buckets()
+            worker.optimizer_step_on_bucket(k)

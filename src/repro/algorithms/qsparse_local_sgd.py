@@ -48,27 +48,26 @@ class QSparseLocalSGD(Algorithm):
                 ErrorFeedback(self.compressor) for _ in worker.buckets
             ]
 
-    def on_backward_done(self, engine: BaguaEngine, step: int) -> None:
+    def comm_bucket(self, engine: BaguaEngine, k: int, step: int) -> None:
         for worker in engine.workers:
-            worker.optimizer_step_on_buckets()
+            worker.optimizer_step_on_bucket(k)
         if (step + 1) % self.frequency != 0:
             return
 
         n = engine.world_size
-        for k in range(engine.num_buckets):
-            # Deltas accumulated since the last synchronization.
-            deltas: List[np.ndarray] = []
-            for worker in engine.workers:
-                deltas.append(worker.buckets[k].flat_data() - worker.state["anchor"][k])
-            summed = c_lp_s(
-                deltas,
-                engine.group,
-                compressor=self.compressor,
-                worker_errors=[w.state["worker_ef"][k] for w in engine.workers],
-                server_errors=[w.state["server_ef"][k] for w in engine.workers],
-                hierarchical=engine.hierarchical,
-            )
-            for worker, total in zip(engine.workers, summed):
-                new_anchor = worker.state["anchor"][k] + total / n
-                worker.state["anchor"][k] = new_anchor
-                worker.buckets[k].set_flat_data(new_anchor.copy())
+        # Deltas accumulated since the last synchronization.
+        deltas: List[np.ndarray] = []
+        for worker in engine.workers:
+            deltas.append(worker.buckets[k].flat_data() - worker.state["anchor"][k])
+        summed = c_lp_s(
+            deltas,
+            engine.group,
+            compressor=self.compressor,
+            worker_errors=[w.state["worker_ef"][k] for w in engine.workers],
+            server_errors=[w.state["server_ef"][k] for w in engine.workers],
+            hierarchical=engine.hierarchical,
+        )
+        for worker, total in zip(engine.workers, summed):
+            new_anchor = worker.state["anchor"][k] + total / n
+            worker.state["anchor"][k] = new_anchor
+            worker.buckets[k].set_flat_data(new_anchor.copy())

@@ -14,7 +14,8 @@ Layers:
 * :mod:`~repro.analysis.recorder` — :class:`TraceRecorder`, the
   instrumentation mode of the communication stack;
 * :mod:`~repro.analysis.lowering` — :func:`lower_plan` /
-  :func:`layout_from_buckets`, the static producers;
+  :func:`lower_schedule` / :func:`layout_from_buckets`, the static
+  producers;
 * :mod:`~repro.analysis.checkers` — the five rules;
 * :mod:`~repro.analysis.report` — :class:`Finding` and report rendering;
 * :mod:`~repro.analysis.driver` — :func:`analyze_algorithm` /
@@ -39,7 +40,13 @@ from .ir import (  # noqa: F401
     CommTrace,
     ParamView,
 )
-from .lowering import layout_from_buckets, layout_from_plan, lower_plan  # noqa: F401
+from .lowering import (  # noqa: F401
+    layout_from_buckets,
+    layout_from_plan,
+    layout_from_schedule,
+    lower_plan,
+    lower_schedule,
+)
 from .recorder import TraceRecorder, recording  # noqa: F401
 from .report import AnalysisReport, Finding, SweepReport  # noqa: F401
 
@@ -64,7 +71,9 @@ __all__ = [
     "analyze_all",
     "layout_from_buckets",
     "layout_from_plan",
+    "layout_from_schedule",
     "lower_plan",
+    "lower_schedule",
     "recording",
     "run_checkers",
 ]

@@ -3,12 +3,15 @@
 ``analyze_algorithm`` is the front door: it builds a small simulated cluster
 (default 2 nodes x 2 GPUs), trains a tiny probe model for a handful of steps
 with a :class:`~repro.analysis.recorder.TraceRecorder` attached, and feeds
-the checker suite two subjects:
+the checker suite three subjects:
 
 * the **recorded trace** plus the live flattened-bucket layout (real byte
   addresses) — what the algorithm actually did;
 * the **lowered execution plan** (schedule + planned extents) — what the
-  execution optimizer committed to, checkable without running anything.
+  execution optimizer committed to, checkable without running anything;
+* the **lowered bucket schedule** — the gated event stream the
+  :class:`~repro.core.schedule.ScheduledExecutor` drives, so the op order
+  being verified is the one the executor actually runs.
 
 ``analyze_all`` sweeps every algorithm in :mod:`repro.algorithms.registry`,
 which is the pre-PR correctness gate wired into ``python -m repro analyze``.
@@ -33,7 +36,7 @@ from ..tensor.optim import SGD
 from ..tensor.tensor import Tensor
 from .checkers import BufferAliasingChecker, run_checkers
 from .ir import AnalysisSubject
-from .lowering import layout_from_buckets, lower_plan
+from .lowering import layout_from_buckets, lower_plan, lower_schedule
 from .recorder import TraceRecorder
 from .report import AnalysisReport, SweepReport
 
@@ -154,6 +157,13 @@ def analyze_algorithm(
         report.findings.extend(run_checkers(planned))
         report.sources.append(planned.source)
         report.num_ops += planned.trace.num_ops
+
+    # Subject 3: the executor's schedule — the gated event stream it runs.
+    if engine.schedule is not None:
+        scheduled = lower_schedule(engine.schedule, spec.world_size)
+        report.findings.extend(run_checkers(scheduled))
+        report.sources.append(scheduled.source)
+        report.num_ops += scheduled.trace.num_ops
 
     return report
 

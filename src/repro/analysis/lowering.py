@@ -1,15 +1,21 @@
-"""Lowering execution plans and live buckets into the comm-op IR.
+"""Lowering execution plans, schedules and live buckets into the comm-op IR.
 
-Two producers feed the checker suite without (or alongside) a dry run:
+Three producers feed the checker suite without (or alongside) a dry run:
 
 * :func:`lower_plan` turns an :class:`ExecutionPlan` into the SPMD schedule
   every rank would execute — communication issues at each bucket's gradient
   -ready point (when overlap is on), awaits, the collective itself, and the
   optimizer updates that must come after.  This is the static path: a plan
   can be verified before anything runs;
-* :func:`layout_from_plan` / :func:`layout_from_buckets` produce the bucket
-  address layout, planned (cumulative offsets) or real (byte addresses of
-  the live flattened buffers), for the aliasing analysis.
+* :func:`lower_schedule` does the same for a
+  :class:`~repro.core.schedule.BucketSchedule` — the IR the
+  :class:`~repro.core.schedule.ScheduledExecutor` actually runs — walking
+  its gated event stream, so per-bucket vs barrier update policies lower to
+  different (and separately checkable) op orders;
+* :func:`layout_from_plan` / :func:`layout_from_schedule` /
+  :func:`layout_from_buckets` produce the bucket address layout, planned
+  (cumulative offsets) or real (byte addresses of the live flattened
+  buffers), for the aliasing analysis.
 """
 
 from __future__ import annotations
@@ -19,6 +25,7 @@ from typing import List, Optional, Sequence, Tuple
 from ..compression.base import Compressor
 from ..core.bucket import TensorBucket
 from ..core.optimizer_framework import ExecutionPlan
+from ..core.schedule import BucketSchedule
 from .ir import AnalysisSubject, BucketExtent, CommTrace, ParamView
 
 
@@ -89,6 +96,89 @@ def lower_plan(
         layout=layout_from_plan(plan),
         source=f"plan({plan.config.describe()})",
     )
+
+
+def lower_schedule(
+    schedule: BucketSchedule,
+    world_size: int,
+    compressor: Optional[Compressor] = None,
+    error_feedback: bool = False,
+) -> AnalysisSubject:
+    """Lower a :class:`BucketSchedule` into the per-rank schedule trace.
+
+    This is the executor-facing twin of :func:`lower_plan`: instead of
+    re-deriving the op order from the plan's switches, it walks the
+    schedule's own gated event stream — so what the checkers prove is the
+    *exact* order the :class:`~repro.core.schedule.ScheduledExecutor` runs,
+    including the per-bucket vs barrier update placement.
+    """
+    trace = CommTrace(world_size)
+    by_index = {b.index: b for b in schedule.buckets}
+    codec = compressor.name if compressor is not None else ""
+    biased = bool(getattr(compressor, "biased", False)) if compressor is not None else False
+    kind = "compressed_allreduce" if compressor is not None else "allreduce"
+    group = tuple(range(world_size))
+    events = schedule.events()
+
+    for rank in range(world_size):
+        peers = tuple(r for r in group if r != rank)
+        # Under overlap, every comm issues at its grad-ready gate — i.e.
+        # concurrently with the rest of backward — before anything awaits.
+        if schedule.overlap_backward:
+            for event in events:
+                if event.kind == "comm":
+                    bucket = by_index[event.bucket]
+                    trace.add(rank, "issue", bucket=bucket.name, elements=bucket.elements)
+        for event in events:
+            bucket = by_index[event.bucket]
+            if event.kind == "comm":
+                if not schedule.overlap_backward:
+                    trace.add(rank, "issue", bucket=bucket.name, elements=bucket.elements)
+                trace.add(rank, "await", bucket=bucket.name, elements=bucket.elements)
+                trace.add(
+                    rank,
+                    kind,
+                    bucket=bucket.name,
+                    elements=bucket.elements,
+                    compressor=codec,
+                    biased=biased,
+                    error_feedback=error_feedback,
+                    peers=peers,
+                    group=group,
+                )
+            elif event.kind == "update":
+                trace.add(rank, "opt_step", bucket=bucket.name, elements=bucket.elements)
+            # "post" events carry no schedule hazard of their own: the
+            # decompression is part of the awaited communication.
+
+    return AnalysisSubject(
+        world_size=world_size,
+        trace=trace,
+        layout=layout_from_schedule(schedule),
+        source=f"schedule lowering ({schedule.describe()})",
+    )
+
+
+def layout_from_schedule(schedule: BucketSchedule) -> Tuple[BucketExtent, ...]:
+    """Planned layout implied by a schedule's bucket views (packed extents)."""
+    extents: List[BucketExtent] = []
+    base = 0
+    for bucket in schedule.buckets:
+        views = []
+        offset = base
+        for name, elements in bucket.views:
+            views.append(ParamView(name=name, start=offset, stop=offset + elements))
+            offset += elements
+        extents.append(
+            BucketExtent(
+                name=bucket.name,
+                start=base,
+                stop=base + bucket.elements,
+                views=tuple(views),
+            )
+        )
+        base += bucket.elements
+    return tuple(extents)
 
 
 def layout_from_plan(plan: ExecutionPlan) -> Tuple[BucketExtent, ...]:

@@ -27,6 +27,9 @@ class BytePS(Algorithm):
     def __init__(self, asynchronous: bool = False, lr: float | None = None) -> None:
         self.asynchronous = asynchronous
         self.name = "byteps-async" if asynchronous else "byteps"
+        # Sync mode steps the optimizer once after all pulls (worker-side
+        # optimizer, server only aggregates); async applies pushes in place.
+        self.update_mode = "per_bucket" if asynchronous else "barrier"
         self.lr = lr
 
     def setup(self, engine: BaguaEngine) -> None:
@@ -42,26 +45,15 @@ class BytePS(Algorithm):
             # learning rate aligned with synchronous averaging.
             self.lr = float(lr) / engine.world_size
 
-    def on_backward_done(self, engine: BaguaEngine, step: int) -> None:
+    def comm_bucket(self, engine: BaguaEngine, k: int, step: int) -> None:
         if self.asynchronous:
-            self._async_step(engine, step)
+            self._async_bucket(engine, k, step)
         else:
-            self._sync_step(engine)
+            self._sync_bucket(engine, k)
 
-    # ------------------------------------------------------------------
-    def _sync_step(self, engine: BaguaEngine) -> None:
-        n = engine.world_size
-        for k, server in enumerate(self._servers):
-            for worker in engine.workers:
-                server.push_gradients(worker.rank, worker.buckets[k].flat_grad())
-            # Server holds the summed gradient; workers pull it and average.
-            # (Parameters update on the workers: BytePS keeps the optimizer
-            # worker-side in its default configuration.)
-            grads = [shard_state.pop("acc") for shard_state in server.server_state]
-            full = np.concatenate(grads) / n
-            for worker in engine.workers:
-                server.pull_parameters(worker.rank)  # traffic accounting
-                worker.buckets[k].set_flat_grad(full)
+    def on_step_end(self, engine: BaguaEngine, step: int) -> None:
+        if self.asynchronous:
+            return
         for worker in engine.workers:
             worker.optimizer_step_on_buckets()
         # Keep server shards in sync with the (identical) worker replicas.
@@ -70,16 +62,31 @@ class BytePS(Algorithm):
             for i, (lo, hi) in enumerate(server._bounds):
                 server.shards[i][...] = flat[lo:hi]
 
-    def _async_step(self, engine: BaguaEngine, step: int) -> None:
+    # ------------------------------------------------------------------
+    def _sync_bucket(self, engine: BaguaEngine, k: int) -> None:
         n = engine.world_size
+        server = self._servers[k]
+        for worker in engine.workers:
+            server.push_gradients(worker.rank, worker.buckets[k].flat_grad())
+        # Server holds the summed gradient; workers pull it and average.
+        # (Parameters update on the workers: BytePS keeps the optimizer
+        # worker-side in its default configuration.)
+        grads = [shard_state.pop("acc") for shard_state in server.server_state]
+        full = np.concatenate(grads) / n
+        for worker in engine.workers:
+            server.pull_parameters(worker.rank)  # traffic accounting
+            worker.buckets[k].set_flat_grad(full)
+
+    def _async_bucket(self, engine: BaguaEngine, k: int, step: int) -> None:
+        n = engine.world_size
+        server = self._servers[k]
         order = [(step + i) % n for i in range(n)]
         for i in order:
             worker = engine.workers[i]
-            for k, server in enumerate(self._servers):
-                grad = worker.buckets[k].flat_grad()
+            grad = worker.buckets[k].flat_grad()
 
-                def apply_now(shard_index: int, grad_shard: np.ndarray, _state: dict) -> None:
-                    server.shards[shard_index] -= self.lr * grad_shard
+            def apply_now(shard_index: int, grad_shard: np.ndarray, _state: dict) -> None:
+                server.shards[shard_index] -= self.lr * grad_shard
 
-                server.push_gradients(worker.rank, grad, apply_fn=apply_now)
-                worker.buckets[k].set_flat_data(server.pull_parameters(worker.rank))
+            server.push_gradients(worker.rank, grad, apply_fn=apply_now)
+            worker.buckets[k].set_flat_data(server.pull_parameters(worker.rank))

@@ -17,14 +17,16 @@ from ..core.engine import Algorithm, BaguaEngine
 
 class PyTorchDDP(Algorithm):
     name = "pytorch-ddp"
+    # Buckets allreduce in ready order (overlapping backward), but the
+    # optimizer steps once after all communication — DDP semantics.
+    update_mode = "barrier"
 
-    def on_backward_done(self, engine: BaguaEngine, step: int) -> None:
+    def comm_bucket(self, engine: BaguaEngine, k: int, step: int) -> None:
         n = engine.world_size
-        # Buckets arrive in gradient-ready order = reverse layer order.
-        for k in range(engine.num_buckets):
-            grads = engine.grads_of_bucket(k)
-            summed = ring_allreduce(grads, engine.group)
-            engine.set_grads_of_bucket(k, [s / n for s in summed])
-        # Single optimizer step after all communication (DDP semantics).
+        grads = engine.grads_of_bucket(k)
+        summed = ring_allreduce(grads, engine.group)
+        engine.set_grads_of_bucket(k, [s / n for s in summed])
+
+    def on_step_end(self, engine: BaguaEngine, step: int) -> None:
         for worker in engine.workers:
             worker.optimizer_step_on_buckets()

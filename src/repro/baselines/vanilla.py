@@ -14,12 +14,15 @@ from ..core.engine import Algorithm, BaguaEngine
 
 class VanillaDPSG(Algorithm):
     name = "vanilla"
+    # One optimizer step after all communication — the unoptimized baseline.
+    update_mode = "barrier"
 
-    def on_backward_done(self, engine: BaguaEngine, step: int) -> None:
+    def comm_bucket(self, engine: BaguaEngine, k: int, step: int) -> None:
         n = engine.world_size
-        for k in range(engine.num_buckets):
-            grads = engine.grads_of_bucket(k)
-            summed = ring_allreduce(grads, engine.group)
-            engine.set_grads_of_bucket(k, [s / n for s in summed])
+        grads = engine.grads_of_bucket(k)
+        summed = ring_allreduce(grads, engine.group)
+        engine.set_grads_of_bucket(k, [s / n for s in summed])
+
+    def on_step_end(self, engine: BaguaEngine, step: int) -> None:
         for worker in engine.workers:
             worker.optimizer_step_on_buckets()

@@ -141,6 +141,10 @@ class Transport:
         Ranks not participating are untouched (decentralized algorithms rely
         on this: non-neighbors do not synchronize).
         """
+        if not messages:
+            # An empty round moves no bytes and synchronizes nobody; counting
+            # it would skew round counts for algorithms where some ranks idle.
+            return {}
         self.stats.rounds += 1
         if self.tracer is not None:
             self.tracer.on_exchange(messages)

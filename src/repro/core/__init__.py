@@ -26,6 +26,14 @@ from .profiler import (
     TensorRecord,
     profile_from_spec,
 )
+from .schedule import (
+    BucketSchedule,
+    ComputeModel,
+    IterationReport,
+    ScheduleEvent,
+    ScheduledBucket,
+    ScheduledExecutor,
+)
 
 __all__ = [
     "TensorBucket",
@@ -33,6 +41,12 @@ __all__ = [
     "BaguaEngine",
     "WorkerReplica",
     "Algorithm",
+    "BucketSchedule",
+    "ScheduleEvent",
+    "ScheduledBucket",
+    "ScheduledExecutor",
+    "ComputeModel",
+    "IterationReport",
     "BaguaConfig",
     "ExecutionOptimizer",
     "ExecutionPlan",

@@ -28,6 +28,7 @@ from ..tensor.tensor import Tensor
 from .bucket import TensorBucket
 from .optimizer_framework import BaguaConfig, ExecutionOptimizer, ExecutionPlan
 from .profiler import ExecutionProfile, GradientReadyProfiler
+from .schedule import BucketSchedule, ComputeModel, ScheduledExecutor
 
 LossFn = Callable[[Module, object], Tensor]
 
@@ -77,10 +78,30 @@ class WorkerReplica:
         arrays = [b.flat_data() for b in self.buckets]
         if grads is None:
             grads = [b.flat_grad() for b in self.buckets]
-        self.optimizer.step_on_arrays(arrays, list(grads))
+        self.optimizer.step_on_slots(range(len(arrays)), arrays, list(grads))
         for bucket, arr in zip(self.buckets, arrays):
             if not bucket.flattened:
                 bucket.set_flat_data(arr)
+
+    def optimizer_step_on_bucket(self, k: int, grad: Optional[np.ndarray] = None) -> None:
+        """Run the optimizer on bucket ``k`` alone (per-bucket update path).
+
+        Uses the bucket index as the optimizer state slot, so per-bucket
+        stepping in ready order is bit-identical to one barrier step over all
+        buckets.
+        """
+        bucket = self.buckets[k]
+        tracer = self.ctx.transport.tracer
+        if tracer is not None:
+            tracer.on_local(
+                self.rank, "opt_step", bucket=bucket.name, elements=bucket.total_elements
+            )
+        array = bucket.flat_data()
+        if grad is None:
+            grad = bucket.flat_grad()
+        self.optimizer.step_on_slots([k], [array], [grad])
+        if not bucket.flattened:
+            bucket.set_flat_data(array)
 
 
 class BaguaEngine:
@@ -94,6 +115,8 @@ class BaguaEngine:
         workers: Sequence[WorkerContext],
         config: Optional[BaguaConfig] = None,
         grad_guard: bool = False,
+        scheduled: Optional[bool] = None,
+        compute_model: Optional[ComputeModel] = None,
     ) -> None:
         if not (len(models) == len(optimizers) == len(workers)):
             raise ValueError(
@@ -114,6 +137,22 @@ class BaguaEngine:
         self.group = CommGroup(transport, [w.ctx.rank for w in self.workers])
         self.plan: Optional[ExecutionPlan] = None
         self.profile: Optional[ExecutionProfile] = None
+        # ``scheduled=None`` auto-selects: algorithms implementing the
+        # per-bucket API run under the ScheduledExecutor, legacy algorithms
+        # (only ``on_backward_done`` overridden) run the lock-step loop.
+        # ``scheduled=False`` forces the legacy path even for ported
+        # algorithms — the equivalence property tests compare both.
+        if scheduled is None:
+            scheduled = type(algorithm).comm_bucket is not Algorithm.comm_bucket
+        elif scheduled and type(algorithm).comm_bucket is Algorithm.comm_bucket:
+            raise ValueError(
+                f"algorithm {algorithm.name!r} does not implement comm_bucket; "
+                "cannot run it under the scheduled executor"
+            )
+        self._scheduled = scheduled
+        self._compute_model = compute_model
+        self.schedule: Optional[BucketSchedule] = None
+        self.executor: Optional[ScheduledExecutor] = None
         self._step_index = 0
         self._verify_identical_replicas()
 
@@ -158,7 +197,10 @@ class BaguaEngine:
             losses = self._profiling_iteration(batches, loss_fn)
         else:
             losses = self._compute_gradients(batches, loss_fn)
-        self.algorithm.on_backward_done(self, self._step_index)
+        if self.executor is not None:
+            self.executor.run_step(self._step_index)
+        else:
+            self.algorithm.on_backward_done(self, self._step_index)
         self._step_index += 1
         return float(np.mean(losses))
 
@@ -190,6 +232,13 @@ class BaguaEngine:
         self.profile = profiler.profile
         self.plan = ExecutionOptimizer(self.config).plan(self.profile)
         self._build_buckets()
+        self.schedule = BucketSchedule.from_plan(
+            self.plan, update_mode=self.algorithm.update_mode
+        )
+        if self._scheduled:
+            self.executor = ScheduledExecutor(
+                self, self.schedule, compute_model=self._compute_model
+            )
         self.algorithm.setup(self)
         return losses
 
@@ -231,19 +280,49 @@ class BaguaEngine:
 class Algorithm:
     """Base class of BAGUA training algorithms.
 
-    Subclasses implement the *communication function* of the paper: after
-    every backward pass the engine calls :meth:`on_backward_done` with itself,
-    giving access to aligned per-worker buckets holding weights and fresh
-    gradients.  :meth:`setup` runs once, after the profiling iteration built
-    the buckets — the place to allocate per-worker state (error feedback,
-    momentum buffers, peer views).
+    Subclasses implement the *communication function* of the paper as a
+    per-bucket method: the :class:`~repro.core.schedule.ScheduledExecutor`
+    calls :meth:`comm_bucket` once per fused bucket, in gradient-ready order,
+    after gating each rank's virtual clock on the bucket's readiness (O on)
+    or the end of backward (O off); :meth:`on_step_end` runs after the last
+    bucket — barrier-style algorithms do their single optimizer step there
+    and declare ``update_mode = "barrier"`` so the schedule gates it on all
+    communication.  :meth:`setup` runs once, after the profiling iteration
+    built the buckets — the place to allocate per-worker state (error
+    feedback, momentum buffers, peer views).
+
+    :meth:`on_backward_done` is the legacy monolithic entry point; its
+    default now loops :meth:`comm_bucket` over the buckets and calls
+    :meth:`on_step_end`, so an unported algorithm overriding only
+    ``on_backward_done`` still runs (lock-step, without the executor's
+    overlap timing), and a ported algorithm driven through
+    ``on_backward_done`` behaves identically to the executor's numerics.
     """
 
     #: registry name, e.g. "allreduce", "qsgd"
     name: str = "base"
+    #: "per_bucket" — parameters update as each bucket's comm lands;
+    #: "barrier" — one optimizer step after every bucket communicated.
+    update_mode: str = "per_bucket"
 
     def setup(self, engine: BaguaEngine) -> None:  # noqa: B027 (intentional no-op)
         pass
 
-    def on_backward_done(self, engine: BaguaEngine, step: int) -> None:
+    def comm_bucket(self, engine: BaguaEngine, k: int, step: int) -> None:
+        """Communicate (and, in per-bucket mode, update) bucket ``k``."""
         raise NotImplementedError
+
+    def on_step_end(self, engine: BaguaEngine, step: int) -> None:  # noqa: B027
+        """Runs once per iteration after the last bucket's communication."""
+        pass
+
+    def on_backward_done(self, engine: BaguaEngine, step: int) -> None:
+        """Legacy lock-step entry point; shims onto the per-bucket API."""
+        if type(self).comm_bucket is Algorithm.comm_bucket:
+            raise NotImplementedError(
+                "Algorithm subclasses must implement comm_bucket() "
+                "(or override on_backward_done for the legacy path)"
+            )
+        for k in range(engine.num_buckets):
+            self.comm_bucket(engine, k, step)
+        self.on_step_end(engine, step)

@@ -219,10 +219,13 @@ def d_fp_s(
     received = _peer_exchange([a.astype(np.float64, copy=False) for a in arrays], neighbor_sets, group)
     results = []
     for i in range(group.size):
+        # Accumulate in float64 for associativity-stable sums, but hand the
+        # result back in the caller's dtype — a mixed-precision replica must
+        # not have its weights silently widened by one gossip round.
         acc = arrays[i].astype(np.float64, copy=True)
         for _src, payload in sorted(received[i].items()):
             acc += payload
-        results.append(acc / (1 + len(received[i])))
+        results.append((acc / (1 + len(received[i]))).astype(arrays[i].dtype, copy=False))
     return results
 
 
@@ -260,8 +263,9 @@ def d_lp_s(
     received = _peer_exchange(payloads, neighbor_sets, group)
     results = []
     for i in range(group.size):
+        # Same float64-accumulate / cast-back contract as d_fp_s.
         acc = arrays[i].astype(np.float64, copy=True)
         for _src, payload in sorted(received[i].items()):
             acc += compressor.decompress(payload)
-        results.append(acc / (1 + len(received[i])))
+        results.append((acc / (1 + len(received[i]))).astype(arrays[i].dtype, copy=False))
     return results

@@ -1,14 +1,20 @@
 """Discrete pipeline simulation of one training iteration (timing mode).
 
-Replays the execution structure of Figure 2/3 on two per-worker streams —
-compute (forward, backward) and communication (bucket transfers, compression
-kernels, updates) — under a system's overlap rules:
+Prices a :class:`~repro.core.schedule.BucketSchedule` — the same IR the
+functional :class:`~repro.core.schedule.ScheduledExecutor` runs and
+:func:`repro.analysis.lowering.lower_schedule` verifies — on two per-worker
+streams: compute (forward, backward) and communication (bucket transfers,
+compression kernels, updates).  The schedule's gates map directly:
 
-* ``overlap_backward``: a bucket's communication may start as soon as its
-  gradients are ready, racing the rest of backward;
-* ``overlap_forward``: a bucket's parameters become usable as soon as *its*
-  update lands, so the next iteration's forward can begin before other
-  buckets finish (BytePS priority scheduling, BAGUA per-bucket updates).
+* ``schedule.overlap_backward`` (the O switch): a bucket's communication may
+  start at its grad-ready gate, racing the rest of backward — otherwise it
+  waits for the backward-end gate;
+* ``schedule.per_bucket_updates``: a bucket's parameters become usable as
+  soon as *its* update lands, so the next iteration's forward can begin
+  before other buckets finish (BytePS priority scheduling, BAGUA per-bucket
+  updates).  Barrier-mode schedules still execute update kernels eagerly on
+  the comm stream (the work is serialized either way); the barrier gates
+  *visibility* — nothing in the next iteration starts before it.
 
 Workers are symmetric up to straggler compute scaling; synchronous
 collectives therefore pace on the slowest worker's compute.  The simulator
@@ -21,7 +27,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List
 
 from ..cluster.topology import ClusterSpec
-from ..core.optimizer_framework import PlannedBucket
+from ..core.schedule import BucketSchedule, ScheduledBucket
 from ..core.profiler import profile_from_spec
 from ..models.spec import ModelSpec
 from .systems import SystemProfile
@@ -84,6 +90,11 @@ def simulate_iteration(
     """
     profile = profile_from_spec(model.layers)
     plan = system.plan(profile)
+    schedule = BucketSchedule.from_plan(
+        plan,
+        overlap=system.overlap_backward,
+        per_bucket_updates=system.overlap_forward,
+    )
     if compute_scale is None:
         scales = [cluster.compute_scale(r) for r in range(cluster.world_size)]
         if system.is_async:
@@ -97,14 +108,14 @@ def simulate_iteration(
 
     batch = model.batch_size
 
-    def fwd_time(bucket: PlannedBucket) -> float:
+    def fwd_time(bucket: ScheduledBucket) -> float:
         return bucket.fwd_flops * batch * compute_scale / cluster.worker_flops
 
-    def bwd_time(bucket: PlannedBucket) -> float:
+    def bwd_time(bucket: ScheduledBucket) -> float:
         return bucket.bwd_flops * batch * compute_scale / cluster.worker_flops
 
-    ready_order: List[PlannedBucket] = plan.communication_units()
-    forward_order: List[PlannedBucket] = list(reversed(ready_order))
+    ready_order: List[ScheduledBucket] = list(schedule.comm_order())
+    forward_order: List[ScheduledBucket] = list(schedule.forward_order())
 
     comm_durations: Dict[int, float] = {}
     for bucket in ready_order:
@@ -143,10 +154,10 @@ def simulate_iteration(
                 spans.append(Span("compute", "bwd", f"bwd b{bucket.index}", start, compute_free))
         bwd_end = compute_free
 
-        # Communication + updates on the comm stream.
+        # Communication + updates on the comm stream, gated per the schedule.
         update_done: Dict[int, float] = {}
         for bucket in ready_order:
-            gate = grad_ready[bucket.index] if system.overlap_backward else bwd_end
+            gate = grad_ready[bucket.index] if schedule.overlap_backward else bwd_end
             start = max(comm_free, gate)
             comm_free = start + comm_durations[bucket.index]
             if record:
@@ -159,7 +170,7 @@ def simulate_iteration(
                     Span("comm", "update", f"upd b{bucket.index}", update_start, comm_free)
                 )
 
-        if system.overlap_forward:
+        if schedule.per_bucket_updates:
             params_ready = dict(update_done)
             boundary = max(bwd_end, comm_free)
         else:

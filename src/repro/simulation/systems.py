@@ -27,8 +27,8 @@ from ..core.optimizer_framework import (
     BaguaConfig,
     ExecutionOptimizer,
     ExecutionPlan,
-    PlannedBucket,
 )
+from ..core.schedule import ScheduledBucket
 from ..core.profiler import ExecutionProfile
 from .cost import CommCostModel
 
@@ -40,11 +40,11 @@ class SystemProfile:
     name: str
     plan_fn: Callable[[ExecutionProfile], ExecutionPlan]
     #: communication wall time of one bucket (network only)
-    comm_time: Callable[[PlannedBucket], float]
+    comm_time: Callable[[ScheduledBucket], float]
     #: GPU-side cost attached to each bucket's communication (compression, ...)
-    comm_kernel_time: Callable[[PlannedBucket], float]
+    comm_kernel_time: Callable[[ScheduledBucket], float]
     #: optimizer update cost for one bucket
-    update_time: Callable[[PlannedBucket], float]
+    update_time: Callable[[ScheduledBucket], float]
     #: may communication start while backward is still running?
     overlap_backward: bool = True
     #: may next iteration's forward start before all updates finish?
@@ -78,7 +78,7 @@ def vanilla_system(cost: CommCostModel) -> SystemProfile:
         plan_fn=_per_tensor_plan(),
         comm_time=lambda b: cost.ring_allreduce(b.elements),
         comm_kernel_time=lambda b: 0.0,
-        update_time=lambda b: cost.update_time(b.elements, num_tensors=len(b.records)),
+        update_time=lambda b: cost.update_time(b.elements, num_tensors=b.num_tensors),
         overlap_backward=False,
         overlap_forward=False,
     )
@@ -103,10 +103,10 @@ def horovod_system(cost: CommCostModel, fp16: bool = False) -> SystemProfile:
     allreduce; optional fp16 gradient compression via NCCL."""
     compressor = FP16Compressor() if fp16 else None
 
-    def comm(b: PlannedBucket) -> float:
+    def comm(b: ScheduledBucket) -> float:
         return cost.ring_allreduce(b.elements, compressor=compressor)
 
-    def kernels(b: PlannedBucket) -> float:
+    def kernels(b: ScheduledBucket) -> float:
         return cost.compress_time(b.elements) * 2 if fp16 else 0.0
 
     return SystemProfile(
@@ -130,10 +130,10 @@ def byteps_system(cost: CommCostModel, is_async: bool = False) -> SystemProfile:
     """
     chunk_bytes = 4 * 1024 * 1024
 
-    def comm(b: PlannedBucket) -> float:
+    def comm(b: ScheduledBucket) -> float:
         return cost.ps_push_pull(b.elements, local_aggregation=True)
 
-    def kernels(b: PlannedBucket) -> float:
+    def kernels(b: ScheduledBucket) -> float:
         return cost.server_aggregation_time(b.elements, num_pushers=cost.spec.num_nodes)
 
     return SystemProfile(
@@ -176,12 +176,12 @@ def bagua_system(
     compressor = codec_factory() if codec_factory else None
 
     if kind == "central":
-        def comm(b: PlannedBucket) -> float:
+        def comm(b: ScheduledBucket) -> float:
             return cost.centralized(
                 b.elements, compressor=compressor, hierarchical=config.hierarchical
             )
     elif kind == "decen":
-        def comm(b: PlannedBucket) -> float:
+        def comm(b: ScheduledBucket) -> float:
             return cost.decentralized(
                 b.elements,
                 compressor=compressor,
@@ -189,16 +189,16 @@ def bagua_system(
                 hierarchical=config.hierarchical,
             )
     else:  # async: star push/pull to the master copy, never synchronized
-        def comm(b: PlannedBucket) -> float:
+        def comm(b: ScheduledBucket) -> float:
             return cost.ps_push_pull(b.elements, local_aggregation=True)
 
-    def kernels(b: PlannedBucket) -> float:
+    def kernels(b: ScheduledBucket) -> float:
         if compressor is None:
             return 0.0
         return cost.compress_time(b.elements) * 2  # compress + decompress
 
-    def update(b: PlannedBucket) -> float:
-        tensors = 1 if config.flatten else len(b.records)
+    def update(b: ScheduledBucket) -> float:
+        tensors = 1 if config.flatten else b.num_tensors
         return cost.update_time(b.elements, num_tensors=tensors)
 
     return SystemProfile(

@@ -5,6 +5,12 @@ runs the optimizer over that flat view (paper §3.4, "Tensor Bucketing and
 Memory Flattening"); to allow that, every optimizer here keeps its state
 per-parameter as plain numpy arrays keyed by position, and exposes
 ``step_on_arrays`` so the same update rule can run on flat buffers.
+
+Per-bucket parameter updates (the scheduled executor steps bucket k the
+moment its reduction lands, not all buckets at a barrier) need state keyed by
+*slot*: ``step_on_slots`` updates a chosen subset of slots, and one call over
+all slots is bit-identical to per-slot calls in the same order.  Adam keeps a
+per-slot step count for its bias correction so both call patterns agree.
 """
 
 from __future__ import annotations
@@ -35,6 +41,21 @@ class Optimizer:
 
     def step_on_arrays(self, arrays: Sequence[np.ndarray], grads: Sequence[np.ndarray]) -> None:
         """Apply the update rule in place on raw arrays (flat-view friendly)."""
+        self.step_on_slots(range(len(arrays)), arrays, grads)
+
+    def step_on_slots(
+        self,
+        slots: Sequence[int],
+        arrays: Sequence[np.ndarray],
+        grads: Sequence[np.ndarray],
+    ) -> None:
+        """Apply the update rule to the given state slots only.
+
+        ``slots[i]`` names the persistent state cell used for ``arrays[i]``;
+        the engine passes the bucket index, so stepping bucket k alone (the
+        per-bucket update path) touches exactly the state a full-barrier step
+        would have used for that bucket.
+        """
         raise NotImplementedError
 
     def state_dict(self) -> Dict:
@@ -66,16 +87,21 @@ class SGD(Optimizer):
         self.nesterov = nesterov
         self._velocity: List[Optional[np.ndarray]] = [None] * len(self.params)
 
-    def step_on_arrays(self, arrays: Sequence[np.ndarray], grads: Sequence[np.ndarray]) -> None:
-        if len(self._velocity) != len(arrays):
-            self._velocity = [None] * len(arrays)
-        for i, (x, g) in enumerate(zip(arrays, grads)):
+    def step_on_slots(
+        self,
+        slots: Sequence[int],
+        arrays: Sequence[np.ndarray],
+        grads: Sequence[np.ndarray],
+    ) -> None:
+        for slot, x, g in zip(slots, arrays, grads):
             if self.weight_decay:
                 g = g + self.weight_decay * x
             if self.momentum:
-                if self._velocity[i] is None:
-                    self._velocity[i] = np.zeros_like(x)
-                v = self._velocity[i]
+                if len(self._velocity) <= slot:
+                    self._velocity.extend([None] * (slot + 1 - len(self._velocity)))
+                if self._velocity[slot] is None or self._velocity[slot].shape != x.shape:
+                    self._velocity[slot] = np.zeros_like(x)
+                v = self._velocity[slot]
                 v *= self.momentum
                 v += g
                 g = g + self.momentum * v if self.nesterov else v
@@ -115,6 +141,10 @@ class Adam(Optimizer):
         self.t = 0
         self._m: List[Optional[np.ndarray]] = [None] * len(self.params)
         self._v: List[Optional[np.ndarray]] = [None] * len(self.params)
+        # Per-slot step counts: with per-bucket updates each slot is stepped
+        # independently, and the bias correction must track that slot's own
+        # age for per-bucket and barrier stepping to agree bit for bit.
+        self._t: List[int] = [0] * len(self.params)
         # When frozen (1-bit Adam compression stage), the second moment stops
         # updating and acts as a fixed diagonal preconditioner.
         self.variance_frozen = False
@@ -122,20 +152,28 @@ class Adam(Optimizer):
     def freeze_variance(self) -> None:
         self.variance_frozen = True
 
-    def step_on_arrays(self, arrays: Sequence[np.ndarray], grads: Sequence[np.ndarray]) -> None:
-        if len(self._m) != len(arrays):
-            self._m = [None] * len(arrays)
-            self._v = [None] * len(arrays)
-        self.t += 1
-        bc1 = 1.0 - self.beta1 ** self.t
-        bc2 = 1.0 - self.beta2 ** self.t
-        for i, (x, g) in enumerate(zip(arrays, grads)):
+    def step_on_slots(
+        self,
+        slots: Sequence[int],
+        arrays: Sequence[np.ndarray],
+        grads: Sequence[np.ndarray],
+    ) -> None:
+        for slot, x, g in zip(slots, arrays, grads):
             if self.weight_decay:
                 g = g + self.weight_decay * x
-            if self._m[i] is None:
-                self._m[i] = np.zeros_like(x)
-                self._v[i] = np.zeros_like(x)
-            m, v = self._m[i], self._v[i]
+            if len(self._m) <= slot:
+                grow = slot + 1 - len(self._m)
+                self._m.extend([None] * grow)
+                self._v.extend([None] * grow)
+                self._t.extend([0] * grow)
+            if self._m[slot] is None or self._m[slot].shape != x.shape:
+                self._m[slot] = np.zeros_like(x)
+                self._v[slot] = np.zeros_like(x)
+                self._t[slot] = 0
+            self._t[slot] += 1
+            bc1 = 1.0 - self.beta1 ** self._t[slot]
+            bc2 = 1.0 - self.beta2 ** self._t[slot]
+            m, v = self._m[slot], self._v[slot]
             m *= self.beta1
             m += (1.0 - self.beta1) * g
             if not self.variance_frozen:
@@ -144,6 +182,7 @@ class Adam(Optimizer):
             m_hat = m / bc1
             v_hat = v / bc2
             x -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+        self.t = max(self._t, default=0)
 
     def state_dict(self) -> Dict:
         return {
@@ -159,18 +198,26 @@ class Adam(Optimizer):
         self.t = state["t"]
         self._m = [None if m is None else m.copy() for m in state["m"]]
         self._v = [None if v is None else v.copy() for v in state["v"]]
+        # Serialized states predate per-slot counts: every live slot has
+        # been stepped ``t`` times under barrier semantics.
+        self._t = [state["t"] if m is not None else 0 for m in self._m]
         self.variance_frozen = state["variance_frozen"]
 
 
 class AdamW(Adam):
     """Adam with decoupled weight decay."""
 
-    def step_on_arrays(self, arrays: Sequence[np.ndarray], grads: Sequence[np.ndarray]) -> None:
+    def step_on_slots(
+        self,
+        slots: Sequence[int],
+        arrays: Sequence[np.ndarray],
+        grads: Sequence[np.ndarray],
+    ) -> None:
         if self.weight_decay:
             for x in arrays:
                 x -= self.lr * self.weight_decay * x
         decay, self.weight_decay = self.weight_decay, 0.0
         try:
-            super().step_on_arrays(arrays, grads)
+            super().step_on_slots(slots, arrays, grads)
         finally:
             self.weight_decay = decay

@@ -146,6 +146,13 @@ class TestTimeUtilities:
 
 
 class TestStats:
+    def test_empty_exchange_is_noop(self):
+        tr = Transport(flat_cluster())
+        assert tr.exchange([]) == {}
+        assert tr.stats.rounds == 0
+        assert tr.stats.messages == 0
+        assert tr.max_time() == 0.0
+
     def test_byte_accounting(self):
         tr = Transport(flat_cluster())
         tr.exchange([Message(0, 2, None, nbytes=100), Message(0, 1, None, nbytes=50)])

@@ -166,6 +166,26 @@ class TestDFPS:
             np.testing.assert_allclose(out, target, atol=1e-3)
 
 
+class TestGossipDtype:
+    """d_fp_s/d_lp_s accumulate in float64 but must hand back the input dtype."""
+
+    def test_d_fp_s_preserves_float32(self, rng, group):
+        arrays = [rng.standard_normal(16).astype(np.float32) for _ in range(group.size)]
+        outs = d_fp_s(arrays, group, peers=RingPeers())
+        assert all(out.dtype == np.float32 for out in outs)
+
+    def test_d_lp_s_preserves_float32(self, rng):
+        group = make_group(2, 4)
+        arrays = [rng.standard_normal(16).astype(np.float32) for _ in range(group.size)]
+        outs = d_lp_s(arrays, group, compressor=IdentityCompressor(), peers=RingPeers())
+        assert all(out.dtype == np.float32 for out in outs)
+
+    def test_d_fp_s_float64_unchanged(self, rng, group):
+        arrays = [rng.standard_normal(16) for _ in range(group.size)]
+        outs = d_fp_s(arrays, group, peers=RingPeers())
+        assert all(out.dtype == np.float64 for out in outs)
+
+
 class TestDLPS:
     def test_identity_codec_matches_d_fp_s(self, group, arrays):
         lp = d_lp_s(arrays, group, compressor=IdentityCompressor(), peers=RingPeers())
