@@ -1,6 +1,7 @@
 # Developer entry points.  `make check` is the pre-PR gate: lint (when ruff
-# is available), the tier-1 test suite, and the static analyzer sweep over
-# every registered algorithm.
+# is available), the tier-1 test suite, and the static analyzer sweep —
+# with the happens-before pass — over every registered algorithm and
+# baseline, across all O/F/H x update-mode schedule variants.
 
 PYTHON ?= python
 export PYTHONPATH := src
@@ -20,4 +21,4 @@ test:
 	$(PYTHON) -m pytest -x -q
 
 analyze:
-	$(PYTHON) -m repro analyze --all
+	$(PYTHON) -m repro analyze --all --hb

@@ -11,7 +11,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import Callable, Dict
+from collections.abc import Callable
 
 from .cluster.topology import paper_cluster
 from .core.autotune import recommend
@@ -31,7 +31,7 @@ from .experiments import (
 )
 from .models.zoo_specs import all_specs
 
-EXPERIMENTS: Dict[str, Callable[[], object]] = {
+EXPERIMENTS: dict[str, Callable[[], object]] = {
     "table1": table1_support.run,
     "table2": table2_models.run,
     "table3": table3_speedup.run,
@@ -50,6 +50,7 @@ EXPERIMENTS: Dict[str, Callable[[], object]] = {
 def _run_analyze(args) -> int:
     from .algorithms.registry import ALGORITHM_REGISTRY
     from .analysis import analyze_algorithm, analyze_all
+    from .baselines import BASELINE_REGISTRY
 
     if args.nodes < 1 or args.gpus_per_node < 1:
         print("--nodes and --gpus-per-node must be >= 1", file=sys.stderr)
@@ -57,18 +58,23 @@ def _run_analyze(args) -> int:
     if args.steps < 1:
         print("--steps must be >= 1 (0 steps would pass vacuously)", file=sys.stderr)
         return 2
+    if args.explain is not None and args.explain < 0:
+        print("--explain takes a non-negative finding index", file=sys.stderr)
+        return 2
     if args.all:
         report = analyze_all(
-            num_nodes=args.nodes, gpus_per_node=args.gpus_per_node, steps=args.steps
+            num_nodes=args.nodes, gpus_per_node=args.gpus_per_node, steps=args.steps,
+            hb=args.hb,
         )
+        findings = report.all_findings()
     else:
         if args.algorithm is None:
             print("analyze needs an algorithm name or --all", file=sys.stderr)
             return 2
-        if args.algorithm not in ALGORITHM_REGISTRY:
+        known = set(ALGORITHM_REGISTRY) | (set(BASELINE_REGISTRY) if args.hb else set())
+        if args.algorithm not in known:
             print(
-                f"unknown algorithm {args.algorithm!r}; options: "
-                f"{sorted(ALGORITHM_REGISTRY)}",
+                f"unknown algorithm {args.algorithm!r}; options: {sorted(known)}",
                 file=sys.stderr,
             )
             return 2
@@ -77,7 +83,19 @@ def _run_analyze(args) -> int:
             num_nodes=args.nodes,
             gpus_per_node=args.gpus_per_node,
             steps=args.steps,
+            hb=args.hb,
         )
+        findings = report.findings
+    if args.explain is not None:
+        if args.explain >= len(findings):
+            print(
+                f"--explain {args.explain}: report has only {len(findings)} "
+                "finding(s)",
+                file=sys.stderr,
+            )
+            return 2
+        print(findings[args.explain].explain())
+        return 0 if report.ok else 1
     print(json.dumps(report.to_dict(), indent=2) if args.json else report.render())
     return 0 if report.ok else 1
 
@@ -134,6 +152,22 @@ def main(argv=None) -> int:
     )
     analyze_parser.add_argument(
         "--json", action="store_true", help="emit the report as JSON"
+    )
+    analyze_parser.add_argument(
+        "--hb", action="store_true",
+        help=(
+            "run the happens-before pass (vector-clock race/deadlock/"
+            "lost-update/staleness rules) and sweep every O/F/H x "
+            "update-mode schedule variant; includes the baseline registry "
+            "under --all"
+        ),
+    )
+    analyze_parser.add_argument(
+        "--explain", type=int, default=None, metavar="N",
+        help=(
+            "print finding N with its happens-before witness (the unordered "
+            "event pair and a minimal HB path) instead of the full report"
+        ),
     )
 
     args = parser.parse_args(argv)

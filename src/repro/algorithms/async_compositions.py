@@ -18,7 +18,6 @@ make the compositions concrete in the lock-step simulation:
 
 from __future__ import annotations
 
-from typing import List
 
 import numpy as np
 
@@ -45,7 +44,7 @@ class AsyncQSGD(Algorithm):
         self.scale_by_world = scale_by_world
 
     def setup(self, engine: BaguaEngine) -> None:
-        self._server: List[np.ndarray] = [
+        self._server: list[np.ndarray] = [
             b.flat_data().copy() for b in engine.workers[0].buckets
         ]
         if self.lr is None:
@@ -94,7 +93,7 @@ class AsyncDecentralizedSGD(Algorithm):
 
     def setup(self, engine: BaguaEngine) -> None:
         # mailbox[i][k] = worker i's last published weights for bucket k.
-        self._mailbox: List[List[np.ndarray]] = [
+        self._mailbox: list[list[np.ndarray]] = [
             [b.flat_data().copy() for b in worker.buckets]
             for worker in engine.workers
         ]

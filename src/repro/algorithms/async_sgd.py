@@ -19,7 +19,6 @@ increases staleness: workers then refresh their model only every few steps.
 
 from __future__ import annotations
 
-from typing import List
 
 import numpy as np
 
@@ -47,7 +46,7 @@ class AsyncSGD(Algorithm):
 
     def setup(self, engine: BaguaEngine) -> None:
         # Master weights start as the shared initial model.
-        self._server: List[np.ndarray] = [
+        self._server: list[np.ndarray] = [
             b.flat_data().copy() for b in engine.workers[0].buckets
         ]
         if self.lr is None:

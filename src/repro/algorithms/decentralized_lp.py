@@ -19,7 +19,6 @@ The fixed ring topology is what makes the neighbor views maintainable.
 
 from __future__ import annotations
 
-from typing import Dict, List
 
 import numpy as np
 
@@ -46,7 +45,7 @@ class LowPrecisionDecentralizedSGD(Algorithm):
         for i, worker in enumerate(engine.workers):
             # view[k][j] = the shared estimate of member j's weights for bucket
             # k, where j is this worker or one of its ring neighbors.
-            views: List[Dict[int, np.ndarray]] = []
+            views: list[dict[int, np.ndarray]] = []
             for bucket in worker.buckets:
                 view = {i: bucket.flat_data().copy()}
                 for j in neighbor_sets[i]:
@@ -90,7 +89,7 @@ class LowPrecisionDecentralizedSGD(Algorithm):
         for i, worker in enumerate(engine.workers):
             delta_self = self.compressor.decompress(payloads[i])
             worker.state["views"][k][i] += delta_self
-        received: List[Dict[int, np.ndarray]] = [{} for _ in range(n)]
+        received: list[dict[int, np.ndarray]] = [{} for _ in range(n)]
         for j in range(n):
             for msg in inbox.get(group.ranks[j], []):
                 src, payload = msg.payload

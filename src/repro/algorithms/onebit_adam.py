@@ -16,7 +16,6 @@ used) because the compression applies to the momentum, not the gradient.
 
 from __future__ import annotations
 
-from typing import List
 
 import numpy as np
 
@@ -92,7 +91,7 @@ class OneBitAdam(Algorithm):
         worker_efs = [w.state["worker_ef"][k] for w in engine.workers]
         server_efs = [w.state["server_ef"][k] for w in engine.workers]
         # Local momentum update with the *local* gradient.
-        locals_m: List[np.ndarray] = []
+        locals_m: list[np.ndarray] = []
         for worker in engine.workers:
             g = worker.buckets[k].flat_grad()
             m = worker.state["m"][k]

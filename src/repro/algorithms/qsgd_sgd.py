@@ -7,7 +7,6 @@ QSGD's stochastic rounding is unbiased, so no residual state is needed.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from ..compression.base import Compressor
 from ..compression.qsgd import QSGDCompressor
@@ -18,7 +17,7 @@ from ..core.primitives import c_lp_s
 class QSGD(Algorithm):
     name = "qsgd"
 
-    def __init__(self, bits: int = 8, compressor: Optional[Compressor] = None) -> None:
+    def __init__(self, bits: int = 8, compressor: Compressor | None = None) -> None:
         self.compressor = compressor or QSGDCompressor(bits=bits)
 
     def comm_bucket(self, engine: BaguaEngine, k: int, step: int) -> None:

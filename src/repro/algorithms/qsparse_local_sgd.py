@@ -18,7 +18,6 @@ every relaxation axis through the same public API.
 
 from __future__ import annotations
 
-from typing import List
 
 import numpy as np
 
@@ -56,7 +55,7 @@ class QSparseLocalSGD(Algorithm):
 
         n = engine.world_size
         # Deltas accumulated since the last synchronization.
-        deltas: List[np.ndarray] = []
+        deltas: list[np.ndarray] = []
         for worker in engine.workers:
             deltas.append(worker.buckets[k].flat_data() - worker.state["anchor"][k])
         summed = c_lp_s(

@@ -8,7 +8,7 @@ Table 1's BAGUA column and documents what the competing systems support.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List
+from collections.abc import Callable
 
 from ..core.engine import Algorithm
 from .allreduce import AllreduceSGD
@@ -21,7 +21,7 @@ from .onebit_adam import OneBitAdam
 from .qsgd_sgd import QSGD
 from .qsparse_local_sgd import QSparseLocalSGD
 
-ALGORITHM_REGISTRY: Dict[str, Callable[..., Algorithm]] = {
+ALGORITHM_REGISTRY: dict[str, Callable[..., Algorithm]] = {
     "allreduce": AllreduceSGD,
     "qsgd": QSGD,
     "1bit-adam": OneBitAdam,
@@ -56,7 +56,7 @@ class RelaxationProfile:
 
 
 # The eight combinations of Table 1 and which system supports each.
-SUPPORT_MATRIX: List[RelaxationProfile] = [
+SUPPORT_MATRIX: list[RelaxationProfile] = [
     RelaxationProfile("sync", "full", "centralized", True, True, True, True, "allreduce"),
     RelaxationProfile("sync", "full", "decentralized", False, False, False, True, "decentralized"),
     RelaxationProfile("sync", "low", "centralized", True, True, True, True, "qsgd / 1bit-adam"),
@@ -68,7 +68,7 @@ SUPPORT_MATRIX: List[RelaxationProfile] = [
 ]
 
 
-def support_matrix_rows() -> List[dict]:
+def support_matrix_rows() -> list[dict]:
     """Table 1 as dictionaries, for rendering and tests."""
     return [
         {

@@ -16,7 +16,11 @@ Layers:
 * :mod:`~repro.analysis.lowering` — :func:`lower_plan` /
   :func:`lower_schedule` / :func:`layout_from_buckets`, the static
   producers;
-* :mod:`~repro.analysis.checkers` — the five rules;
+* :mod:`~repro.analysis.checkers` — the five heuristic rules plus the four
+  happens-before rules;
+* :mod:`~repro.analysis.hb` — the happens-before engine: vector clocks over
+  (rank, thread, event) triples, race/deadlock/lost-update/staleness
+  detection with printable witnesses;
 * :mod:`~repro.analysis.report` — :class:`Finding` and report rendering;
 * :mod:`~repro.analysis.driver` — :func:`analyze_algorithm` /
   :func:`analyze_all`, the ``python -m repro analyze`` entry points.
@@ -24,15 +28,21 @@ Layers:
 
 from .checkers import (  # noqa: F401
     ALL_CHECKERS,
+    HB_CHECKERS,
     BufferAliasingChecker,
     Checker,
     EFInvariantChecker,
+    HBDeadlockChecker,
+    HBLostUpdateChecker,
+    HBRaceChecker,
+    HBStalenessChecker,
     OverlapRaceChecker,
     PeerMatchingChecker,
     RankSymmetryChecker,
     run_checkers,
 )
 from .driver import analyze_algorithm, analyze_all  # noqa: F401
+from .hb import HBEvent, HBGraph, build_hb, check_hb  # noqa: F401
 from .ir import (  # noqa: F401
     AnalysisSubject,
     BucketExtent,
@@ -61,6 +71,13 @@ __all__ = [
     "CommTrace",
     "EFInvariantChecker",
     "Finding",
+    "HB_CHECKERS",
+    "HBDeadlockChecker",
+    "HBEvent",
+    "HBGraph",
+    "HBLostUpdateChecker",
+    "HBRaceChecker",
+    "HBStalenessChecker",
     "OverlapRaceChecker",
     "ParamView",
     "PeerMatchingChecker",
@@ -69,6 +86,8 @@ __all__ = [
     "TraceRecorder",
     "analyze_algorithm",
     "analyze_all",
+    "build_hb",
+    "check_hb",
     "layout_from_buckets",
     "layout_from_plan",
     "layout_from_schedule",

@@ -24,12 +24,10 @@ hierarchy, paper §3.4) can introduce silently:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections.abc import Sequence
 
-from .ir import AnalysisSubject, CommOp
+from .ir import GOSSIP_KINDS, AnalysisSubject, CommOp
 from .report import Finding
-
-GOSSIP_KINDS = frozenset({"gossip", "compressed_gossip"})
 
 
 class Checker:
@@ -37,7 +35,7 @@ class Checker:
 
     rule: str = "base"
 
-    def check(self, subject: AnalysisSubject) -> List[Finding]:
+    def check(self, subject: AnalysisSubject) -> list[Finding]:
         raise NotImplementedError
 
     def finding(self, message: str, severity: str = "error", **loc) -> Finding:
@@ -52,15 +50,15 @@ class RankSymmetryChecker(Checker):
 
     rule = "rank-symmetry"
 
-    def check(self, subject: AnalysisSubject) -> List[Finding]:
+    def check(self, subject: AnalysisSubject) -> list[Finding]:
         trace = subject.trace
         if trace is None:
             return []
-        findings: List[Finding] = []
+        findings: list[Finding] = []
         # Ops are compared within each communication group: hierarchical
         # schedules legally run extra collectives on the leader subgroup, so
         # ranks are only held to the groups they are members of.
-        by_group: Dict[Tuple[int, ...], Dict[int, List[CommOp]]] = {}
+        by_group: dict[tuple[int, ...], dict[int, list[CommOp]]] = {}
         for rank in trace.ranks:
             for op in trace.collective_ops(rank):
                 if not op.group:
@@ -78,12 +76,12 @@ class RankSymmetryChecker(Checker):
 
     def _compare(
         self,
-        group: Tuple[int, ...],
+        group: tuple[int, ...],
         ref_rank: int,
-        reference: List[CommOp],
+        reference: list[CommOp],
         rank: int,
-        ops: List[CommOp],
-    ) -> List[Finding]:
+        ops: list[CommOp],
+    ) -> list[Finding]:
         for i in range(min(len(reference), len(ops))):
             if reference[i].signature() != ops[i].signature():
                 return [
@@ -122,7 +120,7 @@ class PeerMatchingChecker(Checker):
 
     rule = "peer-matching"
 
-    def check(self, subject: AnalysisSubject) -> List[Finding]:
+    def check(self, subject: AnalysisSubject) -> list[Finding]:
         trace = subject.trace
         if trace is None:
             return []
@@ -130,11 +128,11 @@ class PeerMatchingChecker(Checker):
         findings.extend(self._check_p2p(subject))
         return findings
 
-    def _check_gossip(self, subject: AnalysisSubject) -> List[Finding]:
+    def _check_gossip(self, subject: AnalysisSubject) -> list[Finding]:
         trace = subject.trace
-        findings: List[Finding] = []
+        findings: list[Finding] = []
         # k-th gossip op of each member of a group forms round k.
-        by_group: Dict[Tuple[int, ...], Dict[int, List[CommOp]]] = {}
+        by_group: dict[tuple[int, ...], dict[int, list[CommOp]]] = {}
         for rank in trace.ranks:
             for op in trace.collective_ops(rank):
                 if op.kind in GOSSIP_KINDS and op.group:
@@ -177,11 +175,11 @@ class PeerMatchingChecker(Checker):
 
     def _check_ring(
         self,
-        group: Tuple[int, ...],
-        per_rank: Dict[int, List[CommOp]],
+        group: tuple[int, ...],
+        per_rank: dict[int, list[CommOp]],
         k: int,
-    ) -> List[Finding]:
-        findings: List[Finding] = []
+    ) -> list[Finding]:
+        findings: list[Finding] = []
         n = len(group)
         for i, rank in enumerate(group):
             op = per_rank[rank][k]
@@ -199,11 +197,11 @@ class PeerMatchingChecker(Checker):
                 )
         return findings
 
-    def _check_p2p(self, subject: AnalysisSubject) -> List[Finding]:
+    def _check_p2p(self, subject: AnalysisSubject) -> list[Finding]:
         trace = subject.trace
-        findings: List[Finding] = []
+        findings: list[Finding] = []
         # Pair (src, dst, nbytes) sends against receives within each round.
-        rounds: Dict[int, Dict[str, List[CommOp]]] = {}
+        rounds: dict[int, dict[str, list[CommOp]]] = {}
         for rank in trace.ranks:
             for op in trace.p2p_ops(rank):
                 rounds.setdefault(op.round, {"send": [], "recv": []})[op.kind].append(op)
@@ -258,13 +256,13 @@ class OverlapRaceChecker(Checker):
 
     WRITE_KINDS = frozenset({"opt_step", "ef_write"})
 
-    def check(self, subject: AnalysisSubject) -> List[Finding]:
+    def check(self, subject: AnalysisSubject) -> list[Finding]:
         trace = subject.trace
         if trace is None:
             return []
-        findings: List[Finding] = []
+        findings: list[Finding] = []
         for rank in trace.ranks:
-            outstanding: Dict[str, CommOp] = {}
+            outstanding: dict[str, CommOp] = {}
             for op in trace.ops_of(rank):
                 if op.kind == "issue":
                     outstanding[op.bucket] = op
@@ -311,8 +309,8 @@ class BufferAliasingChecker(Checker):
 
     rule = "buffer-aliasing"
 
-    def check(self, subject: AnalysisSubject) -> List[Finding]:
-        findings: List[Finding] = []
+    def check(self, subject: AnalysisSubject) -> list[Finding]:
+        findings: list[Finding] = []
         extents = sorted(subject.layout, key=lambda e: (e.start, e.stop))
         for a, b in zip(extents, extents[1:]):
             if b.start < a.stop:
@@ -365,11 +363,11 @@ class EFInvariantChecker(Checker):
 
     rule = "ef-invariant"
 
-    def check(self, subject: AnalysisSubject) -> List[Finding]:
+    def check(self, subject: AnalysisSubject) -> list[Finding]:
         trace = subject.trace
         if trace is None:
             return []
-        findings: List[Finding] = []
+        findings: list[Finding] = []
         for rank in trace.ranks:
             for op in trace.collective_ops(rank):
                 if op.compressor and op.biased and not op.error_feedback:
@@ -388,8 +386,73 @@ class EFInvariantChecker(Checker):
         return findings
 
 
+# ----------------------------------------------------------------------
+# Happens-before rules (vector clocks; see repro.analysis.hb)
+# ----------------------------------------------------------------------
+class HBChecker(Checker):
+    """Base for the vector-clock rules: builds/reuses the subject's HB graph.
+
+    Unlike the heuristic rules above, these consume the cross-rank partial
+    order of :mod:`repro.analysis.hb` — the graph is built once per subject
+    (cached in ``subject.notes``) and shared by all four.
+    """
+
+    def check(self, subject: AnalysisSubject) -> list[Finding]:
+        from . import hb
+
+        graph = hb.build_hb(subject)
+        return [f for f in self._check_graph(graph) if f.rule == self.rule]
+
+    def _check_graph(self, graph) -> list[Finding]:
+        raise NotImplementedError
+
+
+class HBRaceChecker(HBChecker):
+    """Overlapping-interval accesses with ≥1 write and no HB order."""
+
+    rule = "hb-race"
+
+    def _check_graph(self, graph) -> list[Finding]:
+        from .hb import check_races
+
+        return check_races(graph)
+
+
+class HBDeadlockChecker(HBChecker):
+    """Wait-for cycles and unsatisfiable waits across ranks."""
+
+    rule = "hb-deadlock"
+
+    def _check_graph(self, graph) -> list[Finding]:
+        from .hb import check_deadlocks
+
+        return check_deadlocks(graph)
+
+
+class HBLostUpdateChecker(HBChecker):
+    """Error-feedback residual writes unordered with another access."""
+
+    rule = "hb-lost-update"
+
+    def _check_graph(self, graph) -> list[Finding]:
+        from .hb import check_lost_updates
+
+        return check_lost_updates(graph)
+
+
+class HBStalenessChecker(HBChecker):
+    """Async updates consuming gradients older than the declared bound."""
+
+    rule = "hb-staleness"
+
+    def _check_graph(self, graph) -> list[Finding]:
+        from .hb import check_staleness
+
+        return check_staleness(graph)
+
+
 #: The default suite, in reporting order.
-ALL_CHECKERS: Tuple[Checker, ...] = (
+ALL_CHECKERS: tuple[Checker, ...] = (
     RankSymmetryChecker(),
     PeerMatchingChecker(),
     OverlapRaceChecker(),
@@ -397,13 +460,23 @@ ALL_CHECKERS: Tuple[Checker, ...] = (
     EFInvariantChecker(),
 )
 
+#: The happens-before suite (``repro analyze --hb``).  Kept separate from
+#: :data:`ALL_CHECKERS` so heuristic-rule counterexamples keep firing exactly
+#: one rule; the driver opts in with ``hb=True``.
+HB_CHECKERS: tuple[Checker, ...] = (
+    HBDeadlockChecker(),
+    HBRaceChecker(),
+    HBLostUpdateChecker(),
+    HBStalenessChecker(),
+)
+
 
 def run_checkers(
     subject: AnalysisSubject,
-    checkers: Optional[Sequence[Checker]] = None,
-) -> List[Finding]:
+    checkers: Sequence[Checker] | None = None,
+) -> list[Finding]:
     """Run ``checkers`` (default: the full suite) over one subject."""
-    findings: List[Finding] = []
+    findings: list[Finding] = []
     for checker in checkers if checkers is not None else ALL_CHECKERS:
         findings.extend(checker.check(subject))
     return findings

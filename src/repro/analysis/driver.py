@@ -15,15 +15,23 @@ the checker suite three subjects:
 
 ``analyze_all`` sweeps every algorithm in :mod:`repro.algorithms.registry`,
 which is the pre-PR correctness gate wired into ``python -m repro analyze``.
+
+With ``hb=True`` (the ``--hb`` flag) the happens-before suite runs on every
+subject, and the lowered :class:`~repro.core.schedule.BucketSchedule` is
+additionally swept over every O/F/H × update-mode combination — a cheap
+static enumeration (``dataclasses.replace`` on the frozen schedule) proving
+each rewrite the execution optimizer could emit race- and deadlock-free,
+and the sweep widens to the baseline registry.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+import dataclasses
 
 import numpy as np
 
 from ..algorithms.registry import ALGORITHM_REGISTRY, make_algorithm
+from ..baselines import BASELINE_REGISTRY
 from ..cluster.topology import ClusterSpec
 from ..cluster.transport import Transport
 from ..cluster.worker import make_workers
@@ -34,7 +42,7 @@ from ..tensor.layers import Linear
 from ..tensor.module import Module
 from ..tensor.optim import SGD
 from ..tensor.tensor import Tensor
-from .checkers import BufferAliasingChecker, run_checkers
+from .checkers import HB_CHECKERS, BufferAliasingChecker, run_checkers
 from .ir import AnalysisSubject
 from .lowering import layout_from_buckets, lower_plan, lower_schedule
 from .recorder import TraceRecorder
@@ -43,7 +51,7 @@ from .report import AnalysisReport, SweepReport
 #: Constructor overrides so a short dry run reaches each algorithm's
 #: interesting communication path (e.g. 1-bit Adam's compressed stage starts
 #: after warmup; LocalSGD only communicates every ``frequency`` steps).
-ANALYSIS_OVERRIDES: Dict[str, Dict] = {
+ANALYSIS_OVERRIDES: dict[str, dict] = {
     "1bit-adam": {"warmup_steps": 2},
     "local-sgd": {"frequency": 2},
     "qsparse-local-sgd": {"frequency": 2},
@@ -73,7 +81,7 @@ def _probe_loss(model: Module, batch) -> object:
     return F.cross_entropy(model(inputs), labels)
 
 
-def _probe_batches(world_size: int, steps: int, seed: int) -> List[List]:
+def _probe_batches(world_size: int, steps: int, seed: int) -> list[list]:
     rng = np.random.default_rng(np.random.SeedSequence([seed, 7]))
     per_step = []
     for _ in range(steps):
@@ -86,18 +94,36 @@ def _probe_batches(world_size: int, steps: int, seed: int) -> List[List]:
     return per_step
 
 
+def _node_groups(spec: ClusterSpec) -> list[list[int]]:
+    """Global ranks grouped per node, for the hierarchical lowering."""
+    nodes: dict[int, list[int]] = {}
+    for rank in range(spec.world_size):
+        nodes.setdefault(spec.node_of(rank), []).append(rank)
+    return [nodes[n] for n in sorted(nodes)]
+
+
 def analyze_algorithm(
     name: str,
     num_nodes: int = 2,
     gpus_per_node: int = 2,
     steps: int = 5,
     seed: int = 0,
-    config: Optional[BaguaConfig] = None,
-    algorithm: Optional[Algorithm] = None,
+    config: BaguaConfig | None = None,
+    algorithm: Algorithm | None = None,
+    hb: bool = False,
 ) -> AnalysisReport:
-    """Run the full checker suite for one algorithm; returns its report."""
+    """Run the full checker suite for one algorithm; returns its report.
+
+    ``hb=True`` adds the happens-before rules to every subject and sweeps
+    the lowered schedule across all O/F/H × update-mode variants.
+    """
     if algorithm is None:
-        algorithm = make_algorithm(name, **ANALYSIS_OVERRIDES.get(name, {}))
+        if name in ALGORITHM_REGISTRY:
+            algorithm = make_algorithm(name, **ANALYSIS_OVERRIDES.get(name, {}))
+        elif name in BASELINE_REGISTRY:
+            algorithm = BASELINE_REGISTRY[name]()
+        else:
+            algorithm = make_algorithm(name)  # raises with the known-name list
     config = config or BaguaConfig(bucket_bytes=PROBE_BUCKET_BYTES)
     spec = ClusterSpec(num_nodes=num_nodes, workers_per_node=gpus_per_node)
     transport = Transport(spec)
@@ -118,12 +144,25 @@ def analyze_algorithm(
     if expected_topology != "ring":
         expected_topology = None
 
+    checker_names = ["rank-symmetry", "peer-matching", "overlap-race",
+                     "buffer-aliasing", "ef-invariant"]
+    if hb:
+        checker_names += ["hb-deadlock", "hb-race", "hb-lost-update", "hb-staleness"]
     report = AnalysisReport(
         algorithm=name,
         world=f"{num_nodes}x{gpus_per_node}",
-        checkers=["rank-symmetry", "peer-matching", "overlap-race", "buffer-aliasing",
-                  "ef-invariant"],
+        checkers=checker_names,
     )
+    nodes = _node_groups(spec)
+
+    def check_subject(subject: AnalysisSubject) -> None:
+        if algorithm.staleness_bound is not None:
+            subject.notes.setdefault("staleness_bound", algorithm.staleness_bound)
+        report.findings.extend(run_checkers(subject))
+        if hb:
+            report.findings.extend(run_checkers(subject, HB_CHECKERS))
+        report.sources.append(subject.source)
+        report.num_ops += subject.trace.num_ops if subject.trace is not None else 0
 
     # Subject 1: what actually ran — trace + rank 0's real bucket layout.
     dynamic = AnalysisSubject(
@@ -133,9 +172,7 @@ def analyze_algorithm(
         expected_topology=expected_topology,
         source=f"dry-run trace ({steps} steps, {recorder.trace.num_ops} ops)",
     )
-    report.findings.extend(run_checkers(dynamic))
-    report.sources.append(dynamic.source)
-    report.num_ops = recorder.trace.num_ops
+    check_subject(dynamic)
 
     # Remaining ranks' live layouts (each replica flattens its own buffers).
     aliasing = BufferAliasingChecker()
@@ -149,21 +186,37 @@ def analyze_algorithm(
 
     # Subject 2: the plan, checked statically without running.
     if engine.plan is not None:
-        planned = lower_plan(engine.plan, spec.world_size)
+        planned = lower_plan(engine.plan, spec.world_size, nodes=nodes)
         planned.source = (
             f"plan lowering ({engine.plan.config.describe()}, "
             f"{engine.plan.num_buckets} buckets)"
         )
-        report.findings.extend(run_checkers(planned))
-        report.sources.append(planned.source)
-        report.num_ops += planned.trace.num_ops
+        check_subject(planned)
 
     # Subject 3: the executor's schedule — the gated event stream it runs.
     if engine.schedule is not None:
-        scheduled = lower_schedule(engine.schedule, spec.world_size)
-        report.findings.extend(run_checkers(scheduled))
-        report.sources.append(scheduled.source)
-        report.num_ops += scheduled.trace.num_ops
+        scheduled = lower_schedule(engine.schedule, spec.world_size, nodes=nodes)
+        check_subject(scheduled)
+
+        # Under --hb, statically sweep every O/F/H × update-mode variant of
+        # the schedule: each rewrite the execution optimizer could emit must
+        # be provably race- and deadlock-free, not just the one that ran.
+        if hb:
+            for overlap in (False, True):
+                for flatten in (False, True):
+                    for hierarchical in (False, True):
+                        for per_bucket in (False, True):
+                            variant = dataclasses.replace(
+                                engine.schedule,
+                                overlap_backward=overlap,
+                                flatten=flatten,
+                                hierarchical=hierarchical,
+                                per_bucket_updates=per_bucket,
+                            )
+                            subject = lower_schedule(
+                                variant, spec.world_size, nodes=nodes
+                            )
+                            check_subject(subject)
 
     return report
 
@@ -173,10 +226,19 @@ def analyze_all(
     gpus_per_node: int = 2,
     steps: int = 5,
     seed: int = 0,
+    hb: bool = False,
 ) -> SweepReport:
-    """Analyze every registered algorithm; the test-suite/CI sweep."""
+    """Analyze every registered algorithm; the test-suite/CI sweep.
+
+    With ``hb=True`` the sweep also covers the baseline registry (they are
+    :class:`~repro.core.engine.Algorithm` subclasses too) and every report
+    includes the happens-before pass.
+    """
     sweep = SweepReport()
-    for name in sorted(ALGORITHM_REGISTRY):
+    names = sorted(ALGORITHM_REGISTRY)
+    if hb:
+        names += sorted(BASELINE_REGISTRY)
+    for name in names:
         sweep.reports.append(
             analyze_algorithm(
                 name,
@@ -184,6 +246,7 @@ def analyze_all(
                 gpus_per_node=gpus_per_node,
                 steps=steps,
                 seed=seed,
+                hb=hb,
             )
         )
     return sweep

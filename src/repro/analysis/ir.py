@@ -20,16 +20,28 @@ schedules as statically analyzable dependency graphs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, Iterable, List, Optional, Tuple
+from collections.abc import Iterable
 
-#: Op kinds with collective scope (all group members participate).
+#: Op kinds with collective scope (all group members participate).  The
+#: ``reduce``/``broadcast`` kinds are the intra-node phases of a lowered
+#: hierarchical schedule (H); the inter-node phase keeps the allreduce kinds.
 COLLECTIVE_KINDS = frozenset(
-    {"allreduce", "compressed_allreduce", "gossip", "compressed_gossip", "barrier"}
+    {
+        "allreduce",
+        "compressed_allreduce",
+        "gossip",
+        "compressed_gossip",
+        "barrier",
+        "reduce",
+        "broadcast",
+    }
 )
 #: Op kinds with point-to-point scope.
 P2P_KINDS = frozenset({"send", "recv"})
 #: Local scheduling kinds (no communication; used by the overlap analysis).
 SCHEDULE_KINDS = frozenset({"issue", "await", "opt_step", "ef_write"})
+#: Gossip kinds (peer-wise synchronization instead of a group barrier).
+GOSSIP_KINDS = frozenset({"gossip", "compressed_gossip"})
 
 
 @dataclass(frozen=True)
@@ -40,6 +52,16 @@ class CommOp:
     tuple of global ranks participating in a collective (empty for p2p and
     local ops).  ``peers`` is the rank's own neighbor set for gossip ops, or
     the single remote endpoint for send/recv.
+
+    The happens-before engine (:mod:`repro.analysis.hb`) reads four more
+    fields.  ``thread`` names the executing stream within the rank (lowered
+    overlapped schedules run collectives on a ``"comm"`` thread concurrent
+    with ``"main"``); ``gate`` names the intra-rank dependency the op waits
+    on (one of the ``GATE_*`` constants of :mod:`repro.core.schedule`, empty
+    for plain program order); ``match`` is a stable id pairing a ``send``
+    with its ``recv``; ``start``/``stop`` are the element interval the op
+    touches in its rank's address space (-1 when unknown — the engine then
+    falls back to the bucket's extent in the subject layout).
     """
 
     rank: int
@@ -53,8 +75,13 @@ class CommOp:
     compressor: str = ""
     biased: bool = False
     error_feedback: bool = False
-    peers: Tuple[int, ...] = ()
-    group: Tuple[int, ...] = ()
+    peers: tuple[int, ...] = ()
+    group: tuple[int, ...] = ()
+    thread: str = "main"
+    gate: str = ""
+    match: str = ""
+    start: int = -1
+    stop: int = -1
 
     @property
     def scope(self) -> str:
@@ -64,7 +91,7 @@ class CommOp:
             return "schedule"
         return "collective"
 
-    def signature(self) -> Tuple:
+    def signature(self) -> tuple:
         """What must match across ranks for the schedule to be symmetric.
 
         Peer sets are deliberately excluded: decentralized ranks legally talk
@@ -92,7 +119,7 @@ class CommTrace:
         if world_size < 1:
             raise ValueError(f"world_size must be >= 1, got {world_size}")
         self.world_size = world_size
-        self._ops: Dict[int, List[CommOp]] = {r: [] for r in range(world_size)}
+        self._ops: dict[int, list[CommOp]] = {r: [] for r in range(world_size)}
 
     # ------------------------------------------------------------------
     # Construction
@@ -114,23 +141,35 @@ class CommTrace:
     # Views
     # ------------------------------------------------------------------
     @property
-    def ranks(self) -> List[int]:
+    def ranks(self) -> list[int]:
         return list(range(self.world_size))
 
-    def ops_of(self, rank: int) -> List[CommOp]:
+    def ops_of(self, rank: int) -> list[CommOp]:
         return list(self._ops[rank])
 
-    def all_ops(self) -> List[CommOp]:
+    def all_ops(self) -> list[CommOp]:
         return [op for rank in self.ranks for op in self._ops[rank]]
 
-    def collective_ops(self, rank: int) -> List[CommOp]:
+    def collective_ops(self, rank: int) -> list[CommOp]:
         return [op for op in self._ops[rank] if op.scope == "collective"]
 
-    def p2p_ops(self, rank: int) -> List[CommOp]:
+    def p2p_ops(self, rank: int) -> list[CommOp]:
         return [op for op in self._ops[rank] if op.scope == "p2p"]
 
-    def schedule_ops(self, rank: int) -> List[CommOp]:
+    def schedule_ops(self, rank: int) -> list[CommOp]:
         return [op for op in self._ops[rank] if op.scope == "schedule"]
+
+    def threads_of(self, rank: int) -> list[str]:
+        """Thread names seen on ``rank``, in order of first appearance."""
+        seen: list[str] = []
+        for op in self._ops[rank]:
+            if op.thread not in seen:
+                seen.append(op.thread)
+        return seen
+
+    def ops_of_thread(self, rank: int, thread: str) -> list[CommOp]:
+        """``rank``'s program order restricted to one thread."""
+        return [op for op in self._ops[rank] if op.thread == thread]
 
     @property
     def num_ops(self) -> int:
@@ -169,7 +208,7 @@ class BucketExtent:
     name: str
     start: int
     stop: int
-    views: Tuple[ParamView, ...] = ()
+    views: tuple[ParamView, ...] = ()
 
     @property
     def size(self) -> int:
@@ -181,11 +220,11 @@ class AnalysisSubject:
     """Everything the checker suite needs about one analyzed execution."""
 
     world_size: int
-    trace: Optional[CommTrace] = None
-    layout: Tuple[BucketExtent, ...] = ()
+    trace: CommTrace | None = None
+    layout: tuple[BucketExtent, ...] = ()
     #: declared peer topology ("ring") when the algorithm commits to one;
     #: peer-matching then verifies gossip neighbors against it.
-    expected_topology: Optional[str] = None
+    expected_topology: str | None = None
     #: free-form description of where this subject came from (for reports).
     source: str = ""
-    notes: Dict[str, object] = field(default_factory=dict)
+    notes: dict[str, object] = field(default_factory=dict)

@@ -16,24 +16,49 @@ Three producers feed the checker suite without (or alongside) a dry run:
   :func:`layout_from_buckets` produce the bucket address layout, planned
   (cumulative offsets) or real (byte addresses of the live flattened
   buffers), for the aliasing analysis.
+
+Lowered ops carry the metadata the happens-before engine
+(:mod:`repro.analysis.hb`) consumes: a ``thread`` id (overlapped schedules
+run collectives on a ``"comm"`` stream concurrent with ``"main"``), a
+``gate`` naming the intra-rank dependency (the ``GATE_*`` constants of
+:mod:`repro.core.schedule` — no stringly-typed literals here), and the
+``start``/``stop`` element interval of the touched bucket.  With a node
+structure (``nodes=``), a hierarchical schedule lowers to its three real
+phases — intra-node ``reduce``, inter-node (compressed) ``allreduce`` on
+the leader subgroup, intra-node ``broadcast`` — so cross-phase ordering is
+verified, not assumed.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from collections.abc import Sequence
 
 from ..compression.base import Compressor
 from ..core.bucket import TensorBucket
 from ..core.optimizer_framework import ExecutionPlan
-from ..core.schedule import BucketSchedule
+from ..core.schedule import (
+    GATE_BACKWARD_END,
+    GATE_BARRIER,
+    GATE_COMM_DONE,
+    GATE_GRAD_READY,
+    UPDATE_BARRIER,
+    BucketSchedule,
+)
 from .ir import AnalysisSubject, BucketExtent, CommTrace, ParamView
+
+#: Thread names of a lowered rank program: ``main`` models the training
+#: loop (backward, awaits, optimizer), ``comm`` the concurrent reduction
+#: stream an overlapped schedule launches collectives on.
+MAIN_THREAD = "main"
+COMM_THREAD = "comm"
 
 
 def lower_plan(
     plan: ExecutionPlan,
     world_size: int,
-    compressor: Optional[Compressor] = None,
+    compressor: Compressor | None = None,
     error_feedback: bool = False,
+    nodes: Sequence[Sequence[int]] | None = None,
 ) -> AnalysisSubject:
     """Lower ``plan`` into the per-rank schedule trace + planned layout.
 
@@ -42,67 +67,27 @@ def lower_plan(
     properties of the *schedule shape* — every optimizer update on a bucket
     is preceded by the await of that bucket's communication, sizes agree,
     and the planned extents do not alias.
+
+    Internally this delegates to :func:`lower_schedule` on the
+    :class:`BucketSchedule` the plan implies, with the plan's historical
+    barrier update placement (all updates trail the communication stream).
     """
-    trace = CommTrace(world_size)
-    units = plan.communication_units()
-    codec = compressor.name if compressor is not None else ""
-    biased = bool(getattr(compressor, "biased", False)) if compressor is not None else False
-    kind = "compressed_allreduce" if compressor is not None else "allreduce"
-    group = tuple(range(world_size))
-
-    for rank in range(world_size):
-        peers = tuple(r for r in group if r != rank)
-        if plan.config.overlap:
-            # Issue each bucket's communication at its gradient-ready point,
-            # concurrent with the rest of backward; await everything at the
-            # end, then update.
-            for unit in units:
-                trace.add(rank, "issue", bucket=f"bucket{unit.index}", elements=unit.elements)
-            for unit in units:
-                trace.add(rank, "await", bucket=f"bucket{unit.index}", elements=unit.elements)
-                trace.add(
-                    rank,
-                    kind,
-                    bucket=f"bucket{unit.index}",
-                    elements=unit.elements,
-                    compressor=codec,
-                    biased=biased,
-                    error_feedback=error_feedback,
-                    peers=peers,
-                    group=group,
-                )
-        else:
-            # No overlap: communication blocks, issue/await adjacent.
-            for unit in units:
-                trace.add(rank, "issue", bucket=f"bucket{unit.index}", elements=unit.elements)
-                trace.add(rank, "await", bucket=f"bucket{unit.index}", elements=unit.elements)
-                trace.add(
-                    rank,
-                    kind,
-                    bucket=f"bucket{unit.index}",
-                    elements=unit.elements,
-                    compressor=codec,
-                    biased=biased,
-                    error_feedback=error_feedback,
-                    peers=peers,
-                    group=group,
-                )
-        for unit in units:
-            trace.add(rank, "opt_step", bucket=f"bucket{unit.index}", elements=unit.elements)
-
-    return AnalysisSubject(
-        world_size=world_size,
-        trace=trace,
-        layout=layout_from_plan(plan),
-        source=f"plan({plan.config.describe()})",
+    schedule = BucketSchedule.from_plan(plan, update_mode=UPDATE_BARRIER)
+    subject = lower_schedule(
+        schedule, world_size, compressor=compressor,
+        error_feedback=error_feedback, nodes=nodes,
     )
+    subject.layout = layout_from_plan(plan)
+    subject.source = f"plan({plan.config.describe()})"
+    return subject
 
 
 def lower_schedule(
     schedule: BucketSchedule,
     world_size: int,
-    compressor: Optional[Compressor] = None,
+    compressor: Compressor | None = None,
     error_feedback: bool = False,
+    nodes: Sequence[Sequence[int]] | None = None,
 ) -> AnalysisSubject:
     """Lower a :class:`BucketSchedule` into the per-rank schedule trace.
 
@@ -111,57 +96,131 @@ def lower_schedule(
     schedule's own gated event stream — so what the checkers prove is the
     *exact* order the :class:`~repro.core.schedule.ScheduledExecutor` runs,
     including the per-bucket vs barrier update placement.
+
+    Under overlap, collectives are emitted on the ``comm`` thread gated on
+    their bucket's issue (``grad_ready``) while issues, awaits and updates
+    stay on ``main`` — the two-stream structure the happens-before engine
+    needs to prove the overlap race-free.  ``nodes`` (an iterable of
+    per-node global-rank groups, e.g. from
+    :meth:`~repro.cluster.topology.ClusterSpec`) unlocks the hierarchical
+    three-phase lowering when ``schedule.hierarchical`` is set; without it
+    the comm lowers as one flat-group collective.
     """
     trace = CommTrace(world_size)
     by_index = {b.index: b for b in schedule.buckets}
     codec = compressor.name if compressor is not None else ""
     biased = bool(getattr(compressor, "biased", False)) if compressor is not None else False
-    kind = "compressed_allreduce" if compressor is not None else "allreduce"
-    group = tuple(range(world_size))
+    inter_kind = "compressed_allreduce" if compressor is not None else "allreduce"
+    flat_group = tuple(range(world_size))
     events = schedule.events()
+    layout = layout_from_schedule(schedule)
+    extent_of = {extent.name: (extent.start, extent.stop) for extent in layout}
+
+    node_groups: list[tuple[int, ...]] = (
+        [tuple(sorted(node)) for node in nodes] if nodes else []
+    )
+    hierarchical = bool(schedule.hierarchical) and len(node_groups) > 1
+
+    def node_of(rank: int) -> tuple[int, ...]:
+        for node in node_groups:
+            if rank in node:
+                return node
+        raise ValueError(f"rank {rank} is in no node of {node_groups}")
+
+    leaders = tuple(node[0] for node in node_groups) if hierarchical else ()
+
+    comm_thread = COMM_THREAD if schedule.overlap_backward else MAIN_THREAD
+    comm_gate = GATE_GRAD_READY if schedule.overlap_backward else GATE_BACKWARD_END
+
+    def emit_comm_phases(rank: int, bucket) -> None:
+        """The collective phase(s) of one bucket on one rank's comm thread."""
+        start, stop = extent_of[bucket.name]
+        common = dict(
+            bucket=bucket.name, elements=bucket.elements,
+            thread=comm_thread, start=start, stop=stop,
+        )
+        if not hierarchical:
+            trace.add(
+                rank, inter_kind, gate=comm_gate,
+                compressor=codec, biased=biased, error_feedback=error_feedback,
+                peers=tuple(r for r in flat_group if r != rank), group=flat_group,
+                **common,
+            )
+            return
+        node = node_of(rank)
+        gate = comm_gate
+        if len(node) > 1:
+            # Phase 1: reduce gradients onto the node leader.
+            trace.add(
+                rank, "reduce", gate=gate,
+                peers=tuple(r for r in node if r != rank), group=node,
+                **common,
+            )
+            gate = ""  # later phases follow in comm-thread program order
+        if rank in leaders and len(leaders) > 1:
+            # Phase 2: the (optionally compressed) inter-node exchange.
+            trace.add(
+                rank, inter_kind, gate=gate,
+                compressor=codec, biased=biased, error_feedback=error_feedback,
+                peers=tuple(r for r in leaders if r != rank), group=leaders,
+                **common,
+            )
+            gate = ""
+        if len(node) > 1:
+            # Phase 3: broadcast the reduced bucket back within the node.
+            trace.add(
+                rank, "broadcast", gate=gate,
+                peers=tuple(r for r in node if r != rank), group=node,
+                **common,
+            )
 
     for rank in range(world_size):
-        peers = tuple(r for r in group if r != rank)
         # Under overlap, every comm issues at its grad-ready gate — i.e.
         # concurrently with the rest of backward — before anything awaits.
         if schedule.overlap_backward:
             for event in events:
                 if event.kind == "comm":
                     bucket = by_index[event.bucket]
-                    trace.add(rank, "issue", bucket=bucket.name, elements=bucket.elements)
+                    start, stop = extent_of[bucket.name]
+                    trace.add(
+                        rank, "issue", bucket=bucket.name, elements=bucket.elements,
+                        thread=MAIN_THREAD, start=start, stop=stop,
+                    )
         for event in events:
             bucket = by_index[event.bucket]
+            start, stop = extent_of[bucket.name]
             if event.kind == "comm":
                 if not schedule.overlap_backward:
-                    trace.add(rank, "issue", bucket=bucket.name, elements=bucket.elements)
-                trace.add(rank, "await", bucket=bucket.name, elements=bucket.elements)
+                    trace.add(
+                        rank, "issue", bucket=bucket.name, elements=bucket.elements,
+                        thread=MAIN_THREAD, start=start, stop=stop,
+                    )
+                emit_comm_phases(rank, bucket)
                 trace.add(
-                    rank,
-                    kind,
-                    bucket=bucket.name,
-                    elements=bucket.elements,
-                    compressor=codec,
-                    biased=biased,
-                    error_feedback=error_feedback,
-                    peers=peers,
-                    group=group,
+                    rank, "await", bucket=bucket.name, elements=bucket.elements,
+                    thread=MAIN_THREAD, gate=GATE_COMM_DONE, start=start, stop=stop,
                 )
             elif event.kind == "update":
-                trace.add(rank, "opt_step", bucket=bucket.name, elements=bucket.elements)
+                trace.add(
+                    rank, "opt_step", bucket=bucket.name, elements=bucket.elements,
+                    thread=MAIN_THREAD,
+                    gate=GATE_COMM_DONE if schedule.per_bucket_updates else GATE_BARRIER,
+                    start=start, stop=stop,
+                )
             # "post" events carry no schedule hazard of their own: the
             # decompression is part of the awaited communication.
 
     return AnalysisSubject(
         world_size=world_size,
         trace=trace,
-        layout=layout_from_schedule(schedule),
+        layout=layout,
         source=f"schedule lowering ({schedule.describe()})",
     )
 
 
-def layout_from_schedule(schedule: BucketSchedule) -> Tuple[BucketExtent, ...]:
+def layout_from_schedule(schedule: BucketSchedule) -> tuple[BucketExtent, ...]:
     """Planned layout implied by a schedule's bucket views (packed extents)."""
-    extents: List[BucketExtent] = []
+    extents: list[BucketExtent] = []
     base = 0
     for bucket in schedule.buckets:
         views = []
@@ -181,9 +240,9 @@ def layout_from_schedule(schedule: BucketSchedule) -> Tuple[BucketExtent, ...]:
     return tuple(extents)
 
 
-def layout_from_plan(plan: ExecutionPlan) -> Tuple[BucketExtent, ...]:
+def layout_from_plan(plan: ExecutionPlan) -> tuple[BucketExtent, ...]:
     """Planned bucket layout: buckets packed back-to-back in one address space."""
-    extents: List[BucketExtent] = []
+    extents: list[BucketExtent] = []
     base = 0
     for bucket in plan.buckets:
         views = []
@@ -203,7 +262,7 @@ def layout_from_plan(plan: ExecutionPlan) -> Tuple[BucketExtent, ...]:
     return tuple(extents)
 
 
-def layout_from_buckets(buckets: Sequence[TensorBucket]) -> Tuple[BucketExtent, ...]:
+def layout_from_buckets(buckets: Sequence[TensorBucket]) -> tuple[BucketExtent, ...]:
     """Real layout of live buckets.
 
     Flattened buckets use actual byte addresses — a parameter whose storage
@@ -220,7 +279,7 @@ def layout_from_buckets(buckets: Sequence[TensorBucket]) -> Tuple[BucketExtent, 
             buffer = bucket.buffer
             base = buffer.__array_interface__["data"][0]
             views = []
-            for i, (param, lo, hi) in enumerate(bucket.param_slices()):
+            for i, (param, _lo, _hi) in enumerate(bucket.param_slices()):
                 addr = param.data.__array_interface__["data"][0]
                 views.append(
                     ParamView(

@@ -22,7 +22,7 @@ one attribute check per round when not recording.
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Iterator, Optional, Sequence
+from collections.abc import Iterator, Sequence
 
 from ..cluster.transport import Message, Transport
 from .ir import CommTrace
@@ -35,12 +35,12 @@ class TraceRecorder:
         self.trace = CommTrace(world_size)
         self._step = -1
         self._round = 0
-        self._transport: Optional[Transport] = None
+        self._transport: Transport | None = None
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
-    def install(self, transport: Transport) -> "TraceRecorder":
+    def install(self, transport: Transport) -> TraceRecorder:
         if transport.tracer is not None and transport.tracer is not self:
             raise RuntimeError("transport already has a tracer installed")
         transport.tracer = self
@@ -63,6 +63,7 @@ class TraceRecorder:
         round_id = self._round
         self._round += 1
         for message in messages:
+            match = message.match_id or ""
             self.trace.add(
                 message.src,
                 "send",
@@ -70,6 +71,7 @@ class TraceRecorder:
                 round=round_id,
                 nbytes=float(message.nbytes),
                 peers=(message.dst,),
+                match=match,
             )
             self.trace.add(
                 message.dst,
@@ -78,6 +80,7 @@ class TraceRecorder:
                 round=round_id,
                 nbytes=float(message.nbytes),
                 peers=(message.src,),
+                match=match,
             )
 
     def on_collective(
@@ -89,7 +92,7 @@ class TraceRecorder:
         compressor: str = "",
         biased: bool = False,
         error_feedback: bool = False,
-        peers_by_member: Optional[Sequence[Sequence[int]]] = None,
+        peers_by_member: Sequence[Sequence[int]] | None = None,
     ) -> None:
         """Record one collective invocation as an op on every group member.
 

@@ -10,22 +10,27 @@ algorithm; :class:`SweepReport` aggregates reports across the registry for
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
 
 SEVERITIES = ("error", "warning", "info")
 
 
 @dataclass(frozen=True)
 class Finding:
-    """One rule violation (or advisory) discovered by a checker."""
+    """One rule violation (or advisory) discovered by a checker.
+
+    ``witness`` is an optional printable proof — for the happens-before
+    rules it is the pair of unordered events plus a minimal HB path (or the
+    wait-for cycle), rendered by ``repro analyze --explain``.
+    """
 
     rule: str
     severity: str
     message: str
-    rank: Optional[int] = None
-    seq: Optional[int] = None
-    bucket: Optional[str] = None
-    step: Optional[int] = None
+    rank: int | None = None
+    seq: int | None = None
+    bucket: str | None = None
+    step: int | None = None
+    witness: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if self.severity not in SEVERITIES:
@@ -48,7 +53,13 @@ class Finding:
         suffix = f" [{where}]" if where else ""
         return f"{self.severity.upper()} {self.rule}: {self.message}{suffix}"
 
-    def to_dict(self) -> Dict:
+    def explain(self) -> str:
+        """The finding plus its happens-before witness, if it carries one."""
+        lines = [self.render()]
+        lines.extend(f"  {line}" for line in self.witness)
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
         return {
             "rule": self.rule,
             "severity": self.severity,
@@ -57,6 +68,7 @@ class Finding:
             "seq": self.seq,
             "bucket": self.bucket,
             "step": self.step,
+            "witness": list(self.witness),
         }
 
 
@@ -66,20 +78,20 @@ class AnalysisReport:
 
     algorithm: str
     world: str
-    checkers: List[str] = field(default_factory=list)
-    findings: List[Finding] = field(default_factory=list)
+    checkers: list[str] = field(default_factory=list)
+    findings: list[Finding] = field(default_factory=list)
     num_ops: int = 0
-    sources: List[str] = field(default_factory=list)
+    sources: list[str] = field(default_factory=list)
 
     @property
-    def errors(self) -> List[Finding]:
+    def errors(self) -> list[Finding]:
         return [f for f in self.findings if f.severity == "error"]
 
     @property
     def ok(self) -> bool:
         return not self.errors
 
-    def rules_fired(self) -> List[str]:
+    def rules_fired(self) -> list[str]:
         return sorted({f.rule for f in self.findings})
 
     def render(self) -> str:
@@ -91,11 +103,11 @@ class AnalysisReport:
         ]
         for source in self.sources:
             lines.append(f"  analyzed: {source}")
-        for finding in self.findings:
-            lines.append(f"  {finding.render()}")
+        for index, finding in enumerate(self.findings):
+            lines.append(f"  [{index}] {finding.render()}")
         return "\n".join(lines)
 
-    def to_dict(self) -> Dict:
+    def to_dict(self) -> dict:
         return {
             "algorithm": self.algorithm,
             "world": self.world,
@@ -111,11 +123,15 @@ class AnalysisReport:
 class SweepReport:
     """One :class:`AnalysisReport` per registered algorithm."""
 
-    reports: List[AnalysisReport] = field(default_factory=list)
+    reports: list[AnalysisReport] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
         return all(r.ok for r in self.reports)
+
+    def all_findings(self) -> list[Finding]:
+        """Every finding of the sweep, in report order (for ``--explain``)."""
+        return [f for report in self.reports for f in report.findings]
 
     def render(self) -> str:
         width = max((len(r.algorithm) for r in self.reports), default=10)
@@ -138,5 +154,5 @@ class SweepReport:
         )
         return "\n".join(lines)
 
-    def to_dict(self) -> Dict:
+    def to_dict(self) -> dict:
         return {"ok": self.ok, "reports": [r.to_dict() for r in self.reports]}

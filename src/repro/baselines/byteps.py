@@ -15,7 +15,6 @@ allreduce; async BytePS exhibits bounded staleness like
 
 from __future__ import annotations
 
-from typing import List
 
 import numpy as np
 
@@ -33,7 +32,7 @@ class BytePS(Algorithm):
         self.lr = lr
 
     def setup(self, engine: BaguaEngine) -> None:
-        self._servers: List[ShardedParameterServer] = [
+        self._servers: list[ShardedParameterServer] = [
             ShardedParameterServer(engine.group, bucket.flat_data())
             for bucket in engine.workers[0].buckets
         ]

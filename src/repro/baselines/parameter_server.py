@@ -11,7 +11,7 @@ so PS byte counts and times are directly comparable with collectives.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence
+from collections.abc import Callable, Sequence
 
 import numpy as np
 
@@ -30,11 +30,11 @@ class ShardedParameterServer:
         self._bounds = _chunk_bounds(initial.shape[0], self.num_shards)
         self.total_elements = initial.shape[0]
         # shard index -> parameter slice held by that server
-        self.shards: List[np.ndarray] = [
+        self.shards: list[np.ndarray] = [
             initial[lo:hi].astype(np.float64, copy=True) for lo, hi in self._bounds
         ]
         # Arbitrary per-shard server state (error compensation, momentum, ...)
-        self.server_state: List[Dict] = [{} for _ in range(self.num_shards)]
+        self.server_state: list[dict] = [{} for _ in range(self.num_shards)]
 
     @property
     def transport(self) -> Transport:
@@ -47,7 +47,7 @@ class ShardedParameterServer:
     # ------------------------------------------------------------------
     # Traffic
     # ------------------------------------------------------------------
-    def _shard_messages(self, src: int, payload_per_shard: Sequence) -> List[Message]:
+    def _shard_messages(self, src: int, payload_per_shard: Sequence) -> list[Message]:
         return [
             Message(src, server, payload)
             for server, payload in zip(self.server_ranks, payload_per_shard)
@@ -58,7 +58,7 @@ class ShardedParameterServer:
         self,
         worker_rank: int,
         gradient: np.ndarray,
-        apply_fn: Optional[Callable[[int, np.ndarray, Dict], None]] = None,
+        apply_fn: Callable[[int, np.ndarray, dict], None] | None = None,
     ) -> None:
         """Send ``gradient`` sharded to the servers and apply it.
 

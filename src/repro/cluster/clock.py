@@ -11,7 +11,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Tuple
+from collections.abc import Callable
 
 
 class VirtualClock:
@@ -60,7 +60,7 @@ class EventQueue:
     """
 
     def __init__(self) -> None:
-        self._heap: List[_Event] = []
+        self._heap: list[_Event] = []
         self._counter = itertools.count()
         self.now = 0.0
         self._processed = 0
@@ -76,7 +76,7 @@ class EventQueue:
     def empty(self) -> bool:
         return not self._heap
 
-    def step(self) -> Optional[Tuple[float, str]]:
+    def step(self) -> tuple[float, str] | None:
         """Pop and run the next event; return (time, label) or None if empty."""
         if not self._heap:
             return None

@@ -58,10 +58,10 @@ class Link:
             raise ValueError(f"negative transfer size {nbytes}")
         return (nbytes + self.ramp_bytes) / self.bandwidth_Bps
 
-    def with_latency(self, latency_s: float) -> "Link":
+    def with_latency(self, latency_s: float) -> Link:
         return replace(self, latency_s=latency_s)
 
-    def with_bandwidth_gbps(self, gbps: float) -> "Link":
+    def with_bandwidth_gbps(self, gbps: float) -> Link:
         return replace(self, bandwidth_Bps=gbps * GBPS, name=f"tcp-{gbps:g}g")
 
 

@@ -8,7 +8,6 @@ on node 1, and so on — matching how NCCL ranks map onto multi-GPU servers.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
 
 from .netmodel import Link, NVLINK, TCP_25G
 
@@ -43,7 +42,7 @@ class ClusterSpec:
     inter_node: Link = TCP_25G
     intra_node: Link = NVLINK
     worker_flops: float = DEFAULT_WORKER_FLOPS
-    straggler_slowdown: Dict[int, float] = field(default_factory=dict)
+    straggler_slowdown: dict[int, float] = field(default_factory=dict)
     compute_jitter_sigma: float = 0.06
 
     def __post_init__(self) -> None:
@@ -78,13 +77,13 @@ class ClusterSpec:
             raise ValueError(f"no link from rank {a} to itself")
         return self.intra_node if self.same_node(a, b) else self.inter_node
 
-    def node_ranks(self, node: int) -> List[int]:
+    def node_ranks(self, node: int) -> list[int]:
         if not 0 <= node < self.num_nodes:
             raise ValueError(f"node {node} out of range")
         start = node * self.workers_per_node
         return list(range(start, start + self.workers_per_node))
 
-    def node_leaders(self) -> List[int]:
+    def node_leaders(self) -> list[int]:
         """First rank of each node (the 'leader workers' of §3.4)."""
         return [node * self.workers_per_node for node in range(self.num_nodes)]
 
@@ -117,7 +116,7 @@ class ClusterSpec:
             raise ValueError(f"rank {rank} out of range for world size {self.world_size}")
 
 
-def paper_cluster(network: str = "25gbps", straggler_slowdown: Dict[int, float] | None = None) -> ClusterSpec:
+def paper_cluster(network: str = "25gbps", straggler_slowdown: dict[int, float] | None = None) -> ClusterSpec:
     """The 16-node x 8-GPU cluster from the paper's evaluation."""
     from .netmodel import preset
 

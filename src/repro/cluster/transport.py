@@ -17,7 +17,8 @@ timing-mode stubs can declare full-scale sizes without materializing data.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from collections.abc import Sequence
+from typing import Any
 
 import numpy as np
 
@@ -45,12 +46,19 @@ def payload_nbytes(payload: Any) -> float:
 
 @dataclass
 class Message:
-    """A point-to-point message for one communication round."""
+    """A point-to-point message for one communication round.
+
+    ``match_id`` is a stable identifier pairing this message's send with its
+    receive in recorded traces (the happens-before engine's send→recv edge).
+    Communication primitives may assign semantic ids; the transport fills in
+    a deterministic per-round id for any message that arrives without one.
+    """
 
     src: int
     dst: int
     payload: Any
-    nbytes: Optional[float] = None
+    nbytes: float | None = None
+    match_id: str | None = None
 
     def __post_init__(self) -> None:
         if self.src == self.dst:
@@ -70,7 +78,7 @@ class TrafficStats:
     total_bytes: float = 0.0
     inter_node_bytes: float = 0.0
     intra_node_bytes: float = 0.0
-    per_rank_sent_bytes: Dict[int, float] = field(default_factory=dict)
+    per_rank_sent_bytes: dict[int, float] = field(default_factory=dict)
 
     def record(self, message: Message, inter_node: bool) -> None:
         self.messages += 1
@@ -97,11 +105,12 @@ class Transport:
 
     def __init__(self, spec: ClusterSpec) -> None:
         self.spec = spec
-        self.clocks: List[VirtualClock] = [VirtualClock() for _ in range(spec.world_size)]
+        self.clocks: list[VirtualClock] = [VirtualClock() for _ in range(spec.world_size)]
         self.stats = TrafficStats()
         # Optional instrumentation sink (repro.analysis.recorder.TraceRecorder):
         # when set, every exchanged round is reported before delivery.
         self.tracer = None
+        self._round_counter = 0
 
     # ------------------------------------------------------------------
     # Time
@@ -109,7 +118,7 @@ class Transport:
     def now(self, rank: int) -> float:
         return self.clocks[rank].now
 
-    def max_time(self, ranks: Optional[Sequence[int]] = None) -> float:
+    def max_time(self, ranks: Sequence[int] | None = None) -> float:
         ranks = range(self.spec.world_size) if ranks is None else ranks
         return max(self.clocks[r].now for r in ranks)
 
@@ -117,7 +126,7 @@ class Transport:
         """Charge ``rank`` with local computation time."""
         self.clocks[rank].advance(seconds * self.spec.compute_scale(rank))
 
-    def barrier(self, ranks: Optional[Sequence[int]] = None) -> float:
+    def barrier(self, ranks: Sequence[int] | None = None) -> float:
         """Synchronize ``ranks`` (default all) to the latest clock among them."""
         ranks = list(range(self.spec.world_size)) if ranks is None else list(ranks)
         latest = self.max_time(ranks)
@@ -133,7 +142,7 @@ class Transport:
     # ------------------------------------------------------------------
     # Delivery
     # ------------------------------------------------------------------
-    def exchange(self, messages: Sequence[Message]) -> Dict[int, List[Message]]:
+    def exchange(self, messages: Sequence[Message]) -> dict[int, list[Message]]:
         """Deliver one round of messages; returns messages grouped by receiver.
 
         Clocks of senders advance past their egress serialization; clocks of
@@ -146,14 +155,26 @@ class Transport:
             # it would skew round counts for algorithms where some ranks idle.
             return {}
         self.stats.rounds += 1
+        # Stable match ids pair each send with its recv in recorded traces.
+        # Primitives may pre-assign semantic ids; everything else gets a
+        # deterministic per-round id here.
+        round_id = self._round_counter
+        self._round_counter += 1
+        for i, message in enumerate(messages):
+            if message.match_id is None:
+                message.match_id = f"x{round_id}.{i}.{message.src}->{message.dst}"
+            else:
+                # Qualify semantic ids with the round so repeated invocations
+                # of the same primitive stay uniquely pairable.
+                message.match_id = f"x{round_id}:{message.match_id}"
         if self.tracer is not None:
             self.tracer.on_exchange(messages)
-        egress_free: Dict[Tuple[int, str], float] = {}
-        ingress_free: Dict[Tuple[int, str], float] = {}
-        arrivals: Dict[int, float] = {}
-        inbox: Dict[int, List[Message]] = {}
+        egress_free: dict[tuple[int, str], float] = {}
+        ingress_free: dict[tuple[int, str], float] = {}
+        arrivals: dict[int, float] = {}
+        inbox: dict[int, list[Message]] = {}
 
-        sender_done: Dict[int, float] = {}
+        sender_done: dict[int, float] = {}
         for message in messages:
             link = self.spec.link_between(message.src, message.dst)
             fabric = link.name

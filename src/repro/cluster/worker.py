@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 
@@ -43,7 +42,7 @@ class WorkerContext:
 
 
 def make_workers(
-    spec: ClusterSpec, transport: Optional[Transport] = None, seed: int = 0
+    spec: ClusterSpec, transport: Transport | None = None, seed: int = 0
 ) -> list[WorkerContext]:
     """Create one context per rank sharing a transport."""
     transport = transport or Transport(spec)

@@ -10,7 +10,7 @@ time and bytes.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -29,7 +29,7 @@ def _check_arrays(arrays: Sequence[np.ndarray], group: CommGroup) -> None:
             raise ValueError(f"shape mismatch: member 0 has {shape}, member {i} has {a.shape}")
 
 
-def _chunk_bounds(length: int, parts: int) -> List[tuple]:
+def _chunk_bounds(length: int, parts: int) -> list[tuple]:
     """Split ``range(length)`` into ``parts`` contiguous chunks (numpy-style)."""
     sizes = [length // parts + (1 if i < length % parts else 0) for i in range(parts)]
     bounds = []
@@ -45,14 +45,16 @@ def _chunk_bounds(length: int, parts: int) -> List[tuple]:
 # ----------------------------------------------------------------------
 def send_recv(group: CommGroup, src: int, dst: int, payload) -> object:
     """One message from ``src`` to ``dst`` (global ranks); returns the payload."""
-    inbox = group.transport.exchange([Message(src, dst, payload)])
+    inbox = group.transport.exchange(
+        [Message(src, dst, payload, match_id=f"p2p:{src}->{dst}")]
+    )
     return inbox[dst][0].payload
 
 
 # ----------------------------------------------------------------------
 # Ring allreduce (Horovod / PyTorch-DDP substrate)
 # ----------------------------------------------------------------------
-def ring_reduce_scatter(arrays: Sequence[np.ndarray], group: CommGroup) -> List[np.ndarray]:
+def ring_reduce_scatter(arrays: Sequence[np.ndarray], group: CommGroup) -> list[np.ndarray]:
     """Ring reduce-scatter: member i ends with the full sum of chunk i.
 
     Runs ``n - 1`` rounds; in round r, member i sends chunk ``(i - r) mod n``
@@ -72,7 +74,11 @@ def ring_reduce_scatter(arrays: Sequence[np.ndarray], group: CommGroup) -> List[
             chunk = (i - r) % n
             lo, hi = bounds[chunk]
             messages.append(
-                Message(group.ranks[i], group.ranks[(i + 1) % n], (chunk, work[i][lo:hi].copy()))
+                Message(
+                    group.ranks[i], group.ranks[(i + 1) % n],
+                    (chunk, work[i][lo:hi].copy()),
+                    match_id=f"rs.r{r}.c{chunk}",
+                )
             )
         inbox = group.transport.exchange(messages)
         for i in range(n):
@@ -89,7 +95,7 @@ def ring_reduce_scatter(arrays: Sequence[np.ndarray], group: CommGroup) -> List[
 
 def ring_all_gather_chunks(
     chunks: Sequence[np.ndarray], owners: Sequence[int], group: CommGroup, total: int
-) -> List[np.ndarray]:
+) -> list[np.ndarray]:
     """Ring all-gather of per-member chunks into full arrays.
 
     ``chunks[i]`` is the chunk owned by member i whose id is ``owners[i]``;
@@ -110,7 +116,11 @@ def ring_all_gather_chunks(
             chunk_id = owners[(i - r) % n]
             lo, hi = bounds[chunk_id]
             messages.append(
-                Message(group.ranks[i], group.ranks[(i + 1) % n], (chunk_id, results[i][lo:hi].copy()))
+                Message(
+                    group.ranks[i], group.ranks[(i + 1) % n],
+                    (chunk_id, results[i][lo:hi].copy()),
+                    match_id=f"ag.r{r}.c{chunk_id}",
+                )
             )
         inbox = group.transport.exchange(messages)
         for i in range(n):
@@ -120,7 +130,7 @@ def ring_all_gather_chunks(
     return results
 
 
-def ring_allreduce(arrays: Sequence[np.ndarray], group: CommGroup) -> List[np.ndarray]:
+def ring_allreduce(arrays: Sequence[np.ndarray], group: CommGroup) -> list[np.ndarray]:
     """Classic two-phase ring allreduce (sum); 2(n-1) rounds of S/n bytes."""
     _check_arrays(arrays, group)
     n = group.size
@@ -135,16 +145,16 @@ def ring_allreduce(arrays: Sequence[np.ndarray], group: CommGroup) -> List[np.nd
 # ----------------------------------------------------------------------
 # Star-pattern collectives (parameter-server substrate)
 # ----------------------------------------------------------------------
-def gather(arrays: Sequence[np.ndarray], group: CommGroup, root_index: int = 0) -> List[np.ndarray]:
+def gather(arrays: Sequence[np.ndarray], group: CommGroup, root_index: int = 0) -> list[np.ndarray]:
     """All members send to ``root_index``; returns the gathered list at root order."""
     _check_arrays(arrays, group)
     root = group.ranks[root_index]
     messages = [
-        Message(group.ranks[i], root, (i, arrays[i].copy()))
+        Message(group.ranks[i], root, (i, arrays[i].copy()), match_id=f"gather.m{i}")
         for i in range(group.size)
         if i != root_index
     ]
-    gathered: List[Optional[np.ndarray]] = [None] * group.size
+    gathered: list[np.ndarray | None] = [None] * group.size
     gathered[root_index] = arrays[root_index].copy()
     if messages:
         inbox = group.transport.exchange(messages)
@@ -154,15 +164,15 @@ def gather(arrays: Sequence[np.ndarray], group: CommGroup, root_index: int = 0) 
     return [g for g in gathered if g is not None]
 
 
-def broadcast(array: np.ndarray, group: CommGroup, root_index: int = 0) -> List[np.ndarray]:
+def broadcast(array: np.ndarray, group: CommGroup, root_index: int = 0) -> list[np.ndarray]:
     """Root sends ``array`` to every other member (flat star broadcast)."""
     root = group.ranks[root_index]
     messages = [
-        Message(root, group.ranks[i], array.copy())
+        Message(root, group.ranks[i], array.copy(), match_id=f"bcast.m{i}")
         for i in range(group.size)
         if i != root_index
     ]
-    results: List[np.ndarray] = [array.copy() for _ in range(group.size)]
+    results: list[np.ndarray] = [array.copy() for _ in range(group.size)]
     if messages:
         group.transport.exchange(messages)
     return results
@@ -178,13 +188,13 @@ def reduce_to_root(
 
 def allreduce_via_root(
     arrays: Sequence[np.ndarray], group: CommGroup, root_index: int = 0
-) -> List[np.ndarray]:
+) -> list[np.ndarray]:
     """Reduce at root then broadcast — the naive PS-style allreduce."""
     total = reduce_to_root(arrays, group, root_index=root_index)
     return broadcast(total, group, root_index=root_index)
 
 
-def alltoall(parts: Sequence[Sequence], group: CommGroup) -> List[List]:
+def alltoall(parts: Sequence[Sequence], group: CommGroup) -> list[list]:
     """``parts[i][j]`` travels from member i to member j; one message round.
 
     Returns ``received`` with ``received[j][i]`` = payload sent by member i
@@ -201,7 +211,7 @@ def alltoall(parts: Sequence[Sequence], group: CommGroup) -> List[List]:
         for i in range(n):
             j = (i + offset) % n
             messages.append(Message(group.ranks[i], group.ranks[j], (i, parts[i][j])))
-    received: List[List] = [[None] * n for _ in range(n)]
+    received: list[list] = [[None] * n for _ in range(n)]
     for j in range(n):
         received[j][j] = parts[j][j]
     if messages:
@@ -213,7 +223,7 @@ def alltoall(parts: Sequence[Sequence], group: CommGroup) -> List[List]:
     return received
 
 
-def allgather_payloads(payloads: Sequence, group: CommGroup) -> List[List]:
+def allgather_payloads(payloads: Sequence, group: CommGroup) -> list[list]:
     """Every member sends its payload to every other member; one round."""
     n = group.size
     messages = []
@@ -221,7 +231,7 @@ def allgather_payloads(payloads: Sequence, group: CommGroup) -> List[List]:
         for i in range(n):
             j = (i + offset) % n
             messages.append(Message(group.ranks[i], group.ranks[j], (i, payloads[i])))
-    results: List[List] = [[None] * n for _ in range(n)]
+    results: list[list] = [[None] * n for _ in range(n)]
     for i in range(n):
         results[i][i] = payloads[i]
     if messages:

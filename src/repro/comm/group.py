@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from collections.abc import Sequence
 
 from ..cluster.transport import Transport
 
@@ -25,7 +25,7 @@ class CommGroup:
             if not 0 <= rank < transport.spec.world_size:
                 raise ValueError(f"rank {rank} outside world of {transport.spec.world_size}")
         self.transport = transport
-        self.ranks: List[int] = ranks
+        self.ranks: list[int] = ranks
 
     @property
     def size(self) -> int:
@@ -46,21 +46,21 @@ class CommGroup:
     def barrier(self) -> float:
         return self.transport.barrier(self.ranks)
 
-    def subgroup(self, ranks: Sequence[int]) -> "CommGroup":
+    def subgroup(self, ranks: Sequence[int]) -> CommGroup:
         member_set = set(self.ranks)
         for rank in ranks:
             if rank not in member_set:
                 raise ValueError(f"rank {rank} not a member of this group")
         return CommGroup(self.transport, ranks)
 
-    def node_subgroups(self) -> List["CommGroup"]:
+    def node_subgroups(self) -> list[CommGroup]:
         """One subgroup per machine represented in this group."""
         by_node: dict[int, list[int]] = {}
         for rank in self.ranks:
             by_node.setdefault(self.spec.node_of(rank), []).append(rank)
         return [CommGroup(self.transport, ranks) for _node, ranks in sorted(by_node.items())]
 
-    def leader_group(self) -> "CommGroup":
+    def leader_group(self) -> CommGroup:
         """Group of the first rank on each machine (inter-node tier)."""
         leaders = [sub.ranks[0] for sub in self.node_subgroups()]
         return CommGroup(self.transport, leaders)

@@ -12,7 +12,7 @@ leaders perform the peer exchange — the paper calls this out explicitly.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence
+from collections.abc import Callable, Sequence
 
 import numpy as np
 
@@ -34,15 +34,15 @@ class HierarchicalComm:
             for li, rank in enumerate(sub.ranks):
                 self._placement[rank] = (gi, li)
 
-    def _split_by_node(self, arrays: Sequence[np.ndarray]) -> List[List[np.ndarray]]:
-        per_node: List[List[np.ndarray]] = [[] for _ in self.node_groups]
+    def _split_by_node(self, arrays: Sequence[np.ndarray]) -> list[list[np.ndarray]]:
+        per_node: list[list[np.ndarray]] = [[] for _ in self.node_groups]
         for member_idx, rank in enumerate(self.group.ranks):
             gi, _li = self._placement[rank]
             per_node[gi].append(arrays[member_idx])
         return per_node
 
-    def _merge_from_node(self, per_node: List[List[np.ndarray]]) -> List[np.ndarray]:
-        out: List[Optional[np.ndarray]] = [None] * self.group.size
+    def _merge_from_node(self, per_node: list[list[np.ndarray]]) -> list[np.ndarray]:
+        out: list[np.ndarray | None] = [None] * self.group.size
         for gi, sub in enumerate(self.node_groups):
             for li, rank in enumerate(sub.ranks):
                 out[self.group.index_of(rank)] = per_node[gi][li]
@@ -54,16 +54,16 @@ class HierarchicalComm:
     def allreduce(
         self,
         arrays: Sequence[np.ndarray],
-        compress_phase1: Optional[CompressFn] = None,
-        decompress_phase1: Optional[DecompressFn] = None,
-        compress_phase2: Optional[CompressFn] = None,
-        decompress_phase2: Optional[DecompressFn] = None,
-    ) -> List[np.ndarray]:
+        compress_phase1: CompressFn | None = None,
+        decompress_phase1: DecompressFn | None = None,
+        compress_phase2: CompressFn | None = None,
+        decompress_phase2: DecompressFn | None = None,
+    ) -> list[np.ndarray]:
         """Hierarchical sum; compression hooks apply only to the inter-node tier."""
         per_node = self._split_by_node(arrays)
 
         # Tier 1: full-precision reduce to each node leader over NVLink.
-        leader_sums: List[np.ndarray] = []
+        leader_sums: list[np.ndarray] = []
         for sub, node_arrays in zip(self.node_groups, per_node):
             gathered = gather(node_arrays, sub, root_index=0)
             leader_sums.append(np.sum(gathered, axis=0))
@@ -79,7 +79,7 @@ class HierarchicalComm:
         )
 
         # Tier 3: each leader broadcasts the aggregate within its node.
-        results_per_node: List[List[np.ndarray]] = []
+        results_per_node: list[list[np.ndarray]] = []
         for sub, agg in zip(self.node_groups, aggregated):
             results_per_node.append(broadcast(agg, sub, root_index=0))
         return self._merge_from_node(results_per_node)
@@ -90,8 +90,8 @@ class HierarchicalComm:
     def decentralized_average(
         self,
         arrays: Sequence[np.ndarray],
-        leader_exchange: Callable[[Sequence[np.ndarray], CommGroup], List[np.ndarray]],
-    ) -> List[np.ndarray]:
+        leader_exchange: Callable[[Sequence[np.ndarray], CommGroup], list[np.ndarray]],
+    ) -> list[np.ndarray]:
         """Intra-node average, leader peer exchange, intra-node broadcast.
 
         ``leader_exchange`` runs the decentralized step among node leaders
@@ -99,7 +99,7 @@ class HierarchicalComm:
         """
         per_node = self._split_by_node(arrays)
 
-        node_means: List[np.ndarray] = []
+        node_means: list[np.ndarray] = []
         for sub, node_arrays in zip(self.node_groups, per_node):
             if sub.size == 1:
                 node_means.append(node_arrays[0].astype(np.float64, copy=True))
@@ -109,7 +109,7 @@ class HierarchicalComm:
 
         exchanged = leader_exchange(node_means, self.leaders)
 
-        results_per_node: List[List[np.ndarray]] = []
+        results_per_node: list[list[np.ndarray]] = []
         for sub, result in zip(self.node_groups, exchanged):
             results_per_node.append(broadcast(result, sub, root_index=0))
         return self._merge_from_node(results_per_node)

@@ -18,7 +18,7 @@ bandwidth of all workers, like allreduce.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence
+from collections.abc import Callable, Sequence
 
 import numpy as np
 
@@ -43,11 +43,11 @@ def _identity_decompress(payload: object) -> np.ndarray:
 def scatter_reduce(
     arrays: Sequence[np.ndarray],
     group: CommGroup,
-    compress_phase1: Optional[CompressFn] = None,
-    decompress_phase1: Optional[DecompressFn] = None,
-    compress_phase2: Optional[CompressFn] = None,
-    decompress_phase2: Optional[DecompressFn] = None,
-) -> List[np.ndarray]:
+    compress_phase1: CompressFn | None = None,
+    decompress_phase1: DecompressFn | None = None,
+    compress_phase2: CompressFn | None = None,
+    decompress_phase2: DecompressFn | None = None,
+) -> list[np.ndarray]:
     """Aggregate (sum) per-member arrays with the ScatterReduce pattern.
 
     Phase hooks default to identity (exact C_FP_S).  Phase-1 compression is
@@ -71,7 +71,7 @@ def scatter_reduce(
         return [merged]
 
     # Phase 1: all-to-all of compressed chunks (one message round).
-    parts: List[List[object]] = []
+    parts: list[list[object]] = []
     for i in range(n):
         row = []
         for j, (lo, hi) in enumerate(bounds):
@@ -80,7 +80,7 @@ def scatter_reduce(
     received = alltoall(parts, group)
 
     # Merge: member j sums the decompressed chunks of partition j.
-    merged: List[np.ndarray] = []
+    merged: list[np.ndarray] = []
     for j in range(n):
         acc = np.zeros(bounds[j][1] - bounds[j][0])
         for i in range(n):
@@ -91,7 +91,7 @@ def scatter_reduce(
     compressed_merged = [c2(merged[j], j, j) for j in range(n)]
     gathered = allgather_payloads(compressed_merged, group)
 
-    results: List[np.ndarray] = []
+    results: list[np.ndarray] = []
     for i in range(n):
         out = np.empty(total)
         for j, (lo, hi) in enumerate(bounds):

@@ -9,7 +9,7 @@ the star in the ablation suite.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -17,10 +17,10 @@ from ..cluster.transport import Message
 from .group import CommGroup
 
 
-def tree_broadcast(array: np.ndarray, group: CommGroup, root_index: int = 0) -> List[np.ndarray]:
+def tree_broadcast(array: np.ndarray, group: CommGroup, root_index: int = 0) -> list[np.ndarray]:
     """Binomial broadcast from ``root_index``; log2(n) message rounds."""
     n = group.size
-    results: List[np.ndarray] = [array.copy() for _ in range(n)]
+    results: list[np.ndarray] = [array.copy() for _ in range(n)]
     if n == 1:
         return results
 
@@ -75,7 +75,7 @@ def tree_reduce(
 
 def tree_allreduce(
     arrays: Sequence[np.ndarray], group: CommGroup, root_index: int = 0
-) -> List[np.ndarray]:
+) -> list[np.ndarray]:
     """Reduce to root, then broadcast — 2 log2(n) rounds total."""
     total = tree_reduce(arrays, group, root_index=root_index)
     return tree_broadcast(total, group, root_index=root_index)

@@ -10,7 +10,6 @@ one.  ``decompress`` reconstructs a (lossy) float array.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
 
 import numpy as np
 
@@ -31,7 +30,7 @@ class CompressedPayload:
     codec: str
     n: int
     wire_bytes: float
-    fields: Dict[str, np.ndarray | float]
+    fields: dict[str, np.ndarray | float]
 
 
 class Compressor:

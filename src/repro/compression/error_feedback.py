@@ -15,7 +15,7 @@ server side (one residual per owned partition) of ScatterReduce.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable
+from collections.abc import Hashable
 
 import numpy as np
 
@@ -27,7 +27,7 @@ class ErrorFeedback:
 
     def __init__(self, compressor: Compressor) -> None:
         self.compressor = compressor
-        self._residuals: Dict[Hashable, np.ndarray] = {}
+        self._residuals: dict[Hashable, np.ndarray] = {}
 
     def residual(self, key: Hashable, n: int) -> np.ndarray:
         """Current residual for ``key`` (zeros before first use)."""

@@ -8,7 +8,6 @@ tensor norm, with stochastic rounding so the codec is unbiased:
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 
@@ -26,7 +25,7 @@ class QSGDCompressor(Compressor):
             worker's compression stream reproducible.
     """
 
-    def __init__(self, bits: int = 8, rng: Optional[np.random.Generator] = None) -> None:
+    def __init__(self, bits: int = 8, rng: np.random.Generator | None = None) -> None:
         if not 2 <= bits <= 16:
             raise ValueError(f"bits must be in [2, 16], got {bits}")
         self.bits = bits

@@ -6,7 +6,6 @@ Values become {-1, 0, +1} * max|x| with stochastic rounding proportional to
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 
@@ -16,7 +15,7 @@ from .base import CompressedPayload, Compressor
 class TernGradCompressor(Compressor):
     name = "terngrad"
 
-    def __init__(self, rng: Optional[np.random.Generator] = None) -> None:
+    def __init__(self, rng: np.random.Generator | None = None) -> None:
         self.rng = rng or np.random.default_rng(0)
 
     def compress(self, array: np.ndarray) -> CompressedPayload:

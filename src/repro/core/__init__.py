@@ -27,6 +27,12 @@ from .profiler import (
     profile_from_spec,
 )
 from .schedule import (
+    GATE_BACKWARD_END,
+    GATE_BARRIER,
+    GATE_COMM_DONE,
+    GATE_GRAD_READY,
+    UPDATE_BARRIER,
+    UPDATE_PER_BUCKET,
     BucketSchedule,
     ComputeModel,
     IterationReport,
@@ -43,6 +49,12 @@ __all__ = [
     "Algorithm",
     "BucketSchedule",
     "ScheduleEvent",
+    "GATE_GRAD_READY",
+    "GATE_BACKWARD_END",
+    "GATE_COMM_DONE",
+    "GATE_BARRIER",
+    "UPDATE_PER_BUCKET",
+    "UPDATE_BARRIER",
     "ScheduledBucket",
     "ScheduledExecutor",
     "ComputeModel",

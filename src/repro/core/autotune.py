@@ -18,7 +18,6 @@ The result is a ranked list with predicted epoch times and safety notes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
 
 from ..cluster.topology import ClusterSpec
 from ..models.spec import ModelSpec
@@ -50,7 +49,7 @@ def classify_family(model: ModelSpec) -> str:
 
 
 #: (family, algorithm) -> warning; distilled from Figure 6's outcomes.
-_SAFETY_NOTES: Dict[tuple, str] = {
+_SAFETY_NOTES: dict[tuple, str] = {
     ("conv", "1bit-adam"): "diverges on conv-dominated models (Figure 6, VGG16)",
     ("recurrent", "1bit-adam"): "diverges on the LSTM+AlexNet family (Figure 6)",
     ("transformer", "async"): "staleness visibly slows deep transformers (Figure 6, BERT-LARGE)",
@@ -83,7 +82,7 @@ class TuningReport:
 
     model: str
     family: str
-    recommendations: List[Recommendation]
+    recommendations: list[Recommendation]
 
     @property
     def best(self) -> Recommendation:
@@ -103,7 +102,7 @@ class TuningReport:
 def recommend(
     model: ModelSpec,
     cluster: ClusterSpec,
-    config: Optional[BaguaConfig] = None,
+    config: BaguaConfig | None = None,
     candidates=CANDIDATES,
     include_unsafe: bool = True,
 ) -> TuningReport:
@@ -118,7 +117,7 @@ def recommend(
         model, cluster, bagua_system(cost, "allreduce", config)
     ).epoch_time
 
-    recommendations: List[Recommendation] = []
+    recommendations: list[Recommendation] = []
     for name in candidates:
         epoch = simulate_epoch(model, cluster, bagua_system(cost, name, config)).epoch_time
         note = _SAFETY_NOTES.get((family, name), "")

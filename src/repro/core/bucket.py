@@ -12,7 +12,7 @@ is the cost the F-ablation in Table 5 measures.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -25,7 +25,7 @@ class TensorBucket:
     def __init__(self, params: Sequence[Tensor], name: str = "", flatten: bool = True) -> None:
         if not params:
             raise ValueError("bucket needs at least one tensor")
-        self.params: List[Tensor] = list(params)
+        self.params: list[Tensor] = list(params)
         self.name = name
         self.flattened = flatten
         self._shapes = [p.data.shape for p in self.params]
@@ -33,7 +33,7 @@ class TensorBucket:
         self._offsets = np.concatenate([[0], np.cumsum(self._sizes)]).astype(int)
         self.total_elements = int(self._offsets[-1])
 
-        self._buffer: Optional[np.ndarray] = None
+        self._buffer: np.ndarray | None = None
         if flatten:
             self._materialize()
 
@@ -49,11 +49,11 @@ class TensorBucket:
     # Introspection (used by repro.analysis)
     # ------------------------------------------------------------------
     @property
-    def buffer(self) -> Optional[np.ndarray]:
+    def buffer(self) -> np.ndarray | None:
         """The fused backing buffer, or ``None`` when not flattened."""
         return self._buffer
 
-    def param_slices(self) -> List[tuple]:
+    def param_slices(self) -> list[tuple]:
         """``(param, start, stop)`` element offsets of each parameter."""
         return [
             (p, int(lo), int(hi))
@@ -128,7 +128,7 @@ def partition_into_buckets(
     bucket_bytes: float,
     flatten: bool = True,
     name_prefix: str = "bucket",
-) -> List[TensorBucket]:
+) -> list[TensorBucket]:
     """Greedily group ``params`` (in the given order) into size-capped buckets.
 
     The order should be the gradient-ready order recorded by the profiler so
@@ -137,8 +137,8 @@ def partition_into_buckets(
     """
     if bucket_bytes <= 0:
         raise ValueError(f"bucket_bytes must be positive, got {bucket_bytes}")
-    buckets: List[TensorBucket] = []
-    current: List[Tensor] = []
+    buckets: list[TensorBucket] = []
+    current: list[Tensor] = []
     current_bytes = 0.0
     for p in params:
         p_bytes = p.data.size * 4.0

@@ -20,7 +20,7 @@ pair per member) matches the per-rank program exactly.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -33,22 +33,22 @@ from .primitives import PeerSelector, RingPeers, c_fp_s, c_lp_s, d_fp_s, d_lp_s
 class CentralizedFullPrecision:
     """Handle for C_FP_S."""
 
-    def __init__(self, comm: "GlobalComm") -> None:
+    def __init__(self, comm: GlobalComm) -> None:
         self._comm = comm
 
-    def exec(self, arrays: Sequence[np.ndarray]) -> List[np.ndarray]:
+    def exec(self, arrays: Sequence[np.ndarray]) -> list[np.ndarray]:
         return c_fp_s(arrays, self._comm.group, hierarchical=self._comm.hierarchical)
 
 
 class CentralizedLowPrecision:
     """Handle for C_LP_S with optional error-compensation state."""
 
-    def __init__(self, comm: "GlobalComm") -> None:
+    def __init__(self, comm: GlobalComm) -> None:
         self._comm = comm
 
     def init_states(
         self, compressor: Compressor
-    ) -> Tuple[List[ErrorFeedback], List[ErrorFeedback]]:
+    ) -> tuple[list[ErrorFeedback], list[ErrorFeedback]]:
         """Allocate (worker_err, server_err) stores, one pair per member.
 
         Mirrors Listing 2's ``init_states``; reuse one pair per bucket (chunk
@@ -64,9 +64,9 @@ class CentralizedLowPrecision:
         self,
         arrays: Sequence[np.ndarray],
         compressor: Compressor,
-        worker_err: Optional[Sequence[ErrorFeedback]] = None,
-        server_err: Optional[Sequence[ErrorFeedback]] = None,
-    ) -> List[np.ndarray]:
+        worker_err: Sequence[ErrorFeedback] | None = None,
+        server_err: Sequence[ErrorFeedback] | None = None,
+    ) -> list[np.ndarray]:
         return c_lp_s(
             arrays,
             self._comm.group,
@@ -80,15 +80,15 @@ class CentralizedLowPrecision:
 class DecentralizedFullPrecision:
     """Handle for D_FP_S."""
 
-    def __init__(self, comm: "GlobalComm") -> None:
+    def __init__(self, comm: GlobalComm) -> None:
         self._comm = comm
 
     def exec(
         self,
         arrays: Sequence[np.ndarray],
-        peers: Optional[PeerSelector] = None,
+        peers: PeerSelector | None = None,
         step: int = 0,
-    ) -> List[np.ndarray]:
+    ) -> list[np.ndarray]:
         return d_fp_s(
             arrays,
             self._comm.group,
@@ -101,16 +101,16 @@ class DecentralizedFullPrecision:
 class DecentralizedLowPrecision:
     """Handle for D_LP_S."""
 
-    def __init__(self, comm: "GlobalComm") -> None:
+    def __init__(self, comm: GlobalComm) -> None:
         self._comm = comm
 
     def exec(
         self,
         arrays: Sequence[np.ndarray],
         compressor: Compressor,
-        peers: Optional[PeerSelector] = None,
+        peers: PeerSelector | None = None,
         step: int = 0,
-    ) -> List[np.ndarray]:
+    ) -> list[np.ndarray]:
         return d_lp_s(
             arrays,
             self._comm.group,

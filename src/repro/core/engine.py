@@ -15,8 +15,9 @@ algorithm are preserved exactly.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from collections.abc import Callable, Sequence
 
 import numpy as np
 
@@ -40,18 +41,18 @@ class WorkerReplica:
     ctx: WorkerContext
     model: Module
     optimizer: Optimizer
-    buckets: List[TensorBucket] = field(default_factory=list)
+    buckets: list[TensorBucket] = field(default_factory=list)
     # Free-form per-worker algorithm state (error feedback, momentum, views).
-    state: Dict = field(default_factory=dict)
+    state: dict = field(default_factory=dict)
 
     @property
     def rank(self) -> int:
         return self.ctx.rank
 
-    def bucket_grads(self) -> List[np.ndarray]:
+    def bucket_grads(self) -> list[np.ndarray]:
         return [b.flat_grad() for b in self.buckets]
 
-    def bucket_weights(self) -> List[np.ndarray]:
+    def bucket_weights(self) -> list[np.ndarray]:
         return [b.flat_data() for b in self.buckets]
 
     def set_bucket_grads(self, grads: Sequence[np.ndarray]) -> None:
@@ -62,7 +63,7 @@ class WorkerReplica:
         for bucket, data in zip(self.buckets, weights):
             bucket.set_flat_data(data)
 
-    def optimizer_step_on_buckets(self, grads: Optional[Sequence[np.ndarray]] = None) -> None:
+    def optimizer_step_on_buckets(self, grads: Sequence[np.ndarray] | None = None) -> None:
         """Run the optimizer over the buckets' flat views (paper's flat update).
 
         ``grads`` defaults to the buckets' own accumulated gradients.  When
@@ -83,7 +84,7 @@ class WorkerReplica:
             if not bucket.flattened:
                 bucket.set_flat_data(arr)
 
-    def optimizer_step_on_bucket(self, k: int, grad: Optional[np.ndarray] = None) -> None:
+    def optimizer_step_on_bucket(self, k: int, grad: np.ndarray | None = None) -> None:
         """Run the optimizer on bucket ``k`` alone (per-bucket update path).
 
         Uses the bucket index as the optimizer state slot, so per-bucket
@@ -111,12 +112,12 @@ class BaguaEngine:
         self,
         models: Sequence[Module],
         optimizers: Sequence[Optimizer],
-        algorithm: "Algorithm",
+        algorithm: Algorithm,
         workers: Sequence[WorkerContext],
-        config: Optional[BaguaConfig] = None,
+        config: BaguaConfig | None = None,
         grad_guard: bool = False,
-        scheduled: Optional[bool] = None,
-        compute_model: Optional[ComputeModel] = None,
+        scheduled: bool | None = None,
+        compute_model: ComputeModel | None = None,
     ) -> None:
         if not (len(models) == len(optimizers) == len(workers)):
             raise ValueError(
@@ -129,14 +130,14 @@ class BaguaEngine:
         # rank instead of diverging the whole cluster.
         self.grad_guard = grad_guard
         self.algorithm = algorithm
-        self.workers: List[WorkerReplica] = [
+        self.workers: list[WorkerReplica] = [
             WorkerReplica(ctx=ctx, model=m, optimizer=o)
             for ctx, m, o in zip(workers, models, optimizers)
         ]
         transport = workers[0].transport
         self.group = CommGroup(transport, [w.ctx.rank for w in self.workers])
-        self.plan: Optional[ExecutionPlan] = None
-        self.profile: Optional[ExecutionProfile] = None
+        self.plan: ExecutionPlan | None = None
+        self.profile: ExecutionProfile | None = None
         # ``scheduled=None`` auto-selects: algorithms implementing the
         # per-bucket API run under the ScheduledExecutor, legacy algorithms
         # (only ``on_backward_done`` overridden) run the lock-step loop.
@@ -151,8 +152,9 @@ class BaguaEngine:
             )
         self._scheduled = scheduled
         self._compute_model = compute_model
-        self.schedule: Optional[BucketSchedule] = None
-        self.executor: Optional[ScheduledExecutor] = None
+        self._warned_legacy_hook = False
+        self.schedule: BucketSchedule | None = None
+        self.executor: ScheduledExecutor | None = None
         self._step_index = 0
         self._verify_identical_replicas()
 
@@ -171,10 +173,10 @@ class BaguaEngine:
     def hierarchical(self) -> bool:
         return self.config.hierarchical
 
-    def grads_of_bucket(self, k: int) -> List[np.ndarray]:
+    def grads_of_bucket(self, k: int) -> list[np.ndarray]:
         return [w.buckets[k].flat_grad() for w in self.workers]
 
-    def weights_of_bucket(self, k: int) -> List[np.ndarray]:
+    def weights_of_bucket(self, k: int) -> list[np.ndarray]:
         return [w.buckets[k].flat_data() for w in self.workers]
 
     def set_grads_of_bucket(self, k: int, grads: Sequence[np.ndarray]) -> None:
@@ -200,11 +202,27 @@ class BaguaEngine:
         if self.executor is not None:
             self.executor.run_step(self._step_index)
         else:
+            # Warn (once) only for algorithms that still *override* the
+            # legacy hook; ported algorithms driven through the base shim
+            # (e.g. by the scheduled-vs-legacy equivalence tests) are silent.
+            if (
+                not self._warned_legacy_hook
+                and type(self.algorithm).on_backward_done is not Algorithm.on_backward_done
+            ):
+                self._warned_legacy_hook = True
+                warnings.warn(
+                    f"algorithm {self.algorithm.name!r} overrides the deprecated "
+                    "on_backward_done() compatibility shim; implement "
+                    "comm_bucket() (and on_step_end() for barrier-style "
+                    "updates) to run under the ScheduledExecutor",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
             self.algorithm.on_backward_done(self, self._step_index)
         self._step_index += 1
         return float(np.mean(losses))
 
-    def _compute_gradients(self, batches: Sequence, loss_fn: LossFn) -> List[float]:
+    def _compute_gradients(self, batches: Sequence, loss_fn: LossFn) -> list[float]:
         losses = []
         for worker, batch in zip(self.workers, batches):
             worker.model.zero_grad()
@@ -223,7 +241,7 @@ class BaguaEngine:
                     f"non-finite gradient in {name!r} on rank {worker.rank}"
                 )
 
-    def _profiling_iteration(self, batches: Sequence, loss_fn: LossFn) -> List[float]:
+    def _profiling_iteration(self, batches: Sequence, loss_fn: LossFn) -> list[float]:
         """First iteration: run unoptimized, record the ready order, build buckets."""
         profiler = GradientReadyProfiler(self.workers[0].model)
         profiler.install()
@@ -304,6 +322,10 @@ class Algorithm:
     #: "per_bucket" — parameters update as each bucket's comm lands;
     #: "barrier" — one optimizer step after every bucket communicated.
     update_mode: str = "per_bucket"
+    #: async algorithms: max steps an update may lag the gradient it
+    #: consumes.  ``None`` = synchronous (no bound to verify); the
+    #: happens-before ``hb-staleness`` rule checks declared bounds.
+    staleness_bound: int | None = None
 
     def setup(self, engine: BaguaEngine) -> None:  # noqa: B027 (intentional no-op)
         pass

@@ -19,7 +19,7 @@ exactly these switches.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from collections.abc import Sequence
 
 from .profiler import ExecutionProfile, TensorRecord
 
@@ -48,7 +48,7 @@ class PlannedBucket:
     """A group of tensors fused into one communication unit."""
 
     index: int
-    records: List[TensorRecord] = field(default_factory=list)
+    records: list[TensorRecord] = field(default_factory=list)
 
     @property
     def elements(self) -> int:
@@ -59,7 +59,7 @@ class PlannedBucket:
         return self.elements * 4.0
 
     @property
-    def names(self) -> List[str]:
+    def names(self) -> list[str]:
         return [r.name for r in self.records]
 
     @property
@@ -81,7 +81,7 @@ class ExecutionPlan:
     """Bucketing + scheduling decisions for one model/algorithm pair."""
 
     config: BaguaConfig
-    buckets: List[PlannedBucket]
+    buckets: list[PlannedBucket]
 
     @property
     def num_buckets(self) -> int:
@@ -91,7 +91,7 @@ class ExecutionPlan:
     def total_elements(self) -> int:
         return sum(b.elements for b in self.buckets)
 
-    def communication_units(self) -> List[PlannedBucket]:
+    def communication_units(self) -> list[PlannedBucket]:
         """Buckets in the order their communication should be issued."""
         return sorted(self.buckets, key=lambda b: b.ready_index)
 
@@ -99,7 +99,7 @@ class ExecutionPlan:
 class ExecutionOptimizer:
     """Turns a profile + config into an execution plan."""
 
-    def __init__(self, config: Optional[BaguaConfig] = None) -> None:
+    def __init__(self, config: BaguaConfig | None = None) -> None:
         self.config = config or BaguaConfig()
 
     def plan(self, profile: ExecutionProfile) -> ExecutionPlan:
@@ -116,9 +116,9 @@ class ExecutionOptimizer:
             ]
         return ExecutionPlan(config=self.config, buckets=buckets)
 
-    def _greedy_buckets(self, ordered: Sequence[TensorRecord]) -> List[PlannedBucket]:
-        buckets: List[PlannedBucket] = []
-        current: List[TensorRecord] = []
+    def _greedy_buckets(self, ordered: Sequence[TensorRecord]) -> list[PlannedBucket]:
+        buckets: list[PlannedBucket] = []
+        current: list[TensorRecord] = []
         current_bytes = 0.0
         for record in ordered:
             if current and current_bytes + record.nbytes_fp32 > self.config.bucket_bytes:

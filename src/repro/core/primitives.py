@@ -20,7 +20,7 @@ semantics: workers within a node are fully synchronized).
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -54,7 +54,7 @@ def c_fp_s(
     arrays: Sequence[np.ndarray],
     group: CommGroup,
     hierarchical: bool = False,
-) -> List[np.ndarray]:
+) -> list[np.ndarray]:
     """Centralized full-precision sum: ``x'_i = sum_j x_j`` for all i."""
     _trace_collective(group, "allreduce", arrays[0].size)
     if hierarchical:
@@ -66,10 +66,10 @@ def c_lp_s(
     arrays: Sequence[np.ndarray],
     group: CommGroup,
     compressor: Compressor,
-    worker_errors: Optional[Sequence[ErrorFeedback]] = None,
-    server_errors: Optional[Sequence[ErrorFeedback]] = None,
+    worker_errors: Sequence[ErrorFeedback] | None = None,
+    server_errors: Sequence[ErrorFeedback] | None = None,
     hierarchical: bool = False,
-) -> List[np.ndarray]:
+) -> list[np.ndarray]:
     """Centralized low-precision sum with optional error compensation.
 
     Without error feedback this computes ``x'_i = Q(sum_j Q(x_j))`` — both
@@ -139,7 +139,7 @@ def c_lp_s(
 class PeerSelector:
     """Chooses each member's neighbor set N(i) for one decentralized round."""
 
-    def neighbors(self, n: int, step: int) -> List[List[int]]:
+    def neighbors(self, n: int, step: int) -> list[list[int]]:
         """Return, for each member index, the indices it exchanges with."""
         raise NotImplementedError
 
@@ -147,7 +147,7 @@ class PeerSelector:
 class RingPeers(PeerSelector):
     """Fixed ring: member i talks to i-1 and i+1 (paper's 'ring' strategy)."""
 
-    def neighbors(self, n: int, step: int) -> List[List[int]]:
+    def neighbors(self, n: int, step: int) -> list[list[int]]:
         if n == 1:
             return [[]]
         if n == 2:
@@ -166,12 +166,12 @@ class RandomPeers(PeerSelector):
     def __init__(self, seed: int = 0) -> None:
         self.seed = seed
 
-    def neighbors(self, n: int, step: int) -> List[List[int]]:
+    def neighbors(self, n: int, step: int) -> list[list[int]]:
         if n == 1:
             return [[]]
         rng = np.random.default_rng(np.random.SeedSequence([self.seed, step]))
         order = rng.permutation(n)
-        peers: List[List[int]] = [[] for _ in range(n)]
+        peers: list[list[int]] = [[] for _ in range(n)]
         # Pair consecutive members of the permutation; odd member out idles.
         for a, b in zip(order[0::2], order[1::2]):
             peers[int(a)] = [int(b)]
@@ -183,14 +183,19 @@ class RandomPeers(PeerSelector):
 # Decentralized
 # ----------------------------------------------------------------------
 def _peer_exchange(
-    payloads: Sequence, peers: List[List[int]], group: CommGroup
-) -> List[dict]:
+    payloads: Sequence, peers: list[list[int]], group: CommGroup
+) -> list[dict]:
     """One message round delivering ``payloads[i]`` to every peer of i."""
     messages = []
     for i, neigh in enumerate(peers):
         for j in neigh:
-            messages.append(Message(group.ranks[i], group.ranks[j], (i, payloads[i])))
-    received: List[dict] = [{} for _ in range(group.size)]
+            messages.append(
+                Message(
+                    group.ranks[i], group.ranks[j], (i, payloads[i]),
+                    match_id=f"gossip.m{i}->{j}",
+                )
+            )
+    received: list[dict] = [{} for _ in range(group.size)]
     if messages:
         inbox = group.transport.exchange(messages)
         for j in range(group.size):
@@ -206,7 +211,7 @@ def d_fp_s(
     peers: PeerSelector,
     step: int = 0,
     hierarchical: bool = False,
-) -> List[np.ndarray]:
+) -> list[np.ndarray]:
     """Decentralized full-precision averaging: ``x'_i = mean of {x_i} ∪ N(i)``."""
     if hierarchical:
         def exchange(leader_arrays, leader_group):
@@ -236,7 +241,7 @@ def d_lp_s(
     peers: PeerSelector,
     step: int = 0,
     hierarchical: bool = False,
-) -> List[np.ndarray]:
+) -> list[np.ndarray]:
     """Decentralized low-precision averaging: peers exchange ``Q(x)``.
 
     Each member averages its own full-precision tensor with the decompressed

@@ -11,7 +11,7 @@ later iterations, and the same structure is produced from static
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from collections.abc import Sequence
 
 from ..tensor.module import Module
 from ..tensor.tensor import Tensor
@@ -39,7 +39,7 @@ class TensorRecord:
 class ExecutionProfile:
     """Ordered gradient-ready log for one model replica."""
 
-    records: List[TensorRecord] = field(default_factory=list)
+    records: list[TensorRecord] = field(default_factory=list)
 
     @property
     def total_elements(self) -> int:
@@ -49,7 +49,7 @@ class ExecutionProfile:
     def total_bytes_fp32(self) -> float:
         return self.total_elements * 4.0
 
-    def ordered_names(self) -> List[str]:
+    def ordered_names(self) -> list[str]:
         return [r.name for r in sorted(self.records, key=lambda r: r.ready_index)]
 
 
@@ -92,7 +92,7 @@ class GradientReadyProfiler:
             param.clear_post_grad_hooks()
         self._installed = False
 
-    def ready_ordered_params(self) -> List[Tensor]:
+    def ready_ordered_params(self) -> list[Tensor]:
         """Parameters sorted by gradient-ready order (requires a completed run)."""
         if not self.profile.records:
             raise RuntimeError("profiling pass has not run yet")

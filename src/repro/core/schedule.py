@@ -23,7 +23,7 @@ simulator and the analyzer can no longer drift apart silently.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING
 
 from .optimizer_framework import ExecutionPlan
 
@@ -58,7 +58,7 @@ class ScheduledBucket:
     fwd_flops: float = 0.0
     bwd_flops: float = 0.0
     num_tensors: int = 1
-    views: Tuple[Tuple[str, int], ...] = ()
+    views: tuple[tuple[str, int], ...] = ()
 
     @property
     def nbytes_fp32(self) -> float:
@@ -91,7 +91,7 @@ class BucketSchedule:
     per-schedule flag the comm events inherit.
     """
 
-    buckets: Tuple[ScheduledBucket, ...]
+    buckets: tuple[ScheduledBucket, ...]
     overlap_backward: bool = True
     per_bucket_updates: bool = True
     hierarchical: bool = False
@@ -102,9 +102,9 @@ class BucketSchedule:
         cls,
         plan: ExecutionPlan,
         update_mode: str = UPDATE_PER_BUCKET,
-        overlap: Optional[bool] = None,
-        per_bucket_updates: Optional[bool] = None,
-    ) -> "BucketSchedule":
+        overlap: bool | None = None,
+        per_bucket_updates: bool | None = None,
+    ) -> BucketSchedule:
         """Build the schedule an :class:`ExecutionPlan` implies.
 
         ``overlap`` defaults to the plan config's O switch; the update policy
@@ -150,15 +150,15 @@ class BucketSchedule:
     def total_elements(self) -> int:
         return sum(b.elements for b in self.buckets)
 
-    def comm_order(self) -> Tuple[ScheduledBucket, ...]:
+    def comm_order(self) -> tuple[ScheduledBucket, ...]:
         """Buckets in the order their communication is issued (ready order)."""
         return self.buckets
 
-    def forward_order(self) -> Tuple[ScheduledBucket, ...]:
+    def forward_order(self) -> tuple[ScheduledBucket, ...]:
         """Layer groups in forward order (reverse of gradient-ready order)."""
         return tuple(reversed(self.buckets))
 
-    def events(self) -> List[ScheduleEvent]:
+    def events(self) -> list[ScheduleEvent]:
         """The gated event stream consumers execute/price/lower.
 
         Per bucket, in ready order: a ``comm`` gated on the bucket's gradient
@@ -168,7 +168,7 @@ class BucketSchedule:
         stream, gated on the barrier over every bucket's communication.
         """
         comm_gate = GATE_GRAD_READY if self.overlap_backward else GATE_BACKWARD_END
-        stream: List[ScheduleEvent] = []
+        stream: list[ScheduleEvent] = []
         for bucket in self.buckets:
             stream.append(ScheduleEvent("comm", bucket.index, comm_gate))
             stream.append(ScheduleEvent("post", bucket.index, GATE_COMM_DONE))
@@ -225,11 +225,17 @@ class IterationReport:
 
     step: int
     #: per-rank absolute clock at the start of the iteration
-    start_times: Dict[int, float] = field(default_factory=dict)
+    start_times: dict[int, float] = field(default_factory=dict)
     #: per-rank absolute clock after compute + communication + updates
-    end_times: Dict[int, float] = field(default_factory=dict)
+    end_times: dict[int, float] = field(default_factory=dict)
     #: per-rank time backward finished (the compute stream's end)
-    backward_end: Dict[int, float] = field(default_factory=dict)
+    backward_end: dict[int, float] = field(default_factory=dict)
+    #: per (rank, bucket index) absolute gradient-ready time — the comm gate
+    ready_times: dict[tuple[int, int], float] = field(default_factory=dict)
+    #: per (rank, bucket index) absolute clock right after the bucket's comm;
+    #: with the lowered schedule's happens-before order this lets tests prove
+    #: HB ⇒ time-ordered against the executor's virtual clocks
+    comm_times: dict[tuple[int, int], float] = field(default_factory=dict)
 
     @property
     def iteration_time(self) -> float:
@@ -264,14 +270,14 @@ class ScheduledExecutor:
 
     def __init__(
         self,
-        engine: "BaguaEngine",
+        engine: BaguaEngine,
         schedule: BucketSchedule,
-        compute_model: Optional[ComputeModel] = None,
+        compute_model: ComputeModel | None = None,
     ) -> None:
         self.engine = engine
         self.schedule = schedule
         self.compute_model = compute_model or ComputeModel()
-        self.last_report: Optional[IterationReport] = None
+        self.last_report: IterationReport | None = None
 
     def run_step(self, step: int) -> IterationReport:
         """Execute one iteration's communication + updates for every worker."""
@@ -285,13 +291,14 @@ class ScheduledExecutor:
 
         # Compute stream: absolute gradient-ready time per (rank, bucket),
         # accumulating backward cost in ready order under straggler scaling.
-        ready_at: Dict[Tuple[int, int], float] = {}
+        ready_at: dict[tuple[int, int], float] = {}
         for rank in ranks:
             t = report.start_times[rank]
             for bucket in self.schedule.comm_order():
                 t += self.compute_model.bwd_seconds(bucket) * spec.compute_scale(rank)
                 ready_at[(rank, bucket.index)] = t
             report.backward_end[rank] = t
+        report.ready_times = dict(ready_at)
 
         # Communication stream: the transport clocks.  Each comm event gates
         # on grad-ready (O on) or backward-end (O off), then the algorithm's
@@ -307,6 +314,8 @@ class ScheduledExecutor:
                     )
                     transport.clocks[rank].advance_to(gate)
                 algorithm.comm_bucket(engine, event.bucket, step)
+                for rank in ranks:
+                    report.comm_times[(rank, event.bucket)] = transport.now(rank)
             # ``post`` and per-bucket ``update`` costs are charged inside the
             # algorithm (compression kernels travel with the payloads; the
             # optimizer step is traced but free in functional mode).

@@ -6,13 +6,13 @@ setting where "the data set is partitioned across different workers".
 
 from __future__ import annotations
 
-from typing import Iterator, List, Tuple
+from collections.abc import Iterator
 
 import numpy as np
 
 from .synthetic import Dataset
 
-Batch = Tuple[np.ndarray, np.ndarray]
+Batch = tuple[np.ndarray, np.ndarray]
 
 
 def shard_indices(n: int, world_size: int, rank: int) -> np.ndarray:
@@ -69,7 +69,7 @@ def make_sharded_loaders(
     batch_size: int,
     seed: int = 0,
     extra: np.ndarray | None = None,
-) -> List[ShardedLoader]:
+) -> list[ShardedLoader]:
     """One loader per rank over the same dataset."""
     return [
         ShardedLoader(dataset, world_size, rank, batch_size, seed=seed, extra=extra)

@@ -11,7 +11,6 @@ in how fast they do so.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
 
 import numpy as np
 
@@ -107,7 +106,7 @@ def make_multimodal(
     num_classes: int = 6,
     noise: float = 0.4,
     seed: int = 0,
-) -> Tuple[Dataset, np.ndarray]:
+) -> tuple[Dataset, np.ndarray]:
     """Paired (image, token-sequence) samples sharing one label.
 
     Stand-in for the Kwai image+text data behind the LSTM+AlexNet task.

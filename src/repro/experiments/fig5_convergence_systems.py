@@ -11,7 +11,6 @@ matching convergence.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
 
 from ..algorithms.registry import make_algorithm
 from ..baselines import BytePS, Horovod, PyTorchDDP
@@ -44,7 +43,7 @@ def make_bagua_algorithm(task_name: str):
 @dataclass
 class Fig5Result:
     #: task -> {system label: convergence record}
-    curves: Dict[str, Dict[str, ConvergenceRecord]]
+    curves: dict[str, dict[str, ConvergenceRecord]]
 
     def render(self) -> str:
         sections = []
@@ -63,18 +62,18 @@ class Fig5Result:
         return "\n\n".join(sections)
 
 
-def _padded(losses: List[float], length: int) -> List[float]:
+def _padded(losses: list[float], length: int) -> list[float]:
     return losses + [float("nan")] * (length - len(losses))
 
 
 def run(
-    tasks: List[Task] | None = None,
+    tasks: list[Task] | None = None,
     cluster: ClusterSpec = DEFAULT_CLUSTER,
     epochs: int = 5,
     seed: int = 0,
 ) -> Fig5Result:
     tasks = tasks if tasks is not None else all_tasks()
-    curves: Dict[str, Dict[str, ConvergenceRecord]] = {}
+    curves: dict[str, dict[str, ConvergenceRecord]] = {}
     for task in tasks:
         systems = {
             f"BAGUA ({BEST_ALGORITHM[task.name]})": make_bagua_algorithm(task.name),

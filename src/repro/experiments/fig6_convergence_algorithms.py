@@ -11,7 +11,6 @@ Reproduces the qualitative findings of §4.3:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
 
 from ..algorithms import (
     AllreduceSGD,
@@ -38,7 +37,7 @@ ONEBIT_ADAM_WARMUP = 6
 ASYNC_PULL_INTERVAL = 2
 
 
-def algorithm_suite() -> Dict[str, object]:
+def algorithm_suite() -> dict[str, object]:
     """Fresh instances of the six evaluated algorithms."""
     return {
         "Allreduce": AllreduceSGD(),
@@ -53,7 +52,7 @@ def algorithm_suite() -> Dict[str, object]:
 @dataclass
 class Fig6Result:
     #: task -> {algorithm label: record}
-    curves: Dict[str, Dict[str, ConvergenceRecord]]
+    curves: dict[str, dict[str, ConvergenceRecord]]
 
     def diverged(self, task: str, algorithm: str) -> bool:
         return self.curves[task][algorithm].diverged
@@ -78,13 +77,13 @@ class Fig6Result:
 
 
 def run(
-    tasks: List[Task] | None = None,
+    tasks: list[Task] | None = None,
     cluster: ClusterSpec = DEFAULT_CLUSTER,
     epochs: int = 5,
     seed: int = 0,
 ) -> Fig6Result:
     tasks = tasks if tasks is not None else all_tasks()
-    curves: Dict[str, Dict[str, ConvergenceRecord]] = {}
+    curves: dict[str, dict[str, ConvergenceRecord]] = {}
     for task in tasks:
         curves[task.name] = {}
         for label, algorithm in algorithm_suite().items():

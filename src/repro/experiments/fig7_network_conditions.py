@@ -14,7 +14,7 @@ gets slower — the paper's headline qualitative claim.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, List, Sequence
+from collections.abc import Sequence
 
 from ..cluster.netmodel import TCP_25G
 from ..cluster.topology import paper_cluster
@@ -33,7 +33,7 @@ BANDWIDTHS_GBPS = (1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0)
 LATENCIES_MS = (0.05, 0.2, 0.5, 1.0, 2.0, 5.0)
 
 
-def _systems(cost: CommCostModel) -> Dict[str, object]:
+def _systems(cost: CommCostModel) -> dict[str, object]:
     return {
         "BAGUA-Allreduce": bagua_system(cost, "allreduce"),
         "BAGUA-QSGD": bagua_system(cost, "qsgd"),
@@ -51,9 +51,9 @@ class Fig7Result:
     bandwidths_gbps: Sequence[float]
     latencies_ms: Sequence[float]
     #: system -> epoch seconds per bandwidth point
-    bandwidth_sweep: Dict[str, List[float]]
+    bandwidth_sweep: dict[str, list[float]]
     #: system -> epoch seconds per latency point
-    latency_sweep: Dict[str, List[float]]
+    latency_sweep: dict[str, list[float]]
 
     def best_at_bandwidth(self, index: int) -> str:
         return min(self.bandwidth_sweep, key=lambda s: self.bandwidth_sweep[s][index])
@@ -83,7 +83,7 @@ def run(
     model = model or bert_large_spec()
     base = paper_cluster("25gbps")
 
-    bandwidth_sweep: Dict[str, List[float]] = {}
+    bandwidth_sweep: dict[str, list[float]] = {}
     for gbps in bandwidths_gbps:
         link = TCP_25G.with_bandwidth_gbps(gbps)
         cluster = replace(base, inter_node=link)
@@ -93,7 +93,7 @@ def run(
                 simulate_epoch(model, cluster, system).epoch_time
             )
 
-    latency_sweep: Dict[str, List[float]] = {}
+    latency_sweep: dict[str, list[float]] = {}
     for ms in latencies_ms:
         link = TCP_25G.with_latency(ms * 1e-3)
         cluster = replace(base, inter_node=link)

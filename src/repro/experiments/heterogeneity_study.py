@@ -7,7 +7,6 @@ by roughly the clock ratio while asynchronous training is unaffected.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
 
 from ..cluster.topology import paper_cluster
 from ..models.zoo_specs import all_specs
@@ -21,7 +20,7 @@ from .report import render_table
 
 @dataclass
 class HeterogeneityStudyResult:
-    results: Dict[str, HeterogeneityResult]
+    results: dict[str, HeterogeneityResult]
 
     def render(self) -> str:
         headers = [
@@ -29,7 +28,7 @@ class HeterogeneityStudyResult:
             "sync uniform (s)", "sync straggler (s)", "sync slowdown",
             "async uniform (s)", "async straggler (s)", "async slowdown",
         ]
-        rows: List[List] = []
+        rows: list[list] = []
         for model, r in self.results.items():
             rows.append([
                 model,
@@ -45,7 +44,7 @@ class HeterogeneityStudyResult:
         )
 
 
-def run(network: str = "25gbps", models: List[str] | None = None) -> HeterogeneityStudyResult:
+def run(network: str = "25gbps", models: list[str] | None = None) -> HeterogeneityStudyResult:
     cluster = paper_cluster(network)
     specs = all_specs()
     chosen = models or list(specs)

@@ -2,13 +2,13 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from collections.abc import Sequence
 
 
 def render_table(
     headers: Sequence[str],
     rows: Sequence[Sequence],
-    title: Optional[str] = None,
+    title: str | None = None,
     float_fmt: str = "{:.2f}",
 ) -> str:
     """Render rows as an aligned ASCII table."""
@@ -29,7 +29,7 @@ def render_table(
     def line(cells: Sequence[str]) -> str:
         return " | ".join(cell.ljust(w) for cell, w in zip(cells, widths))
 
-    parts: List[str] = []
+    parts: list[str] = []
     if title:
         parts.append(title)
     parts.append(line(list(headers)))
@@ -41,8 +41,8 @@ def render_table(
 def render_series(
     x_label: str,
     x_values: Sequence,
-    series: Dict[str, Sequence[float]],
-    title: Optional[str] = None,
+    series: dict[str, Sequence[float]],
+    title: str | None = None,
     float_fmt: str = "{:.3f}",
 ) -> str:
     """Render named series against shared x values (a text 'figure')."""

@@ -14,7 +14,7 @@ where ideal is the single-node epoch time divided by n.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, List, Sequence
+from collections.abc import Sequence
 
 from ..cluster.topology import paper_cluster
 from ..models.spec import ModelSpec
@@ -33,9 +33,9 @@ class ScalabilityResult:
     network: str
     node_counts: Sequence[int]
     #: system label -> epoch seconds per node count
-    epoch_times: Dict[str, List[float]]
+    epoch_times: dict[str, list[float]]
 
-    def efficiency(self, system: str) -> List[float]:
+    def efficiency(self, system: str) -> list[float]:
         times = self.epoch_times[system]
         base = times[0] * self.node_counts[0]
         return [
@@ -65,7 +65,7 @@ def run(
 ) -> ScalabilityResult:
     model = model or vgg16_spec()
     base = paper_cluster(network)
-    epoch_times: Dict[str, List[float]] = {}
+    epoch_times: dict[str, list[float]] = {}
     for nodes in node_counts:
         cluster = replace(base, num_nodes=nodes)
         cost = CommCostModel(cluster)

@@ -13,7 +13,7 @@ all cells.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from collections.abc import Sequence
 
 from ..cluster.topology import paper_cluster
 from ..core.autotune import _SAFETY_NOTES, classify_family
@@ -42,11 +42,11 @@ def _is_safe(family: str, algorithm: str) -> bool:
 @dataclass
 class SilverBulletResult:
     #: (network, model) -> {algorithm: epoch seconds}
-    grid: Dict[Tuple[str, str], Dict[str, float]]
+    grid: dict[tuple[str, str], dict[str, float]]
     #: (network, model) -> winning (convergence-safe) algorithm
-    winners: Dict[Tuple[str, str], str]
+    winners: dict[tuple[str, str], str]
     #: the networks that were actually swept, in order
-    networks: Tuple[str, ...] = NETWORKS
+    networks: tuple[str, ...] = NETWORKS
 
     def distinct_winners(self) -> set:
         return set(self.winners.values())
@@ -54,7 +54,7 @@ class SilverBulletResult:
     def render(self) -> str:
         models = sorted({model for _net, model in self.grid})
         headers = ["Network"] + models
-        rows: List[List[str]] = []
+        rows: list[list[str]] = []
         for network in self.networks:
             row = [network]
             for model in models:
@@ -75,8 +75,8 @@ def run(
     algorithms: Sequence[str] = ALGORITHMS,
     networks: Sequence[str] = NETWORKS,
 ) -> SilverBulletResult:
-    grid: Dict[Tuple[str, str], Dict[str, float]] = {}
-    winners: Dict[Tuple[str, str], str] = {}
+    grid: dict[tuple[str, str], dict[str, float]] = {}
+    winners: dict[tuple[str, str], str] = {}
     for network in networks:
         cluster = paper_cluster(network)
         cost = CommCostModel(cluster)

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
 
 from ..algorithms.registry import support_matrix_rows
 from .report import render_table
@@ -11,7 +10,7 @@ from .report import render_table
 
 @dataclass
 class Table1Result:
-    rows: List[dict]
+    rows: list[dict]
 
     def render(self) -> str:
         headers = ["Sync.", "Precision", "Centralization", "PyTorch-DDP",

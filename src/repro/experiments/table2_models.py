@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
 
 from ..models.zoo_specs import all_specs
 from .paper_reference import TABLE2_MODELS
@@ -12,7 +11,7 @@ from .report import render_table
 
 @dataclass
 class Table2Result:
-    rows: List[dict]
+    rows: list[dict]
 
     def render(self) -> str:
         headers = ["Model", "Params (M)", "paper", "GFLOPs/sample", "paper", "layers"]

@@ -9,7 +9,6 @@ task's best algorithm (Figure 5 caption), and reports
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
 
 from ..cluster.topology import paper_cluster
 from ..models.zoo_specs import all_specs
@@ -25,16 +24,16 @@ NETWORKS = ("100gbps", "25gbps", "10gbps")
 @dataclass
 class Table3Result:
     #: network -> model -> measured speedup
-    speedups: Dict[str, Dict[str, float]]
+    speedups: dict[str, dict[str, float]]
     #: network -> model -> winning baseline name
-    best_baseline: Dict[str, Dict[str, str]]
+    best_baseline: dict[str, dict[str, str]]
 
     def render(self) -> str:
         models = list(next(iter(self.speedups.values())))
         headers = ["Network"] + [f"{m} (paper)" for m in models]
         rows = []
         for network in NETWORKS:
-            row: List = [network]
+            row: list = [network]
             for model in models:
                 measured = self.speedups[network][model]
                 paper = TABLE3_SPEEDUPS[network][model]
@@ -46,8 +45,8 @@ class Table3Result:
 
 
 def run(networks=NETWORKS) -> Table3Result:
-    speedups: Dict[str, Dict[str, float]] = {}
-    winners: Dict[str, Dict[str, str]] = {}
+    speedups: dict[str, dict[str, float]] = {}
+    winners: dict[str, dict[str, str]] = {}
     for network in networks:
         cluster = paper_cluster(network)
         cost = CommCostModel(cluster)

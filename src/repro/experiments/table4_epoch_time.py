@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
 
 from ..cluster.topology import paper_cluster
 from ..models.zoo_specs import all_specs
@@ -24,7 +23,7 @@ SYSTEM_ORDER = ("BAGUA", "PyTorch-DDP", "Horovod", "BytePS")
 @dataclass
 class Table4Result:
     #: model -> system -> epoch seconds
-    epoch_times: Dict[str, Dict[str, float]]
+    epoch_times: dict[str, dict[str, float]]
     network: str
 
     def render(self) -> str:
@@ -52,7 +51,7 @@ def run(network: str = "25gbps") -> Table4Result:
         "Horovod": horovod_system(cost),
         "BytePS": byteps_system(cost),
     }
-    epoch_times: Dict[str, Dict[str, float]] = {}
+    epoch_times: dict[str, dict[str, float]] = {}
     for name, spec in all_specs().items():
         epoch_times[name] = {
             label: simulate_epoch(spec, cluster, system).epoch_time

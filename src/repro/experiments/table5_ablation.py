@@ -7,7 +7,6 @@ the three models the paper ablates (VGG16, BERT-LARGE, LSTM+AlexNet).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
 
 from ..cluster.topology import paper_cluster
 from ..core.optimizer_framework import BaguaConfig
@@ -18,7 +17,7 @@ from ..simulation.systems import bagua_system
 from .paper_reference import TABLE5_ABLATION
 from .report import render_table
 
-CONFIGS: List[Tuple[str, BaguaConfig]] = [
+CONFIGS: list[tuple[str, BaguaConfig]] = [
     ("O=1,F=1,H=1", BaguaConfig(overlap=True, flatten=True, hierarchical=True)),
     ("O=0,F=1,H=1", BaguaConfig(overlap=False, flatten=True, hierarchical=True)),
     ("O=1,F=0,H=1", BaguaConfig(overlap=True, flatten=False, hierarchical=True)),
@@ -29,7 +28,7 @@ CONFIGS: List[Tuple[str, BaguaConfig]] = [
 @dataclass
 class Table5Result:
     #: model -> config label -> epoch seconds
-    epoch_times: Dict[str, Dict[str, float]]
+    epoch_times: dict[str, dict[str, float]]
     network: str
 
     def render(self) -> str:
@@ -51,7 +50,7 @@ class Table5Result:
 def run(network: str = "25gbps") -> Table5Result:
     cluster = paper_cluster(network)
     cost = CommCostModel(cluster)
-    epoch_times: Dict[str, Dict[str, float]] = {}
+    epoch_times: dict[str, dict[str, float]] = {}
     for spec in (vgg16_spec(), bert_large_spec(), lstm_alexnet_spec()):
         epoch_times[spec.name] = {}
         for label, config in CONFIGS:

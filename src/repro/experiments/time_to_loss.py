@@ -12,7 +12,6 @@ time-to-loss per system.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
 
 from ..baselines import PyTorchDDP
 from ..cluster.topology import ClusterSpec, paper_cluster
@@ -37,25 +36,25 @@ class TimeToLossResult:
     task: str
     loss_target: float
     bagua_algorithm: str
-    bagua_epochs: Optional[int]
-    ddp_epochs: Optional[int]
+    bagua_epochs: int | None
+    ddp_epochs: int | None
     bagua_epoch_seconds: float
     ddp_epoch_seconds: float
 
     @property
-    def bagua_seconds(self) -> Optional[float]:
+    def bagua_seconds(self) -> float | None:
         if self.bagua_epochs is None:
             return None
         return self.bagua_epochs * self.bagua_epoch_seconds
 
     @property
-    def ddp_seconds(self) -> Optional[float]:
+    def ddp_seconds(self) -> float | None:
         if self.ddp_epochs is None:
             return None
         return self.ddp_epochs * self.ddp_epoch_seconds
 
     @property
-    def speedup(self) -> Optional[float]:
+    def speedup(self) -> float | None:
         if self.bagua_seconds is None or self.ddp_seconds is None:
             return None
         return self.ddp_seconds / self.bagua_seconds
@@ -63,7 +62,7 @@ class TimeToLossResult:
 
 @dataclass
 class TimeToLossReport:
-    results: Dict[str, TimeToLossResult]
+    results: dict[str, TimeToLossResult]
     network: str
 
     def render(self) -> str:
@@ -98,7 +97,7 @@ def run(
     cost = CommCostModel(timing_cluster)
     specs = all_specs()
 
-    results: Dict[str, TimeToLossResult] = {}
+    results: dict[str, TimeToLossResult] = {}
     for name in task_names:
         task = get_task(name)
         algorithm_name = BEST_ALGORITHM[name]

@@ -15,7 +15,6 @@ gradients w.r.t. both activations and weights).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
 
 GIGA = 1e9
 MEGA = 1e6
@@ -113,7 +112,7 @@ def lstm_layer(name: str, input_size: int, hidden: int, steps: int) -> LayerSpec
 
 def transformer_encoder_layers(
     prefix: str, num_layers: int, hidden: int, ff: int, seq_len: int
-) -> List[LayerSpec]:
+) -> list[LayerSpec]:
     """Per-tensor inventory of a transformer encoder stack.
 
     Each encoder layer is split into its individual weight tensors (Q/K/V/out
@@ -121,7 +120,7 @@ def transformer_encoder_layers(
     the paper calls BERT-LARGE a "problem with many small tensors", and
     bucketing behaviour depends on seeing those tensors individually.
     """
-    layers: List[LayerSpec] = []
+    layers: list[LayerSpec] = []
     for i in range(num_layers):
         base = f"{prefix}.{i}"
         for proj in ("q", "k", "v", "out"):

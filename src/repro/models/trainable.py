@@ -11,7 +11,6 @@ reproduction target.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 
@@ -32,7 +31,7 @@ class VGGProxy(Module):
         num_classes: int = 10,
         image_size: int = 16,
         width: int = 16,
-        rng: Optional[np.random.Generator] = None,
+        rng: np.random.Generator | None = None,
     ) -> None:
         super().__init__()
         rng = rng or np.random.default_rng(0)
@@ -69,7 +68,7 @@ class BERTProxy(Module):
         num_heads: int = 4,
         ff_dim: int = 64,
         num_layers: int = 2,
-        rng: Optional[np.random.Generator] = None,
+        rng: np.random.Generator | None = None,
     ) -> None:
         super().__init__()
         rng = rng or np.random.default_rng(0)
@@ -90,14 +89,14 @@ class BERTProxy(Module):
         return self.head(pooled)
 
 
-def bert_base_proxy(rng: Optional[np.random.Generator] = None, **kwargs) -> BERTProxy:
+def bert_base_proxy(rng: np.random.Generator | None = None, **kwargs) -> BERTProxy:
     """Shallower/narrower BERT proxy (the BERT-BASE family member)."""
     defaults = dict(embed_dim=24, num_heads=4, ff_dim=48, num_layers=1)
     defaults.update(kwargs)
     return BERTProxy(rng=rng, **defaults)
 
 
-def bert_large_proxy(rng: Optional[np.random.Generator] = None, **kwargs) -> BERTProxy:
+def bert_large_proxy(rng: np.random.Generator | None = None, **kwargs) -> BERTProxy:
     """Deeper/wider BERT proxy (the BERT-LARGE family member)."""
     defaults = dict(embed_dim=32, num_heads=4, ff_dim=64, num_layers=3)
     defaults.update(kwargs)
@@ -107,7 +106,7 @@ def bert_large_proxy(rng: Optional[np.random.Generator] = None, **kwargs) -> BER
 class TransformerProxy(BERTProxy):
     """Sequence-classification transformer (the speech-task family member)."""
 
-    def __init__(self, rng: Optional[np.random.Generator] = None, **kwargs) -> None:
+    def __init__(self, rng: np.random.Generator | None = None, **kwargs) -> None:
         defaults = dict(embed_dim=32, num_heads=2, ff_dim=64, num_layers=2)
         defaults.update(kwargs)
         super().__init__(rng=rng, **defaults)
@@ -125,7 +124,7 @@ class LSTMAlexNetProxy(Module):
         conv_width: int = 12,
         embed_dim: int = 16,
         hidden: int = 24,
-        rng: Optional[np.random.Generator] = None,
+        rng: np.random.Generator | None = None,
     ) -> None:
         super().__init__()
         rng = rng or np.random.default_rng(0)

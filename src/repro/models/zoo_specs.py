@@ -10,7 +10,6 @@ the Kwai datasets are proprietary, so their size is not otherwise knowable.
 
 from __future__ import annotations
 
-from typing import Dict, List
 
 from .spec import LayerSpec, ModelSpec, conv_layer, linear_layer, lstm_layer, transformer_encoder_layers
 
@@ -33,7 +32,7 @@ def vgg16_spec() -> ModelSpec:
         ("conv5_2", 512, 512, 14),
         ("conv5_3", 512, 512, 14),
     ]
-    layers: List[LayerSpec] = [
+    layers: list[LayerSpec] = [
         conv_layer(name, in_ch, out_ch, 3, hw) for name, in_ch, out_ch, hw in cfg
     ]
     layers.append(linear_layer("fc6", 512 * 7 * 7, 4096))
@@ -73,7 +72,7 @@ def bert_base_spec() -> ModelSpec:
 
 def transformer_spec() -> ModelSpec:
     """Speech transformer (21 x 512/2048) over ~860-frame utterances."""
-    layers: List[LayerSpec] = [
+    layers: list[LayerSpec] = [
         conv_layer("frontend1", 1, 32, 3, 80),
         conv_layer("frontend2", 32, 32, 3, 40),
     ]
@@ -89,7 +88,7 @@ def transformer_spec() -> ModelSpec:
 
 def lstm_alexnet_spec() -> ModelSpec:
     """Two-tower LSTM + AlexNet multimodal model (Kwai)."""
-    layers: List[LayerSpec] = [
+    layers: list[LayerSpec] = [
         conv_layer("alex.conv1", 3, 64, 11, 55),
         conv_layer("alex.conv2", 64, 192, 5, 27),
         conv_layer("alex.conv3", 192, 384, 3, 13),
@@ -110,7 +109,7 @@ def lstm_alexnet_spec() -> ModelSpec:
     )
 
 
-def all_specs() -> Dict[str, ModelSpec]:
+def all_specs() -> dict[str, ModelSpec]:
     """The five evaluation models keyed by paper name."""
     return {
         spec.name: spec

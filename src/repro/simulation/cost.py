@@ -15,7 +15,7 @@ BytePS's server-side CPU aggregation bandwidth.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Tuple
+from collections.abc import Callable
 
 from ..cluster.topology import ClusterSpec
 from ..cluster.transport import Transport
@@ -41,12 +41,12 @@ class CommCostModel:
 
     def __init__(self, spec: ClusterSpec) -> None:
         self.spec = spec
-        self._cache: Dict[Tuple, float] = {}
+        self._cache: dict[tuple, float] = {}
 
     # ------------------------------------------------------------------
     # Measurement plumbing
     # ------------------------------------------------------------------
-    def _measure(self, key: Tuple, run: Callable[[CommGroup], float]) -> float:
+    def _measure(self, key: tuple, run: Callable[[CommGroup], float]) -> float:
         if key not in self._cache:
             transport = Transport(self.spec)
             group = CommGroup(transport, list(range(self.spec.world_size)))
@@ -54,7 +54,7 @@ class CommCostModel:
         return self._cache[key]
 
     @staticmethod
-    def _wire(compressor: Optional[Compressor]) -> patterns.WireFn:
+    def _wire(compressor: Compressor | None) -> patterns.WireFn:
         if compressor is None:
             return patterns.fp32_wire
         return compressor.wire_bytes
@@ -62,7 +62,7 @@ class CommCostModel:
     # ------------------------------------------------------------------
     # Collective patterns
     # ------------------------------------------------------------------
-    def ring_allreduce(self, elements: int, compressor: Optional[Compressor] = None) -> float:
+    def ring_allreduce(self, elements: int, compressor: Compressor | None = None) -> float:
         key = ("ring", elements, compressor.name if compressor else None)
         wire = self._wire(compressor)
         return self._measure(key, lambda g: patterns.dry_ring_allreduce(g, elements, wire))
@@ -70,7 +70,7 @@ class CommCostModel:
     def centralized(
         self,
         elements: int,
-        compressor: Optional[Compressor] = None,
+        compressor: Compressor | None = None,
         hierarchical: bool = False,
     ) -> float:
         """C_FP_S / C_LP_S cost (ScatterReduce, optionally hierarchical)."""
@@ -87,7 +87,7 @@ class CommCostModel:
     def decentralized(
         self,
         elements: int,
-        compressor: Optional[Compressor] = None,
+        compressor: Compressor | None = None,
         topology: str = "ring",
         hierarchical: bool = False,
     ) -> float:

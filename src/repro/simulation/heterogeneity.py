@@ -9,7 +9,6 @@ is a compute-scale factor on one rank of the ClusterSpec.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, List
 
 from ..cluster.topology import ClusterSpec
 from ..models.spec import ModelSpec
@@ -46,7 +45,7 @@ class HeterogeneityResult:
     def async_degradation(self) -> float:
         return self.async_straggler.epoch_time / self.async_uniform.epoch_time
 
-    def rows(self) -> List[Dict]:
+    def rows(self) -> list[dict]:
         return [
             {"setting": "uniform", "sync": self.sync_uniform.epoch_time,
              "async": self.async_uniform.epoch_time},

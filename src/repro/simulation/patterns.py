@@ -16,7 +16,7 @@ return the elapsed wall time (max participant clock minus start).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from collections.abc import Callable
 
 from ..cluster.transport import Message
 from ..comm.collectives import _chunk_bounds

@@ -24,7 +24,6 @@ runs several iterations and reports the steady-state iteration time.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
 
 from ..cluster.topology import ClusterSpec
 from ..core.schedule import BucketSchedule, ScheduledBucket
@@ -66,7 +65,7 @@ class IterationTiming:
     exposed_comm_time: float  # iteration time minus compute (>= 0)
     num_buckets: int
     #: span timeline of the last simulated iteration (Figure 2/3 material)
-    spans: List[Span] = field(default_factory=list)
+    spans: list[Span] = field(default_factory=list)
 
     @property
     def overlap_efficiency(self) -> float:
@@ -114,10 +113,10 @@ def simulate_iteration(
     def bwd_time(bucket: ScheduledBucket) -> float:
         return bucket.bwd_flops * batch * compute_scale / cluster.worker_flops
 
-    ready_order: List[ScheduledBucket] = list(schedule.comm_order())
-    forward_order: List[ScheduledBucket] = list(schedule.forward_order())
+    ready_order: list[ScheduledBucket] = list(schedule.comm_order())
+    forward_order: list[ScheduledBucket] = list(schedule.forward_order())
 
-    comm_durations: Dict[int, float] = {}
+    comm_durations: dict[int, float] = {}
     for bucket in ready_order:
         comm_durations[bucket.index] = (
             system.per_bucket_overhead
@@ -128,9 +127,9 @@ def simulate_iteration(
 
     compute_free = 0.0
     comm_free = 0.0
-    params_ready: Dict[int, float] = {b.index: 0.0 for b in ready_order}
-    boundaries: List[float] = []
-    spans: List[Span] = []
+    params_ready: dict[int, float] = {b.index: 0.0 for b in ready_order}
+    boundaries: list[float] = []
+    spans: list[Span] = []
 
     total_iterations = WARMUP_ITERATIONS + MEASURE_ITERATIONS
     for iteration in range(total_iterations):
@@ -145,7 +144,7 @@ def simulate_iteration(
             if record and compute_free > start:
                 spans.append(Span("compute", "fwd", f"fwd b{bucket.index}", start, compute_free))
         # Backward: buckets become ready in ready order.
-        grad_ready: Dict[int, float] = {}
+        grad_ready: dict[int, float] = {}
         for bucket in ready_order:
             start = compute_free
             compute_free += bwd_time(bucket)
@@ -155,7 +154,7 @@ def simulate_iteration(
         bwd_end = compute_free
 
         # Communication + updates on the comm stream, gated per the schedule.
-        update_done: Dict[int, float] = {}
+        update_done: dict[int, float] = {}
         for bucket in ready_order:
             gate = grad_ready[bucket.index] if schedule.overlap_backward else bwd_end
             start = max(comm_free, gate)

@@ -18,7 +18,7 @@ ablation toggles the exact same switches the functional engine uses.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional
+from collections.abc import Callable
 
 from ..compression.fp16 import FP16Compressor
 from ..compression.onebit import OneBitCompressor
@@ -166,7 +166,7 @@ _BAGUA_ALGOS = {
 def bagua_system(
     cost: CommCostModel,
     algorithm: str = "allreduce",
-    config: Optional[BaguaConfig] = None,
+    config: BaguaConfig | None = None,
 ) -> SystemProfile:
     """BAGUA running ``algorithm`` under ``config``'s O/F/H switches."""
     if algorithm not in _BAGUA_ALGOS:
@@ -214,7 +214,7 @@ def bagua_system(
     )
 
 
-def all_competing_systems(cost: CommCostModel) -> List[SystemProfile]:
+def all_competing_systems(cost: CommCostModel) -> list[SystemProfile]:
     """The baseline set of Table 3: DDP, Horovod 32/16-bit, BytePS."""
     return [
         pytorch_ddp_system(cost),

@@ -10,7 +10,7 @@ several systems over a shared time axis — a text rendition of Figure 2
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from collections.abc import Sequence
 
 from ..cluster.topology import ClusterSpec
 from ..models.spec import ModelSpec
@@ -21,7 +21,7 @@ from .systems import SystemProfile
 GLYPHS = {"fwd": "F", "bwd": "B", "comm": "c", "update": "u"}
 
 
-def _paint(spans: Sequence[Span], t0: float, t1: float, width: int) -> Dict[str, str]:
+def _paint(spans: Sequence[Span], t0: float, t1: float, width: int) -> dict[str, str]:
     """Rasterize spans into one character row per stream."""
     rows = {"compute": [" "] * width, "comm": [" "] * width}
     scale = width / (t1 - t0) if t1 > t0 else 0.0
@@ -70,7 +70,7 @@ def compare_systems(
         for _system, timing in timings
         if timing.spans
     )
-    sections: List[str] = [
+    sections: list[str] = [
         f"{model.name} iteration pipelines "
         f"(F=forward B=backward c=communication u=update; axis {t_max * 1e3:.1f} ms)"
     ]

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 
@@ -19,7 +18,7 @@ class MultiHeadAttention(Module):
         self,
         embed_dim: int,
         num_heads: int,
-        rng: Optional[np.random.Generator] = None,
+        rng: np.random.Generator | None = None,
     ) -> None:
         super().__init__()
         if embed_dim % num_heads != 0:
@@ -58,7 +57,7 @@ class TransformerEncoderLayer(Module):
         num_heads: int,
         ff_dim: int,
         dropout: float = 0.0,
-        rng: Optional[np.random.Generator] = None,
+        rng: np.random.Generator | None = None,
     ) -> None:
         super().__init__()
         rng = rng or np.random.default_rng(0)

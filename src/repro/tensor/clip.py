@@ -7,7 +7,7 @@ replicas clip identically.
 
 from __future__ import annotations
 
-from typing import Iterable, List
+from collections.abc import Iterable
 
 import numpy as np
 
@@ -31,7 +31,7 @@ def clip_grad_norm(params: Iterable[Tensor], max_norm: float) -> float:
     """
     if max_norm <= 0:
         raise ValueError(f"max_norm must be positive, got {max_norm}")
-    params: List[Tensor] = list(params)
+    params: list[Tensor] = list(params)
     norm = global_grad_norm(params)
     if norm > max_norm and norm > 0:
         scale = max_norm / norm

@@ -7,7 +7,7 @@ at reasonable speed in pure numpy.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -216,7 +216,7 @@ def embedding_lookup(weight: Tensor, indices: np.ndarray) -> Tensor:
 # ----------------------------------------------------------------------
 def _im2col_indices(
     x_shape: tuple, kh: int, kw: int, stride: int, padding: int
-) -> Tuple[np.ndarray, np.ndarray, np.ndarray, int, int]:
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, int, int]:
     _, channels, height, width = x_shape
     out_h = (height + 2 * padding - kh) // stride + 1
     out_w = (width + 2 * padding - kw) // stride + 1
@@ -232,7 +232,7 @@ def _im2col_indices(
     return k, i, j, out_h, out_w
 
 
-def _im2col(x: np.ndarray, kh: int, kw: int, stride: int, padding: int) -> Tuple[np.ndarray, tuple]:
+def _im2col(x: np.ndarray, kh: int, kw: int, stride: int, padding: int) -> tuple[np.ndarray, tuple]:
     k, i, j, out_h, out_w = _im2col_indices(x.shape, kh, kw, stride, padding)
     padded = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)), mode="constant")
     cols = padded[:, k, i, j]  # [batch, C*kh*kw, out_h*out_w]
@@ -254,7 +254,7 @@ def _col2im(
 def conv2d(
     x: Tensor,
     weight: Tensor,
-    bias: Optional[Tensor] = None,
+    bias: Tensor | None = None,
     stride: int = 1,
     padding: int = 0,
 ) -> Tensor:
@@ -282,7 +282,7 @@ def conv2d(
     return Tensor._make(out, parents, backward)
 
 
-def max_pool2d(x: Tensor, kernel: int, stride: Optional[int] = None) -> Tensor:
+def max_pool2d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
     stride = stride or kernel
     batch, channels, height, width = x.data.shape
     out_h = (height - kernel) // stride + 1
@@ -308,7 +308,7 @@ def max_pool2d(x: Tensor, kernel: int, stride: Optional[int] = None) -> Tensor:
     return Tensor._make(out, (x,), backward)
 
 
-def avg_pool2d(x: Tensor, kernel: int, stride: Optional[int] = None) -> Tensor:
+def avg_pool2d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
     stride = stride or kernel
     batch, channels, height, width = x.data.shape
     out_h = (height - kernel) // stride + 1

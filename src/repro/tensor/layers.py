@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 
@@ -20,7 +19,7 @@ class Linear(Module):
         in_features: int,
         out_features: int,
         bias: bool = True,
-        rng: Optional[np.random.Generator] = None,
+        rng: np.random.Generator | None = None,
     ) -> None:
         super().__init__()
         rng = rng or np.random.default_rng(0)
@@ -53,7 +52,7 @@ class Conv2d(Module):
         stride: int = 1,
         padding: int = 0,
         bias: bool = True,
-        rng: Optional[np.random.Generator] = None,
+        rng: np.random.Generator | None = None,
     ) -> None:
         super().__init__()
         rng = rng or np.random.default_rng(0)
@@ -72,7 +71,7 @@ class Conv2d(Module):
 
 
 class MaxPool2d(Module):
-    def __init__(self, kernel_size: int, stride: Optional[int] = None) -> None:
+    def __init__(self, kernel_size: int, stride: int | None = None) -> None:
         super().__init__()
         self.kernel_size = kernel_size
         self.stride = stride
@@ -82,7 +81,7 @@ class MaxPool2d(Module):
 
 
 class AvgPool2d(Module):
-    def __init__(self, kernel_size: int, stride: Optional[int] = None) -> None:
+    def __init__(self, kernel_size: int, stride: int | None = None) -> None:
         super().__init__()
         self.kernel_size = kernel_size
         self.stride = stride
@@ -112,7 +111,7 @@ class Flatten(Module):
 
 
 class Dropout(Module):
-    def __init__(self, p: float = 0.5, rng: Optional[np.random.Generator] = None) -> None:
+    def __init__(self, p: float = 0.5, rng: np.random.Generator | None = None) -> None:
         super().__init__()
         self.p = p
         self.rng = rng or np.random.default_rng(0)
@@ -165,7 +164,7 @@ class Embedding(Module):
         self,
         num_embeddings: int,
         embedding_dim: int,
-        rng: Optional[np.random.Generator] = None,
+        rng: np.random.Generator | None = None,
     ) -> None:
         super().__init__()
         rng = rng or np.random.default_rng(0)

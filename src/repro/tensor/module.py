@@ -8,7 +8,7 @@ registration order), state dicts, and backward hooks on parameters.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, Iterator, List, Optional, Tuple
+from collections.abc import Iterator
 
 import numpy as np
 
@@ -19,8 +19,8 @@ class Module:
     """Base class for all neural-network modules."""
 
     def __init__(self) -> None:
-        self._parameters: "OrderedDict[str, Tensor]" = OrderedDict()
-        self._modules: "OrderedDict[str, Module]" = OrderedDict()
+        self._parameters: OrderedDict[str, Tensor] = OrderedDict()
+        self._modules: OrderedDict[str, Module] = OrderedDict()
         self.training = True
 
     # ------------------------------------------------------------------
@@ -33,7 +33,7 @@ class Module:
         self._parameters[name] = param
         return param
 
-    def add_module(self, name: str, module: "Module") -> "Module":
+    def add_module(self, name: str, module: Module) -> Module:
         self._modules[name] = module
         return module
 
@@ -47,16 +47,16 @@ class Module:
     # ------------------------------------------------------------------
     # Traversal
     # ------------------------------------------------------------------
-    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Tensor]]:
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Tensor]]:
         for name, param in self._parameters.items():
             yield (f"{prefix}{name}", param)
         for mod_name, module in self._modules.items():
             yield from module.named_parameters(prefix=f"{prefix}{mod_name}.")
 
-    def parameters(self) -> List[Tensor]:
+    def parameters(self) -> list[Tensor]:
         return [p for _, p in self.named_parameters()]
 
-    def modules(self) -> Iterator["Module"]:
+    def modules(self) -> Iterator[Module]:
         yield self
         for module in self._modules.values():
             yield from module.modules()
@@ -67,12 +67,12 @@ class Module:
     # ------------------------------------------------------------------
     # Train/eval, grads
     # ------------------------------------------------------------------
-    def train(self, mode: bool = True) -> "Module":
+    def train(self, mode: bool = True) -> Module:
         for module in self.modules():
             module.training = mode
         return self
 
-    def eval(self) -> "Module":
+    def eval(self) -> Module:
         return self.train(False)
 
     def zero_grad(self) -> None:
@@ -82,10 +82,10 @@ class Module:
     # ------------------------------------------------------------------
     # State dict
     # ------------------------------------------------------------------
-    def state_dict(self) -> Dict[str, np.ndarray]:
+    def state_dict(self) -> dict[str, np.ndarray]:
         return {name: param.data.copy() for name, param in self.named_parameters()}
 
-    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
         own = dict(self.named_parameters())
         missing = set(own) - set(state)
         unexpected = set(state) - set(own)
@@ -115,13 +115,13 @@ class Sequential(Module):
 
     def __init__(self, *modules: Module) -> None:
         super().__init__()
-        self._order: List[str] = []
+        self._order: list[str] = []
         for i, module in enumerate(modules):
             name = str(i)
             self.add_module(name, module)
             self._order.append(name)
 
-    def append(self, module: Module) -> "Sequential":
+    def append(self, module: Module) -> Sequential:
         name = str(len(self._order))
         self.add_module(name, module)
         self._order.append(name)
@@ -142,13 +142,13 @@ class Sequential(Module):
 class ModuleList(Module):
     """Holder for an indexable list of submodules."""
 
-    def __init__(self, modules: Optional[List[Module]] = None) -> None:
+    def __init__(self, modules: list[Module] | None = None) -> None:
         super().__init__()
-        self._order: List[str] = []
+        self._order: list[str] = []
         for module in modules or []:
             self.append(module)
 
-    def append(self, module: Module) -> "ModuleList":
+    def append(self, module: Module) -> ModuleList:
         name = str(len(self._order))
         self.add_module(name, module)
         self._order.append(name)

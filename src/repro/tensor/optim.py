@@ -15,7 +15,7 @@ per-slot step count for its bias correction so both call patterns agree.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from collections.abc import Iterable, Sequence
 
 import numpy as np
 
@@ -26,7 +26,7 @@ class Optimizer:
     """Base optimizer over a list of parameters."""
 
     def __init__(self, params: Iterable[Tensor]) -> None:
-        self.params: List[Tensor] = list(params)
+        self.params: list[Tensor] = list(params)
         if not self.params:
             raise ValueError("optimizer got an empty parameter list")
 
@@ -58,10 +58,10 @@ class Optimizer:
         """
         raise NotImplementedError
 
-    def state_dict(self) -> Dict:
+    def state_dict(self) -> dict:
         return {}
 
-    def load_state_dict(self, state: Dict) -> None:
+    def load_state_dict(self, state: dict) -> None:
         pass
 
 
@@ -85,7 +85,7 @@ class SGD(Optimizer):
         self.momentum = momentum
         self.weight_decay = weight_decay
         self.nesterov = nesterov
-        self._velocity: List[Optional[np.ndarray]] = [None] * len(self.params)
+        self._velocity: list[np.ndarray | None] = [None] * len(self.params)
 
     def step_on_slots(
         self,
@@ -107,14 +107,14 @@ class SGD(Optimizer):
                 g = g + self.momentum * v if self.nesterov else v
             x -= self.lr * g
 
-    def state_dict(self) -> Dict:
+    def state_dict(self) -> dict:
         return {
             "lr": self.lr,
             "momentum": self.momentum,
             "velocity": [None if v is None else v.copy() for v in self._velocity],
         }
 
-    def load_state_dict(self, state: Dict) -> None:
+    def load_state_dict(self, state: dict) -> None:
         self.lr = state["lr"]
         self.momentum = state["momentum"]
         self._velocity = [None if v is None else v.copy() for v in state["velocity"]]
@@ -139,12 +139,12 @@ class Adam(Optimizer):
         self.eps = eps
         self.weight_decay = weight_decay
         self.t = 0
-        self._m: List[Optional[np.ndarray]] = [None] * len(self.params)
-        self._v: List[Optional[np.ndarray]] = [None] * len(self.params)
+        self._m: list[np.ndarray | None] = [None] * len(self.params)
+        self._v: list[np.ndarray | None] = [None] * len(self.params)
         # Per-slot step counts: with per-bucket updates each slot is stepped
         # independently, and the bias correction must track that slot's own
         # age for per-bucket and barrier stepping to agree bit for bit.
-        self._t: List[int] = [0] * len(self.params)
+        self._t: list[int] = [0] * len(self.params)
         # When frozen (1-bit Adam compression stage), the second moment stops
         # updating and acts as a fixed diagonal preconditioner.
         self.variance_frozen = False
@@ -184,7 +184,7 @@ class Adam(Optimizer):
             x -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
         self.t = max(self._t, default=0)
 
-    def state_dict(self) -> Dict:
+    def state_dict(self) -> dict:
         return {
             "lr": self.lr,
             "t": self.t,
@@ -193,7 +193,7 @@ class Adam(Optimizer):
             "variance_frozen": self.variance_frozen,
         }
 
-    def load_state_dict(self, state: Dict) -> None:
+    def load_state_dict(self, state: dict) -> None:
         self.lr = state["lr"]
         self.t = state["t"]
         self._m = [None if m is None else m.copy() for m in state["m"]]

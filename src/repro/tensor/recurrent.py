@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
 
 import numpy as np
 
@@ -23,7 +22,7 @@ class LSTMCell(Module):
         self,
         input_size: int,
         hidden_size: int,
-        rng: Optional[np.random.Generator] = None,
+        rng: np.random.Generator | None = None,
     ) -> None:
         super().__init__()
         rng = rng or np.random.default_rng(0)
@@ -38,8 +37,8 @@ class LSTMCell(Module):
         self.bias = self.register_parameter("bias", Tensor(init.zeros((4 * hidden_size,))))
 
     def forward(
-        self, x: Tensor, state: Tuple[Tensor, Tensor]
-    ) -> Tuple[Tensor, Tensor]:
+        self, x: Tensor, state: tuple[Tensor, Tensor]
+    ) -> tuple[Tensor, Tensor]:
         h_prev, c_prev = state
         gates = x @ self.weight_ih.T + h_prev @ self.weight_hh.T + self.bias
         hs = self.hidden_size
@@ -51,7 +50,7 @@ class LSTMCell(Module):
         h = o * F.tanh(c)
         return h, c
 
-    def initial_state(self, batch: int) -> Tuple[Tensor, Tensor]:
+    def initial_state(self, batch: int) -> tuple[Tensor, Tensor]:
         return (
             Tensor(np.zeros((batch, self.hidden_size))),
             Tensor(np.zeros((batch, self.hidden_size))),
@@ -65,7 +64,7 @@ class LSTM(Module):
         self,
         input_size: int,
         hidden_size: int,
-        rng: Optional[np.random.Generator] = None,
+        rng: np.random.Generator | None = None,
     ) -> None:
         super().__init__()
         self.cell = LSTMCell(input_size, hidden_size, rng=rng)

@@ -8,7 +8,6 @@ optimizer's ``lr`` in place, one ``step()`` per iteration or epoch.
 from __future__ import annotations
 
 import math
-from typing import List, Optional
 
 from .optim import Optimizer
 
@@ -80,7 +79,7 @@ class WarmupLR(LRScheduler):
         self,
         optimizer: Optimizer,
         warmup_steps: int,
-        after: Optional[LRScheduler] = None,
+        after: LRScheduler | None = None,
     ) -> None:
         if warmup_steps < 1:
             raise ValueError(f"warmup_steps must be >= 1, got {warmup_steps}")
@@ -97,6 +96,6 @@ class WarmupLR(LRScheduler):
         return self.base_lr
 
 
-def lr_trace(scheduler: LRScheduler, steps: int) -> List[float]:
+def lr_trace(scheduler: LRScheduler, steps: int) -> list[float]:
     """Run ``steps`` scheduler steps, returning the lr sequence (testing aid)."""
     return [scheduler.step() for _ in range(steps)]

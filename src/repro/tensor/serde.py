@@ -9,19 +9,18 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, Optional, Union
 
 import numpy as np
 
 from .module import Module
 from .optim import Optimizer
 
-PathLike = Union[str, Path]
+PathLike = str | Path
 
 _META_KEY = "__checkpoint_meta__"
 
 
-def _flatten_state(prefix: str, state, out: Dict[str, np.ndarray], meta: Dict) -> None:
+def _flatten_state(prefix: str, state, out: dict[str, np.ndarray], meta: dict) -> None:
     """Recursively store arrays under ``prefix``; scalars/None go to meta."""
     if isinstance(state, dict):
         meta_node = meta.setdefault("dict", {})
@@ -31,7 +30,7 @@ def _flatten_state(prefix: str, state, out: Dict[str, np.ndarray], meta: Dict) -
     elif isinstance(state, (list, tuple)):
         meta["list"] = []
         for i, value in enumerate(state):
-            sub_meta: Dict = {}
+            sub_meta: dict = {}
             meta["list"].append(sub_meta)
             _flatten_state(f"{prefix}.{i}", value, out, sub_meta)
     elif isinstance(state, np.ndarray):
@@ -43,7 +42,7 @@ def _flatten_state(prefix: str, state, out: Dict[str, np.ndarray], meta: Dict) -
         raise TypeError(f"cannot checkpoint value of type {type(state)!r} at {prefix}")
 
 
-def _rebuild_state(meta: Dict, arrays: Dict[str, np.ndarray]):
+def _rebuild_state(meta: dict, arrays: dict[str, np.ndarray]):
     if "dict" in meta:
         return {key: _rebuild_state(sub, arrays) for key, sub in meta["dict"].items()}
     if "list" in meta:
@@ -56,21 +55,21 @@ def _rebuild_state(meta: Dict, arrays: Dict[str, np.ndarray]):
 def save_checkpoint(
     path: PathLike,
     model: Module,
-    optimizer: Optional[Optimizer] = None,
+    optimizer: Optimizer | None = None,
     step: int = 0,
 ) -> None:
     """Write model parameters (+ optional optimizer state) to ``path``."""
-    arrays: Dict[str, np.ndarray] = {}
-    meta: Dict = {"step": step, "optimizer": None}
+    arrays: dict[str, np.ndarray] = {}
+    meta: dict = {"step": step, "optimizer": None}
     for name, value in model.state_dict().items():
         arrays[f"model.{name}"] = value
     meta["model_keys"] = sorted(model.state_dict().keys())
     if optimizer is not None:
-        opt_meta: Dict = {}
+        opt_meta: dict = {}
         _flatten_state("optim", optimizer.state_dict(), arrays, opt_meta)
         meta["optimizer"] = opt_meta
     arrays[_META_KEY] = np.frombuffer(
-        json.dumps(meta).encode("utf-8"), dtype=np.uint8
+        json.dumps(meta).encode(), dtype=np.uint8
     ).copy()
     np.savez(Path(path), **arrays)
 
@@ -78,7 +77,7 @@ def save_checkpoint(
 def load_checkpoint(
     path: PathLike,
     model: Module,
-    optimizer: Optional[Optimizer] = None,
+    optimizer: Optimizer | None = None,
 ) -> int:
     """Restore model (+ optimizer) from ``path``; returns the saved step."""
     with np.load(Path(path), allow_pickle=False) as data:

@@ -10,11 +10,11 @@ same hook/bucket/flatten code paths they would on the real framework.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Optional, Sequence, Union
+from collections.abc import Callable, Iterable, Sequence
 
 import numpy as np
 
-ArrayLike = Union[np.ndarray, float, int, Sequence]
+ArrayLike = np.ndarray | float | int | Sequence
 
 _DEFAULT_DTYPE = np.float64
 
@@ -77,13 +77,13 @@ class Tensor:
         self,
         data: ArrayLike,
         requires_grad: bool = False,
-        name: Optional[str] = None,
+        name: str | None = None,
     ) -> None:
         self.data = _as_array(data)
-        self.grad: Optional[np.ndarray] = None
+        self.grad: np.ndarray | None = None
         self.requires_grad = requires_grad
         self.name = name
-        self._backward_fn: Optional[Callable[[np.ndarray], None]] = None
+        self._backward_fn: Callable[[np.ndarray], None] | None = None
         self._parents: tuple = ()
         self._post_grad_hooks: list = []
         Tensor._next_seq += 1
@@ -117,17 +117,17 @@ class Tensor:
     def numpy(self) -> np.ndarray:
         return self.data
 
-    def copy(self) -> "Tensor":
+    def copy(self) -> Tensor:
         t = Tensor(self.data.copy(), requires_grad=self.requires_grad, name=self.name)
         return t
 
-    def detach(self) -> "Tensor":
+    def detach(self) -> Tensor:
         return Tensor(self.data, requires_grad=False, name=self.name)
 
     def zero_grad(self) -> None:
         self.grad = None
 
-    def register_post_grad_hook(self, hook: Callable[["Tensor"], None]) -> None:
+    def register_post_grad_hook(self, hook: Callable[[Tensor], None]) -> None:
         """Register a callback fired when this tensor's gradient is finalized.
 
         This is the mechanism algorithms use to trigger per-parameter
@@ -146,9 +146,9 @@ class Tensor:
     def _make(
         cls,
         data: np.ndarray,
-        parents: Iterable["Tensor"],
+        parents: Iterable[Tensor],
         backward_fn: Callable[[np.ndarray], None],
-    ) -> "Tensor":
+    ) -> Tensor:
         parents = tuple(parents)
         out = cls(data, requires_grad=any(p.requires_grad for p in parents))
         if out.requires_grad:
@@ -165,7 +165,7 @@ class Tensor:
         else:
             self.grad = self.grad + grad
 
-    def backward(self, grad: Optional[ArrayLike] = None) -> None:
+    def backward(self, grad: ArrayLike | None = None) -> None:
         """Run reverse-mode differentiation from this tensor.
 
         Leaf tensors accumulate into ``.grad``; after a leaf's gradient is
@@ -226,10 +226,10 @@ class Tensor:
     # ------------------------------------------------------------------
     # Arithmetic — thin wrappers creating graph nodes
     # ------------------------------------------------------------------
-    def _coerce(self, other: ArrayLike) -> "Tensor":
+    def _coerce(self, other: ArrayLike) -> Tensor:
         return other if isinstance(other, Tensor) else Tensor(other)
 
-    def __add__(self, other: ArrayLike) -> "Tensor":
+    def __add__(self, other: ArrayLike) -> Tensor:
         other = self._coerce(other)
 
         def backward(grad: np.ndarray) -> None:
@@ -240,7 +240,7 @@ class Tensor:
 
     __radd__ = __add__
 
-    def __sub__(self, other: ArrayLike) -> "Tensor":
+    def __sub__(self, other: ArrayLike) -> Tensor:
         other = self._coerce(other)
 
         def backward(grad: np.ndarray) -> None:
@@ -249,10 +249,10 @@ class Tensor:
 
         return Tensor._make(self.data - other.data, (self, other), backward)
 
-    def __rsub__(self, other: ArrayLike) -> "Tensor":
+    def __rsub__(self, other: ArrayLike) -> Tensor:
         return self._coerce(other).__sub__(self)
 
-    def __mul__(self, other: ArrayLike) -> "Tensor":
+    def __mul__(self, other: ArrayLike) -> Tensor:
         other = self._coerce(other)
 
         def backward(grad: np.ndarray) -> None:
@@ -263,7 +263,7 @@ class Tensor:
 
     __rmul__ = __mul__
 
-    def __truediv__(self, other: ArrayLike) -> "Tensor":
+    def __truediv__(self, other: ArrayLike) -> Tensor:
         other = self._coerce(other)
 
         def backward(grad: np.ndarray) -> None:
@@ -272,22 +272,22 @@ class Tensor:
 
         return Tensor._make(self.data / other.data, (self, other), backward)
 
-    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+    def __rtruediv__(self, other: ArrayLike) -> Tensor:
         return self._coerce(other).__truediv__(self)
 
-    def __neg__(self) -> "Tensor":
+    def __neg__(self) -> Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate(-grad)
 
         return Tensor._make(-self.data, (self,), backward)
 
-    def __pow__(self, exponent: float) -> "Tensor":
+    def __pow__(self, exponent: float) -> Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * exponent * self.data ** (exponent - 1))
 
         return Tensor._make(self.data ** exponent, (self,), backward)
 
-    def __matmul__(self, other: "Tensor") -> "Tensor":
+    def __matmul__(self, other: Tensor) -> Tensor:
         other = self._coerce(other)
 
         def backward(grad: np.ndarray) -> None:
@@ -301,7 +301,7 @@ class Tensor:
     # ------------------------------------------------------------------
     # Shape ops
     # ------------------------------------------------------------------
-    def reshape(self, *shape) -> "Tensor":
+    def reshape(self, *shape) -> Tensor:
         if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
             shape = tuple(shape[0])
         original = self.data.shape
@@ -311,7 +311,7 @@ class Tensor:
 
         return Tensor._make(self.data.reshape(shape), (self,), backward)
 
-    def transpose(self, *axes) -> "Tensor":
+    def transpose(self, *axes) -> Tensor:
         if not axes:
             axes = tuple(reversed(range(self.data.ndim)))
         elif len(axes) == 1 and isinstance(axes[0], (tuple, list)):
@@ -324,10 +324,10 @@ class Tensor:
         return Tensor._make(self.data.transpose(axes), (self,), backward)
 
     @property
-    def T(self) -> "Tensor":
+    def T(self) -> Tensor:
         return self.transpose()
 
-    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+    def sum(self, axis=None, keepdims: bool = False) -> Tensor:
         def backward(grad: np.ndarray) -> None:
             g = grad
             if axis is not None and not keepdims:
@@ -336,7 +336,7 @@ class Tensor:
 
         return Tensor._make(self.data.sum(axis=axis, keepdims=keepdims), (self,), backward)
 
-    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+    def mean(self, axis=None, keepdims: bool = False) -> Tensor:
         count = self.data.size if axis is None else np.prod(
             [self.data.shape[a] for a in (axis if isinstance(axis, tuple) else (axis,))]
         )
@@ -349,7 +349,7 @@ class Tensor:
 
         return Tensor._make(self.data.mean(axis=axis, keepdims=keepdims), (self,), backward)
 
-    def __getitem__(self, index) -> "Tensor":
+    def __getitem__(self, index) -> Tensor:
         def backward(grad: np.ndarray) -> None:
             full = np.zeros_like(self.data)
             np.add.at(full, index, grad)
@@ -380,7 +380,7 @@ def _matmul_grad_rhs(grad: np.ndarray, lhs: np.ndarray, rhs: np.ndarray) -> np.n
     return _unbroadcast(out, rhs.shape)
 
 
-def tensor(data: ArrayLike, requires_grad: bool = False, name: Optional[str] = None) -> Tensor:
+def tensor(data: ArrayLike, requires_grad: bool = False, name: str | None = None) -> Tensor:
     """Public constructor mirroring ``torch.tensor``."""
     return Tensor(data, requires_grad=requires_grad, name=name)
 
@@ -393,6 +393,6 @@ def ones(shape, requires_grad: bool = False) -> Tensor:
     return Tensor(np.ones(shape), requires_grad=requires_grad)
 
 
-def randn(*shape, rng: Optional[np.random.Generator] = None, requires_grad: bool = False) -> Tensor:
+def randn(*shape, rng: np.random.Generator | None = None, requires_grad: bool = False) -> Tensor:
     rng = rng or np.random.default_rng()
     return Tensor(rng.standard_normal(shape), requires_grad=requires_grad)

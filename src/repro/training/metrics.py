@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
 
 import numpy as np
 
@@ -13,11 +12,11 @@ class ConvergenceRecord:
     """Per-epoch metrics of one training run (one line of Figures 5/6)."""
 
     label: str
-    epoch_losses: List[float] = field(default_factory=list)
-    epoch_accuracies: List[float] = field(default_factory=list)
-    epoch_sim_times: List[float] = field(default_factory=list)
+    epoch_losses: list[float] = field(default_factory=list)
+    epoch_accuracies: list[float] = field(default_factory=list)
+    epoch_sim_times: list[float] = field(default_factory=list)
     #: cumulative bytes on the wire at the end of each epoch
-    epoch_comm_bytes: List[float] = field(default_factory=list)
+    epoch_comm_bytes: list[float] = field(default_factory=list)
     diverged: bool = False
 
     @property
@@ -35,9 +34,9 @@ class ConvergenceRecord:
     def record_epoch(
         self,
         loss: float,
-        accuracy: Optional[float] = None,
-        sim_time: Optional[float] = None,
-        comm_bytes: Optional[float] = None,
+        accuracy: float | None = None,
+        sim_time: float | None = None,
+        comm_bytes: float | None = None,
     ) -> None:
         self.epoch_losses.append(float(loss))
         if accuracy is not None:
@@ -63,7 +62,7 @@ class ConvergenceRecord:
         return f"{self.label}: epochs={len(self.epoch_losses)} {status}{acc}"
 
 
-def epochs_to_reach(record: ConvergenceRecord, loss_target: float) -> Optional[int]:
+def epochs_to_reach(record: ConvergenceRecord, loss_target: float) -> int | None:
     """First epoch (1-based) whose loss is at or below ``loss_target``."""
     for epoch, loss in enumerate(record.epoch_losses, start=1):
         if loss <= loss_target:

@@ -8,7 +8,7 @@ settings used in the convergence experiments (Figures 5 and 6).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional
+from collections.abc import Callable
 
 import numpy as np
 
@@ -43,9 +43,9 @@ class Task:
     lr: float
     batch_size: int
     #: aligned auxiliary array for multimodal tasks (tokens), else None
-    extra_factory: Optional[Callable[[int], np.ndarray]] = None
+    extra_factory: Callable[[int], np.ndarray] | None = None
 
-    def make_loaders(self, world_size: int, seed: int = 0) -> List[ShardedLoader]:
+    def make_loaders(self, world_size: int, seed: int = 0) -> list[ShardedLoader]:
         dataset = self.dataset_factory(seed)
         extra = self.extra_factory(seed) if self.extra_factory else None
         return make_sharded_loaders(
@@ -123,7 +123,7 @@ def _lstm_alexnet_task() -> Task:
     )
 
 
-def all_tasks() -> List[Task]:
+def all_tasks() -> list[Task]:
     """The five evaluation tasks in the paper's order."""
     return [
         _vgg_task(),

@@ -9,7 +9,7 @@ same interface, so Figure 5's system comparison shares this driver.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence
+from collections.abc import Callable, Sequence
 
 import numpy as np
 
@@ -37,12 +37,12 @@ class DistributedTrainer:
         model_factory: ModelFactory,
         optimizer_factory: OptimizerFactory,
         algorithm: Algorithm,
-        config: Optional[BaguaConfig] = None,
+        config: BaguaConfig | None = None,
         seed: int = 0,
     ) -> None:
         self.spec = spec
         self.transport = Transport(spec)
-        self.workers: List[WorkerContext] = make_workers(spec, self.transport, seed=seed)
+        self.workers: list[WorkerContext] = make_workers(spec, self.transport, seed=seed)
         # All replicas initialize from the SAME rng seed — a hard requirement
         # of data-parallel training (the engine verifies it).
         models = [model_factory(np.random.default_rng(seed)) for _ in self.workers]
@@ -63,7 +63,7 @@ class DistributedTrainer:
         loss_fn: LossFn,
         epochs: int,
         label: str = "",
-        eval_fn: Optional[Callable[[Module], float]] = None,
+        eval_fn: Callable[[Module], float] | None = None,
         max_loss: float = 1e6,
     ) -> ConvergenceRecord:
         """Run ``epochs`` epochs; returns the convergence record.

@@ -18,12 +18,14 @@ The lowered schedule of every engine built here must also pass the full
 static checker suite — the same gate ``python -m repro analyze`` enforces.
 """
 
+import dataclasses
+
 import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.algorithms import AllreduceSGD, QSGD
-from repro.analysis import lower_schedule, run_checkers
+from repro.analysis import HB_CHECKERS, build_hb, lower_schedule, run_checkers
 from repro.cluster import ClusterSpec, Link, Transport
 from repro.cluster.worker import make_workers
 from repro.core import BaguaConfig
@@ -148,3 +150,82 @@ def test_overlap_strictly_lowers_comm_bound_iteration_time(seed, flatten):
         assert engine.num_buckets >= 2  # otherwise the gates coincide
         times[overlap] = engine.group.transport.max_time()
     assert times[True] < times[False]
+
+
+# ----------------------------------------------------------------------
+# Happens-before: any generated schedule lowers to an HB-clean stream, and
+# the HB partial order is consistent with the executor's virtual clocks.
+# ----------------------------------------------------------------------
+
+#: Node groups of the 2x2 test cluster, so hierarchical schedules lower to
+#: their real three-phase (reduce / inter-node / broadcast) streams.
+NODE_GROUPS = [[0, 1], [2, 3]]
+
+
+@given(config=configs, seed=st.integers(0, 2**31 - 1), per_bucket=st.booleans())
+@settings(max_examples=10, deadline=None)
+def test_any_schedule_lowers_hb_clean(config, seed, per_bucket):
+    engine, _ = _run(AllreduceSGD(), config, seed)
+    assert engine.schedule is not None
+    variant = dataclasses.replace(engine.schedule, per_bucket_updates=per_bucket)
+    subject = lower_schedule(variant, engine.world_size, nodes=NODE_GROUPS)
+    assert run_checkers(subject, HB_CHECKERS) == []
+    assert not build_hb(subject).deadlocks
+
+
+@given(config=configs, seed=st.integers(0, 2**31 - 1))
+@settings(max_examples=10, deadline=None)
+def test_hb_order_consistent_with_virtual_clocks(config, seed):
+    """HB => time-ordered against the executor's clocks.
+
+    Every lowered event that happens-before a communication must carry an
+    earlier virtual-clock reading than that communication: issues are
+    stamped with their gradient-ready time (``IterationReport.ready_times``)
+    and collectives with the clock right after the bucket's exchange
+    (``comm_times``).  Only pairs whose *target* is a collective are
+    compared — the no-overlap lowering conservatively serializes issue
+    markers between comms on one thread, while the executor prices the
+    whole backward pass up front, so clock readings taken *at* an issue
+    only order against later communication, not vice versa.  Same-bucket
+    collective pairs are skipped too: the report stamps one clock per
+    (rank, bucket), so a hierarchical bucket's reduce/broadcast phases all
+    share a reading whose per-rank skew is below that resolution.
+    """
+    engine, _ = _run(AllreduceSGD(), config, seed)
+    report = engine.executor.last_report
+    assert report is not None
+    subject = lower_schedule(engine.schedule, engine.world_size, nodes=NODE_GROUPS)
+    graph = build_hb(subject)
+    assert not graph.deadlocks
+
+    index_of = {b.name: b.index for b in engine.schedule.buckets}
+
+    def clock_reading(event):
+        op = event.op
+        if op.bucket not in index_of:
+            return None
+        key = (op.rank, index_of[op.bucket])
+        if op.kind == "issue":
+            return report.ready_times.get(key)
+        if op.scope == "collective":
+            return report.comm_times.get(key)
+        return None
+
+    timed = [
+        (event, reading)
+        for event in graph.events
+        if (reading := clock_reading(event)) is not None
+    ]
+    assert timed  # the mapping found real events to compare
+    for target, t_target in timed:
+        if target.op.scope != "collective":
+            continue
+        for source, t_source in timed:
+            if source is target:
+                continue
+            if source.op.scope == "collective" and source.op.bucket == target.op.bucket:
+                continue
+            if graph.happens_before(source, target):
+                assert t_source <= t_target + 1e-9, (
+                    source.describe(), target.describe()
+                )
