@@ -2,11 +2,14 @@
 # is available), the tier-1 test suite, and the static analyzer sweep —
 # with the happens-before pass — over every registered algorithm and
 # baseline, across all O/F/H x update-mode schedule variants.
+# `make perf` benchmarks the world-batched fast path against the loop
+# reference and gates against benchmarks/perf/baseline.json (see
+# docs/performance.md).
 
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check lint test analyze
+.PHONY: check lint test analyze perf
 
 check: lint test analyze
 
@@ -22,3 +25,6 @@ test:
 
 analyze:
 	$(PYTHON) -m repro analyze --all --hb
+
+perf:
+	$(PYTHON) -m repro perf --quick --check

@@ -100,6 +100,35 @@ def _run_analyze(args) -> int:
     return 0 if report.ok else 1
 
 
+def _run_perf(args) -> int:
+    from pathlib import Path
+
+    from .perf import check_against_baseline, run_suite
+    from .perf.harness import render
+
+    result = run_suite(quick=args.quick, repeats=args.repeats)
+    out = Path(args.out)
+    out.write_text(json.dumps(result, indent=2) + "\n")
+    print(render(result))
+    print(f"wrote {out}")
+
+    baseline = None
+    baseline_path = Path(args.baseline)
+    if args.check:
+        if baseline_path.exists():
+            baseline = json.loads(baseline_path.read_text())
+        else:
+            print(f"no baseline at {baseline_path}; checking speedup floors only")
+        failures = check_against_baseline(result, baseline)
+        if failures:
+            print("PERF CHECK FAILED:")
+            for f in failures:
+                print(f"  - {f}")
+            return 1
+        print("perf check passed (regression gate + speedup floors)")
+    return 0
+
+
 def _run_autotune(args) -> int:
     specs = all_specs()
     if args.model not in specs:
@@ -127,6 +156,38 @@ def main(argv=None) -> int:
     tune_parser.add_argument("model", help="VGG16 | BERT-LARGE | BERT-BASE | Transformer | LSTM+AlexNet")
     tune_parser.add_argument(
         "--network", default="25gbps", choices=["10gbps", "25gbps", "100gbps"]
+    )
+
+    perf_parser = subparsers.add_parser(
+        "perf",
+        help="benchmark the world-batched fast path vs the loop reference",
+        description=(
+            "Time the hot collective and compression kernels (loop vs "
+            "batched fast path) and one functional-mode epoch per world "
+            "size, write BENCH_PR5.json, and optionally gate against the "
+            "committed baseline (fails when a kernel's geomean speedup "
+            "drops >20% below baseline, or on a missed speedup floor)."
+        ),
+    )
+    perf_parser.add_argument(
+        "--out", default="BENCH_PR5.json", help="result JSON path"
+    )
+    perf_parser.add_argument(
+        "--baseline",
+        default="benchmarks/perf/baseline.json",
+        help="baseline JSON to gate against (with --check)",
+    )
+    perf_parser.add_argument(
+        "--check", action="store_true",
+        help="fail (exit 1) on regression vs baseline or a missed floor",
+    )
+    perf_parser.add_argument(
+        "--quick", action="store_true",
+        help="CI-sized run: worlds {4,16}, one size per kernel",
+    )
+    perf_parser.add_argument(
+        "--repeats", type=int, default=None,
+        help="best-of-N timing repeats (default: 3, or 2 with --quick)",
     )
 
     analyze_parser = subparsers.add_parser(
@@ -171,6 +232,8 @@ def main(argv=None) -> int:
     )
 
     args = parser.parse_args(argv)
+    if args.command == "perf":
+        return _run_perf(args)
     if args.command == "autotune":
         return _run_autotune(args)
     if args.command == "analyze":

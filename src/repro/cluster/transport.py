@@ -111,6 +111,35 @@ class Transport:
         # when set, every exchanged round is reported before delivery.
         self.tracer = None
         self._round_counter = 0
+        # Topology is immutable, so the link / NIC-key lookups every message
+        # repeats are memoized per (src, dst) pair.  ``_sized_cache`` holds
+        # the same facts flattened for the sized-stub hot loop: int keys and
+        # scalar link parameters instead of method calls.
+        self._pair_cache: dict[tuple[int, int], tuple] = {}
+        self._sized_cache: dict[int, tuple] = {}
+        # NIC chain keys (egress / ingress serialization points) mapped to
+        # dense int slots so the sized-stub loop can use list indexing
+        # instead of tuple-key dict lookups.  Egress and ingress chains are
+        # independent resources even when their keys coincide, so each key
+        # gets one slot used to index two separate per-round lists.
+        self._chain_slots: dict[tuple[int, str], int] = {}
+
+    def _pair_info(self, src: int, dst: int) -> tuple:
+        """``(link, inter_node, egress_key, ingress_key)`` for a rank pair."""
+        info = self._pair_cache.get((src, dst))
+        if info is None:
+            spec = self.spec
+            link = spec.link_between(src, dst)
+            inter = not spec.same_node(src, dst)
+            if inter:
+                egress_key = (spec.node_of(src), link.name)
+                ingress_key = (spec.node_of(dst), link.name)
+            else:
+                egress_key = (src, link.name)
+                ingress_key = (dst, link.name)
+            info = (link, inter, egress_key, ingress_key)
+            self._pair_cache[(src, dst)] = info
+        return info
 
     # ------------------------------------------------------------------
     # Time
@@ -175,36 +204,160 @@ class Transport:
         inbox: dict[int, list[Message]] = {}
 
         sender_done: dict[int, float] = {}
+        clocks = self.clocks
+        stats = self.stats
         for message in messages:
-            link = self.spec.link_between(message.src, message.dst)
-            fabric = link.name
-            inter = not self.spec.same_node(message.src, message.dst)
-            self.stats.record(message, inter)
-
+            src = message.src
+            dst = message.dst
             # Inter-node traffic serializes on the machine's NIC — all
             # workers of a node share it (one 10/25/100 Gbps port per
             # server, as on the AWS instances the paper models).  Intra-node
             # NVLink is point-to-point per worker.
-            if inter:
-                egress_key = (self.spec.node_of(message.src), fabric)
-                ingress_key = (self.spec.node_of(message.dst), fabric)
-            else:
-                egress_key = (message.src, fabric)
-                ingress_key = (message.dst, fabric)
+            link, inter, egress_key, ingress_key = self._pair_info(src, dst)
+            stats.record(message, inter)
 
             wire = link.wire_time(message.nbytes)
-            start = max(self.clocks[message.src].now, egress_free.get(egress_key, 0.0))
+            start = max(clocks[src].now, egress_free.get(egress_key, 0.0))
             egress_free[egress_key] = start + wire
-            sender_done[message.src] = max(sender_done.get(message.src, 0.0), start + wire)
+            sender_done[src] = max(sender_done.get(src, 0.0), start + wire)
             at_nic = start + link.latency_s + wire
             arrival = max(at_nic, ingress_free.get(ingress_key, 0.0) + wire)
             ingress_free[ingress_key] = arrival
 
-            arrivals[message.dst] = max(arrivals.get(message.dst, 0.0), arrival)
-            inbox.setdefault(message.dst, []).append(message)
+            arrivals[dst] = max(arrivals.get(dst, 0.0), arrival)
+            inbox.setdefault(dst, []).append(message)
 
         for rank, done_at in sender_done.items():
-            self.clocks[rank].advance_to(done_at)
+            clocks[rank].advance_to(done_at)
         for rank, arrival in arrivals.items():
-            self.clocks[rank].advance_to(arrival)
+            clocks[rank].advance_to(arrival)
         return inbox
+
+    def exchange_sized(
+        self, sends: Sequence[tuple[int, int, float, str | None]]
+    ) -> None:
+        """Deliver one round of *size-stub* messages: ``(src, dst, nbytes, match_id)``.
+
+        The world-batched fast path computes collective results as ndarray
+        kernels, so no payload needs to travel — but the round's timing,
+        traffic accounting and trace must stay exactly what the loop
+        implementation produces.  This method replays the same per-message
+        arithmetic as :meth:`exchange` (same clock updates, same stats, same
+        round-counter progression) without materializing :class:`Message`
+        objects.  When a tracer is installed, real stub messages are built
+        and routed through :meth:`exchange` so recorded traces are identical
+        by construction.
+        """
+        if not sends:
+            return
+        if self.tracer is not None:
+            self.exchange(
+                [
+                    Message(src, dst, None, nbytes=nbytes, match_id=match_id)
+                    for src, dst, nbytes, match_id in sends
+                ]
+            )
+            return
+        self.stats.rounds += 1
+        self._round_counter += 1
+
+        clocks = self.clocks
+        stats = self.stats
+        sized_cache = self._sized_cache
+        sized_get = sized_cache.get
+        chain_slots = self._chain_slots
+        world = self.spec.world_size
+        # Per-round chain state as slot-indexed lists (None = chain untouched
+        # this round, equivalent to an absent dict key in `exchange`).
+        egress_end: list = [None] * len(chain_slots)
+        ingress_end: list = [None] * len(chain_slots)
+        sender_done: list = [None] * world
+        arrivals: list = [None] * world
+        # Clocks only move at the end of the round, so snapshot them once.
+        nows = [c._now for c in clocks]
+        # Seed the stat accumulators from the current totals so the per-send
+        # accumulation sequence (and therefore every intermediate rounding)
+        # is the one `exchange` performs.  Per-rank sent bytes are staged in
+        # a list the same way; None marks "no entry and not touched" so that
+        # ranks absent from the dict stay absent.
+        messages_n = stats.messages
+        total_b = stats.total_bytes
+        inter_b = stats.inter_node_bytes
+        intra_b = stats.intra_node_bytes
+        sent = stats.per_rank_sent_bytes
+        sent_acc: list = [None] * world
+        for rank, value in sent.items():
+            sent_acc[rank] = value
+        for src, dst, nbytes, _match_id in sends:
+            pair = src * world + dst
+            info = sized_get(pair)
+            if info is None:
+                link, inter, egress_key, ingress_key = self._pair_info(src, dst)
+                eg = chain_slots.setdefault(egress_key, len(chain_slots))
+                ig = chain_slots.setdefault(ingress_key, len(chain_slots))
+                while len(egress_end) < len(chain_slots):
+                    egress_end.append(None)
+                    ingress_end.append(None)
+                info = (
+                    inter,
+                    eg,
+                    ig,
+                    link.latency_s,
+                    link.ramp_bytes,
+                    link.bandwidth_Bps,
+                )
+                sized_cache[pair] = info
+            inter, eg, ig, latency, ramp, bandwidth = info
+            # Inlined TrafficStats.record — identical accumulation order
+            # (0.0 + x is bitwise x for the non-negative sizes sent here).
+            messages_n += 1
+            total_b += nbytes
+            if inter:
+                inter_b += nbytes
+            else:
+                intra_b += nbytes
+            prev_sent = sent_acc[src]
+            sent_acc[src] = nbytes if prev_sent is None else prev_sent + nbytes
+
+            # Same expressions as `exchange`; the builtin max() calls become
+            # inline comparisons (equal values either way), and the absent-key
+            # defaults fold away: clocks and chain times are non-negative, and
+            # a first arrival `at_nic = start + latency + wire` can never be
+            # below the `0.0 + wire` an empty ingress chain would contribute.
+            wire = (nbytes + ramp) / bandwidth
+            now_src = nows[src]
+            prev = egress_end[eg]
+            start = now_src if (prev is None or now_src > prev) else prev
+            end = start + wire
+            egress_end[eg] = end
+            prev_done = sender_done[src]
+            if prev_done is None or end > prev_done:
+                sender_done[src] = end
+            at_nic = start + latency + wire
+            prev_in = ingress_end[ig]
+            if prev_in is not None:
+                queued = prev_in + wire
+                arrival = at_nic if at_nic > queued else queued
+            else:
+                arrival = at_nic
+            ingress_end[ig] = arrival
+            prev_arrival = arrivals[dst]
+            if prev_arrival is None or arrival > prev_arrival:
+                arrivals[dst] = arrival
+
+        stats.messages = messages_n
+        stats.total_bytes = total_b
+        stats.inter_node_bytes = inter_b
+        stats.intra_node_bytes = intra_b
+        for rank in range(world):
+            value = sent_acc[rank]
+            if value is not None:
+                sent[rank] = value
+        for rank in range(world):
+            done_at = sender_done[rank]
+            if done_at is not None:
+                clocks[rank].advance_to(done_at)
+        for rank in range(world):
+            arrival = arrivals[rank]
+            if arrival is not None:
+                clocks[rank].advance_to(arrival)

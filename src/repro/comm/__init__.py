@@ -1,9 +1,27 @@
-"""NCCL-like collectives over the simulated transport."""
+"""NCCL-like collectives over the simulated transport.
 
+Public entry points route to the world-batched fast path by default (see
+:mod:`repro.comm.fastpath`); the per-rank loop implementations remain in
+:mod:`repro.comm.collectives` as the reference oracle.  The payload-level
+round helpers ``alltoall`` / ``allgather_payloads`` are deprecated at this
+package level — the batched kernels made them internal plumbing of the loop
+path; import them from ``repro.comm.collectives`` if you really need them.
+"""
+
+import warnings
+
+from .batched import (
+    allgather_sizes,
+    alltoall_sizes,
+    gossip_average_batched,
+    ring_all_gather_chunks_batched,
+    ring_allreduce_batched,
+    ring_reduce_scatter_batched,
+    scatter_reduce_batched,
+)
+from .chunking import chunk_bounds, chunk_sizes
 from .collectives import (
-    allgather_payloads,
     allreduce_via_root,
-    alltoall,
     broadcast,
     gather,
     reduce_to_root,
@@ -12,10 +30,30 @@ from .collectives import (
     ring_reduce_scatter,
     send_recv,
 )
+from .fastpath import fast_path_enabled, set_fast_path, use_fast_path
 from .group import CommGroup
 from .hierarchical import HierarchicalComm
 from .scatter_reduce import scatter_reduce
 from .tree import tree_allreduce, tree_broadcast, tree_reduce
+
+#: names served lazily with a DeprecationWarning (PEP 562)
+_DEPRECATED_LOOP_INTERNALS = ("alltoall", "allgather_payloads")
+
+
+def __getattr__(name):
+    if name in _DEPRECATED_LOOP_INTERNALS:
+        warnings.warn(
+            f"repro.comm.{name} is a loop-path internal and deprecated at the "
+            f"package level; use the batched collectives or import it from "
+            f"repro.comm.collectives",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from . import collectives
+
+        return getattr(collectives, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "CommGroup",
@@ -26,12 +64,23 @@ __all__ = [
     "broadcast",
     "reduce_to_root",
     "allreduce_via_root",
-    "alltoall",
-    "allgather_payloads",
     "send_recv",
     "scatter_reduce",
     "HierarchicalComm",
     "tree_broadcast",
     "tree_reduce",
     "tree_allreduce",
+    # world-batched fast path
+    "scatter_reduce_batched",
+    "ring_allreduce_batched",
+    "ring_reduce_scatter_batched",
+    "ring_all_gather_chunks_batched",
+    "gossip_average_batched",
+    "alltoall_sizes",
+    "allgather_sizes",
+    "chunk_bounds",
+    "chunk_sizes",
+    "fast_path_enabled",
+    "set_fast_path",
+    "use_fast_path",
 ]

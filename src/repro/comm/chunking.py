@@ -1,0 +1,54 @@
+"""Shared chunk-partitioning helpers for collectives, buckets and simulation.
+
+``chunk_bounds`` is the canonical "split a flat buffer into ``parts``
+contiguous chunks" layout used by ScatterReduce, the ring kernels,
+parameter-server sharding and the dry-run schedules.  It is pure and called
+on every collective invocation, so results are memoized: the function
+returns an immutable tuple-of-tuples that callers may safely share.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from functools import lru_cache
+
+import numpy as np
+
+
+@lru_cache(maxsize=4096)
+def chunk_bounds(length: int, parts: int) -> tuple[tuple, ...]:
+    """Split ``range(length)`` into ``parts`` contiguous chunks (numpy-style).
+
+    Returns ``((lo, hi), ...)`` with larger chunks first, exactly like
+    ``np.array_split``.  Cached — the same (length, parts) pair is requested
+    once per bucket per collective per round otherwise.
+    """
+    sizes = [length // parts + (1 if i < length % parts else 0) for i in range(parts)]
+    bounds = []
+    offset = 0
+    for size in sizes:
+        bounds.append((offset, offset + size))
+        offset += size
+    return tuple(bounds)
+
+
+def chunk_sizes(length: int, parts: int) -> tuple[int, ...]:
+    """Chunk lengths of the canonical ``chunk_bounds`` layout."""
+    return tuple(hi - lo for lo, hi in chunk_bounds(length, parts))
+
+
+def check_arrays(arrays: Sequence[np.ndarray], group) -> None:
+    """Validate the per-member input convention of the collectives.
+
+    One 1-D array per group member, all the same shape.
+    """
+    if len(arrays) != group.size:
+        raise ValueError(f"expected {group.size} arrays, got {len(arrays)}")
+    shape = arrays[0].shape
+    for i, a in enumerate(arrays):
+        if a.ndim != 1:
+            raise ValueError(
+                f"collectives operate on flattened 1-D arrays; arg {i} has shape {a.shape}"
+            )
+        if a.shape != shape:
+            raise ValueError(f"shape mismatch: member 0 has {shape}, member {i} has {a.shape}")

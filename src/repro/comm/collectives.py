@@ -15,29 +15,19 @@ from collections.abc import Sequence
 import numpy as np
 
 from ..cluster.transport import Message
+from .chunking import check_arrays as _check_arrays
+from .chunking import chunk_bounds
+from .fastpath import resolve_fast_path
 from .group import CommGroup
 
 
-def _check_arrays(arrays: Sequence[np.ndarray], group: CommGroup) -> None:
-    if len(arrays) != group.size:
-        raise ValueError(f"expected {group.size} arrays, got {len(arrays)}")
-    shape = arrays[0].shape
-    for i, a in enumerate(arrays):
-        if a.ndim != 1:
-            raise ValueError(f"collectives operate on flattened 1-D arrays; arg {i} has shape {a.shape}")
-        if a.shape != shape:
-            raise ValueError(f"shape mismatch: member 0 has {shape}, member {i} has {a.shape}")
-
-
 def _chunk_bounds(length: int, parts: int) -> list[tuple]:
-    """Split ``range(length)`` into ``parts`` contiguous chunks (numpy-style)."""
-    sizes = [length // parts + (1 if i < length % parts else 0) for i in range(parts)]
-    bounds = []
-    offset = 0
-    for size in sizes:
-        bounds.append((offset, offset + size))
-        offset += size
-    return bounds
+    """Split ``range(length)`` into ``parts`` contiguous chunks (numpy-style).
+
+    Thin list view over the cached :func:`repro.comm.chunking.chunk_bounds`,
+    kept for callers that predate the shared helper.
+    """
+    return list(chunk_bounds(length, parts))
 
 
 # ----------------------------------------------------------------------
@@ -54,16 +44,22 @@ def send_recv(group: CommGroup, src: int, dst: int, payload) -> object:
 # ----------------------------------------------------------------------
 # Ring allreduce (Horovod / PyTorch-DDP substrate)
 # ----------------------------------------------------------------------
-def ring_reduce_scatter(arrays: Sequence[np.ndarray], group: CommGroup) -> list[np.ndarray]:
+def ring_reduce_scatter(
+    arrays: Sequence[np.ndarray], group: CommGroup, fast_path: bool | None = None
+) -> list[np.ndarray]:
     """Ring reduce-scatter: member i ends with the full sum of chunk i.
 
     Runs ``n - 1`` rounds; in round r, member i sends chunk ``(i - r) mod n``
     to its right neighbor and accumulates the chunk arriving from the left.
     Returns the reduced chunk owned by each member.
     """
+    if resolve_fast_path(fast_path) and group.size > 1:
+        from .batched import ring_reduce_scatter_batched
+
+        return ring_reduce_scatter_batched(arrays, group)
     _check_arrays(arrays, group)
     n = group.size
-    bounds = _chunk_bounds(arrays[0].shape[0], n)
+    bounds = chunk_bounds(arrays[0].shape[0], n)
     work = [a.astype(np.float64, copy=True) for a in arrays]
     if n == 1:
         return [work[0]]
@@ -73,10 +69,14 @@ def ring_reduce_scatter(arrays: Sequence[np.ndarray], group: CommGroup) -> list[
         for i in range(n):
             chunk = (i - r) % n
             lo, hi = bounds[chunk]
+            # The slice is sent as a view: messages for the round are built
+            # before any receiver mutates its buffer, and a receiver only
+            # updates chunk (i-1-r) while forwarding chunk (i-r) — disjoint,
+            # so skipping the copy is safe.
             messages.append(
                 Message(
                     group.ranks[i], group.ranks[(i + 1) % n],
-                    (chunk, work[i][lo:hi].copy()),
+                    (chunk, work[i][lo:hi]),
                     match_id=f"rs.r{r}.c{chunk}",
                 )
             )
@@ -94,22 +94,32 @@ def ring_reduce_scatter(arrays: Sequence[np.ndarray], group: CommGroup) -> list[
 
 
 def ring_all_gather_chunks(
-    chunks: Sequence[np.ndarray], owners: Sequence[int], group: CommGroup, total: int
+    chunks: Sequence[np.ndarray],
+    owners: Sequence[int],
+    group: CommGroup,
+    total: int,
+    fast_path: bool | None = None,
 ) -> list[np.ndarray]:
     """Ring all-gather of per-member chunks into full arrays.
 
     ``chunks[i]`` is the chunk owned by member i whose id is ``owners[i]``;
-    chunk ids index into the canonical ``_chunk_bounds(total, n)`` layout.
+    chunk ids index into the canonical ``chunk_bounds(total, n)`` layout.
     """
+    if resolve_fast_path(fast_path) and group.size > 1:
+        from .batched import ring_all_gather_chunks_batched
+
+        return ring_all_gather_chunks_batched(chunks, owners, group, total)
     n = group.size
-    bounds = _chunk_bounds(total, n)
+    bounds = chunk_bounds(total, n)
     results = [np.zeros(total) for _ in range(n)]
     for i in range(n):
         lo, hi = bounds[owners[i]]
         results[i][lo:hi] = chunks[i]
 
     # In round r, member i forwards the chunk it received r rounds ago —
-    # i.e. the chunk originally owned by member (i - r) mod n.
+    # i.e. the chunk originally owned by member (i - r) mod n.  As in
+    # ring_reduce_scatter, the forwarded slice is a view: the chunk a member
+    # overwrites on receive is never the one it just sent.
     for r in range(n - 1):
         messages = []
         for i in range(n):
@@ -118,7 +128,7 @@ def ring_all_gather_chunks(
             messages.append(
                 Message(
                     group.ranks[i], group.ranks[(i + 1) % n],
-                    (chunk_id, results[i][lo:hi].copy()),
+                    (chunk_id, results[i][lo:hi]),
                     match_id=f"ag.r{r}.c{chunk_id}",
                 )
             )
@@ -130,16 +140,22 @@ def ring_all_gather_chunks(
     return results
 
 
-def ring_allreduce(arrays: Sequence[np.ndarray], group: CommGroup) -> list[np.ndarray]:
+def ring_allreduce(
+    arrays: Sequence[np.ndarray], group: CommGroup, fast_path: bool | None = None
+) -> list[np.ndarray]:
     """Classic two-phase ring allreduce (sum); 2(n-1) rounds of S/n bytes."""
+    if resolve_fast_path(fast_path) and group.size > 1:
+        from .batched import ring_allreduce_batched
+
+        return ring_allreduce_batched(arrays, group)
     _check_arrays(arrays, group)
     n = group.size
     if n == 1:
         return [arrays[0].astype(np.float64, copy=True)]
     total = arrays[0].shape[0]
-    reduced = ring_reduce_scatter(arrays, group)
+    reduced = ring_reduce_scatter(arrays, group, fast_path=fast_path)
     owners = [(i + 1) % n for i in range(n)]
-    return ring_all_gather_chunks(reduced, owners, group, total)
+    return ring_all_gather_chunks(reduced, owners, group, total, fast_path=fast_path)
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,54 @@
+"""Global switch between the world-batched fast path and the loop reference.
+
+The collectives and primitives ship two implementations with identical
+observable behavior (bitwise-equal outputs, message-for-message identical
+transport schedules):
+
+* the **loop reference** — per-rank Python loops, one message payload per
+  chunk, one compressor call per (member, chunk).  Easy to audit; this is
+  the oracle the property tests compare against.
+* the **fast path** — the world dimension batched into single ``(world, n)``
+  ndarray kernels with size-stub messages (see :mod:`repro.comm.batched`).
+
+The fast path is the default.  It can be disabled globally
+(``set_fast_path(False)``, or ``REPRO_FAST_PATH=0`` in the environment),
+per call site (every routed function takes ``fast_path=...``), or lexically
+with the :func:`use_fast_path` context manager — which is how benchmarks and
+bit-identity tests drive both implementations side by side.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from collections.abc import Iterator
+
+_enabled: bool = os.environ.get("REPRO_FAST_PATH", "1").lower() not in ("0", "false", "no")
+
+
+def fast_path_enabled() -> bool:
+    """Current global default for the world-batched fast path."""
+    return _enabled
+
+
+def set_fast_path(enabled: bool) -> None:
+    """Set the global fast-path default (True = batched kernels)."""
+    global _enabled
+    _enabled = bool(enabled)
+
+
+def resolve_fast_path(override: bool | None) -> bool:
+    """Resolve a per-call ``fast_path`` argument against the global default."""
+    return _enabled if override is None else bool(override)
+
+
+@contextmanager
+def use_fast_path(enabled: bool) -> Iterator[None]:
+    """Temporarily force the fast path on or off (tests, benchmarks)."""
+    global _enabled
+    previous = _enabled
+    _enabled = bool(enabled)
+    try:
+        yield
+    finally:
+        _enabled = previous

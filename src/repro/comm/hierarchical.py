@@ -84,6 +84,44 @@ class HierarchicalComm:
             results_per_node.append(broadcast(agg, sub, root_index=0))
         return self._merge_from_node(results_per_node)
 
+    def allreduce_batched(
+        self,
+        arrays: Sequence[np.ndarray],
+        codec=None,
+        worker_errors=None,
+        server_errors=None,
+    ) -> list[np.ndarray]:
+        """Hierarchical sum with the world-batched inter-node tier.
+
+        The intra-node tiers (NVLink gather / broadcast) are single star
+        rounds and stay on the loop implementation; the inter-node
+        ScatterReduce — where compression and the per-chunk hot loops live —
+        runs through :func:`repro.comm.batched.scatter_reduce_batched`.
+        Error-feedback stores are indexed by leader-group member, exactly as
+        the loop's compression hooks address them.
+        """
+        from .batched import scatter_reduce_batched
+
+        per_node = self._split_by_node(arrays)
+
+        leader_sums: list[np.ndarray] = []
+        for sub, node_arrays in zip(self.node_groups, per_node):
+            gathered = gather(node_arrays, sub, root_index=0)
+            leader_sums.append(np.sum(gathered, axis=0))
+
+        aggregated = scatter_reduce_batched(
+            leader_sums,
+            self.leaders,
+            codec=codec,
+            worker_errors=worker_errors,
+            server_errors=server_errors,
+        )
+
+        results_per_node: list[list[np.ndarray]] = []
+        for sub, agg in zip(self.node_groups, aggregated):
+            results_per_node.append(broadcast(agg, sub, root_index=0))
+        return self._merge_from_node(results_per_node)
+
     # ------------------------------------------------------------------
     # Decentralized: intra allreduce-average, leaders exchange with peers
     # ------------------------------------------------------------------

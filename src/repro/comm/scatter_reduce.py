@@ -22,7 +22,9 @@ from collections.abc import Callable, Sequence
 
 import numpy as np
 
-from .collectives import _check_arrays, _chunk_bounds, allgather_payloads, alltoall
+from .chunking import check_arrays, chunk_bounds
+from .collectives import allgather_payloads, alltoall
+from .fastpath import resolve_fast_path
 from .group import CommGroup
 
 # A compressor maps (chunk, member_index, chunk_index) -> payload; the matching
@@ -47,6 +49,7 @@ def scatter_reduce(
     decompress_phase1: DecompressFn | None = None,
     compress_phase2: CompressFn | None = None,
     decompress_phase2: DecompressFn | None = None,
+    fast_path: bool | None = None,
 ) -> list[np.ndarray]:
     """Aggregate (sum) per-member arrays with the ScatterReduce pattern.
 
@@ -55,8 +58,24 @@ def scatter_reduce(
     applied once per merged partition at its owner.  Returns the aggregated
     array each member ends up with (identical across members only when the
     compressors are deterministic or identity).
+
+    With all hooks at their identity defaults the call routes to the
+    world-batched kernel (bitwise-identical results and transport state);
+    custom hooks always take the loop path, since arbitrary callables cannot
+    be batched.  Codec-driven compression goes through
+    :func:`repro.comm.batched.scatter_reduce_batched` via ``c_lp_s``.
     """
-    _check_arrays(arrays, group)
+    hooks_default = (
+        compress_phase1 is None
+        and decompress_phase1 is None
+        and compress_phase2 is None
+        and decompress_phase2 is None
+    )
+    if hooks_default and group.size > 1 and resolve_fast_path(fast_path):
+        from .batched import scatter_reduce_batched
+
+        return scatter_reduce_batched(arrays, group)
+    check_arrays(arrays, group)
     n = group.size
     c1 = compress_phase1 or _identity_compress
     d1 = decompress_phase1 or _identity_decompress
@@ -64,10 +83,12 @@ def scatter_reduce(
     d2 = decompress_phase2 or _identity_decompress
 
     total = arrays[0].shape[0]
-    bounds = _chunk_bounds(total, n)
+    bounds = chunk_bounds(total, n)
 
     if n == 1:
-        merged = d2(c2(d1(c1(arrays[0].astype(np.float64, copy=True), 0, 0)), 0, 0))
+        # copy=False: the identity phase-1 hook already copies, and custom
+        # hooks never mutate their input — the extra eager copy was waste.
+        merged = d2(c2(d1(c1(arrays[0].astype(np.float64, copy=False), 0, 0)), 0, 0))
         return [merged]
 
     # Phase 1: all-to-all of compressed chunks (one message round).

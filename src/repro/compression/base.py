@@ -10,6 +10,7 @@ one.  ``decompress`` reconstructs a (lossy) float array.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -59,6 +60,35 @@ class Compressor:
         full = n_elements * FULL_PRECISION_BYTES
         return full / self.wire_bytes(n_elements)
 
+    # ------------------------------------------------------------------
+    # World-batched kernel interface
+    # ------------------------------------------------------------------
+    def batch_roundtrip(
+        self, matrix: np.ndarray, bounds: Sequence[tuple[int, int]]
+    ) -> np.ndarray:
+        """``decompress(compress(cell))`` for every (row, column-segment) cell.
+
+        ``matrix`` is a ``(rows, n)`` float64 array — one row per group
+        member — and ``bounds`` are ``(lo, hi)`` column segments shared by
+        all rows (the chunk partition of a collective).  Returns an array of
+        the same shape holding the roundtripped values, **bitwise equal** to
+        calling :meth:`compress` / :meth:`decompress` on each cell in
+        row-major order (row 0's segments left to right, then row 1, ...).
+        Row-major order is the contract that keeps stochastic codecs' RNG
+        streams unchanged: one batched draw over the full matrix consumes the
+        generator exactly as the sequence of per-cell draws does.
+
+        This base implementation *is* the per-cell loop, so it is bit-exact
+        by construction; vectorized overrides in subclasses must preserve it
+        (the fast-path property tests compare both).
+        """
+        matrix = np.asarray(matrix, dtype=np.float64)
+        out = np.empty_like(matrix)
+        for i in range(matrix.shape[0]):
+            for lo, hi in bounds:
+                out[i, lo:hi] = self.decompress(self.compress(matrix[i, lo:hi]))
+        return out
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
 
@@ -78,6 +108,11 @@ class IdentityCompressor(Compressor):
 
     def decompress(self, payload: CompressedPayload) -> np.ndarray:
         return np.asarray(payload.fields["values"]).copy()
+
+    def batch_roundtrip(
+        self, matrix: np.ndarray, bounds: Sequence[tuple[int, int]]
+    ) -> np.ndarray:
+        return np.asarray(matrix, dtype=np.float64).copy()
 
     def wire_bytes(self, n_elements: int) -> float:
         return float(n_elements * FULL_PRECISION_BYTES)

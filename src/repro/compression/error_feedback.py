@@ -40,6 +40,11 @@ class ErrorFeedback:
             )
         return stored
 
+    def store(self, key: Hashable, value: np.ndarray) -> None:
+        """Overwrite the residual for ``key`` (used by the batched kernels,
+        which compute ``compensated - decompressed`` outside this class)."""
+        self._residuals[key] = np.asarray(value, dtype=np.float64).reshape(-1)
+
     def compress(self, array: np.ndarray, key: Hashable) -> CompressedPayload:
         """Compress ``array`` with compensation; updates the stored residual."""
         array = np.asarray(array, dtype=np.float64).reshape(-1)

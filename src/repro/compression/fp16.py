@@ -6,6 +6,8 @@ is nearly lossless for gradient magnitudes encountered in training.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
 import numpy as np
 
 from .base import CompressedPayload, Compressor
@@ -31,6 +33,14 @@ class FP16Compressor(Compressor):
 
     def decompress(self, payload: CompressedPayload) -> np.ndarray:
         return np.asarray(payload.fields["values"], dtype=np.float64)
+
+    def batch_roundtrip(
+        self, matrix: np.ndarray, bounds: Sequence[tuple[int, int]]
+    ) -> np.ndarray:
+        # Elementwise codec: segment boundaries don't matter.
+        matrix = np.asarray(matrix, dtype=np.float64)
+        clipped = np.clip(matrix, -FP16_MAX, FP16_MAX)
+        return clipped.astype(np.float16).astype(np.float64)
 
     def wire_bytes(self, n_elements: int) -> float:
         return float(n_elements * 2)

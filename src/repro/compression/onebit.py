@@ -9,6 +9,8 @@ pairs it with error compensation via C_LP_S).
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
 import numpy as np
 
 from .base import CompressedPayload, Compressor
@@ -21,10 +23,16 @@ class OneBitCompressor(Compressor):
     def compress(self, array: np.ndarray) -> CompressedPayload:
         array = np.asarray(array, dtype=np.float64)
         positive = array > 0
-        pos_vals = array[positive]
-        neg_vals = array[~positive]
-        scale_pos = float(pos_vals.mean()) if pos_vals.size else 0.0
-        scale_neg = float(-neg_vals.mean()) if neg_vals.size else 0.0
+        # Masked sums over the full-length array rather than compacted
+        # ``array[positive].mean()``: numpy's pairwise summation depends on
+        # operand length, and the batched kernel reduces full-width rows —
+        # both paths must share one formulation to stay bitwise identical.
+        pos_count = int(np.count_nonzero(positive))
+        neg_count = array.size - pos_count
+        pos_sum = float(np.where(positive, array, 0.0).sum())
+        neg_sum = float(np.where(positive, 0.0, array).sum())
+        scale_pos = pos_sum / pos_count if pos_count else 0.0
+        scale_neg = -(neg_sum / neg_count) if neg_count else 0.0
         return CompressedPayload(
             codec=self.name,
             n=array.size,
@@ -42,6 +50,28 @@ class OneBitCompressor(Compressor):
         ).astype(bool)
         out = np.where(signs, payload.fields["scale_pos"], -payload.fields["scale_neg"])
         return out.astype(np.float64)
+
+    def batch_roundtrip(
+        self, matrix: np.ndarray, bounds: Sequence[tuple[int, int]]
+    ) -> np.ndarray:
+        """Vectorized roundtrip: per-(row, segment) sign scales via axis sums."""
+        matrix = np.asarray(matrix, dtype=np.float64)
+        out = np.empty_like(matrix)
+        for lo, hi in bounds:
+            seg = matrix[:, lo:hi]
+            positive = seg > 0
+            pos_count = np.count_nonzero(positive, axis=1)
+            neg_count = (hi - lo) - pos_count
+            pos_sum = np.where(positive, seg, 0.0).sum(axis=1)
+            neg_sum = np.where(positive, 0.0, seg).sum(axis=1)
+            scale_pos = np.divide(
+                pos_sum, pos_count, out=np.zeros_like(pos_sum), where=pos_count > 0
+            )
+            scale_neg = -np.divide(
+                neg_sum, neg_count, out=np.zeros_like(neg_sum), where=neg_count > 0
+            )
+            out[:, lo:hi] = np.where(positive, scale_pos[:, None], -scale_neg[:, None])
+        return out
 
     def wire_bytes(self, n_elements: int) -> float:
         return np.ceil(n_elements / 8.0) + 8.0  # sign bits + two fp32 scales

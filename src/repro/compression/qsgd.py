@@ -8,6 +8,7 @@ tensor norm, with stochastic rounding so the codec is unbiased:
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -35,7 +36,12 @@ class QSGDCompressor(Compressor):
 
     def compress(self, array: np.ndarray) -> CompressedPayload:
         array = np.asarray(array, dtype=np.float64)
-        norm = float(np.linalg.norm(array))
+        # sqrt(sum(x^2)) rather than np.linalg.norm: the BLAS dot behind
+        # linalg.norm sums in a different order than numpy's pairwise
+        # reduction, and the batched kernel computes per-row norms with the
+        # pairwise axis reduction — both paths must share one formulation to
+        # stay bitwise identical.
+        norm = float(np.sqrt(np.square(array).sum()))
         if norm == 0.0:
             quantized = np.zeros(array.size, dtype=np.int32)
         else:
@@ -57,6 +63,36 @@ class QSGDCompressor(Compressor):
         if self.levels == 0 or norm == 0.0:
             return np.zeros(payload.n)
         return q * (norm / self.levels)
+
+    def batch_roundtrip(
+        self, matrix: np.ndarray, bounds: Sequence[tuple[int, int]]
+    ) -> np.ndarray:
+        """Vectorized roundtrip over a ``(rows, n)`` matrix of column segments.
+
+        One RNG draw over the whole matrix replaces the per-cell draws; the
+        draw order matches the scalar path's row-major call sequence exactly.
+        A zero-norm segment would *skip* its draw in the scalar path, so that
+        case falls back to the per-cell reference loop before any state is
+        consumed.
+        """
+        matrix = np.asarray(matrix, dtype=np.float64)
+        norms = np.empty((matrix.shape[0], len(bounds)))
+        for j, (lo, hi) in enumerate(bounds):
+            norms[:, j] = np.sqrt(np.square(matrix[:, lo:hi]).sum(axis=1))
+        if not norms.all():
+            return super().batch_roundtrip(matrix, bounds)
+        draws = self.rng.random(matrix.shape)
+        out = np.empty_like(matrix)
+        levels = self.levels
+        for j, (lo, hi) in enumerate(bounds):
+            seg = matrix[:, lo:hi]
+            norm = norms[:, j]
+            scaled = np.abs(seg) / norm[:, None] * levels
+            floor = np.floor(scaled)
+            bump = (draws[:, lo:hi] < scaled - floor).astype(np.float64)
+            quantized = (np.sign(seg) * (floor + bump)).astype(np.int32)
+            out[:, lo:hi] = quantized.astype(np.float64) * (norm / levels)[:, None]
+        return out
 
     def wire_bytes(self, n_elements: int) -> float:
         # bits per element packed, plus the fp32 norm.

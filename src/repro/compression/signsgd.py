@@ -7,6 +7,8 @@ matches the signSGD-with-majority-vote formulation.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
 import numpy as np
 
 from .base import CompressedPayload, Compressor
@@ -31,6 +33,22 @@ class SignSGDCompressor(Compressor):
             np.asarray(payload.fields["signs"], dtype=np.uint8), count=payload.n
         ).astype(np.float64)
         return (2.0 * signs - 1.0) * float(payload.fields["scale"])
+
+    def batch_roundtrip(
+        self, matrix: np.ndarray, bounds: Sequence[tuple[int, int]]
+    ) -> np.ndarray:
+        """Vectorized roundtrip: per-(row, segment) L1 scale via axis mean."""
+        if any(hi - lo == 0 for lo, hi in bounds):
+            # mean of an empty axis warns; the reference loop guards size==0.
+            return super().batch_roundtrip(matrix, bounds)
+        matrix = np.asarray(matrix, dtype=np.float64)
+        out = np.empty_like(matrix)
+        for lo, hi in bounds:
+            seg = matrix[:, lo:hi]
+            scale = np.abs(seg).mean(axis=1)
+            signs = (seg > 0).astype(np.float64)
+            out[:, lo:hi] = (2.0 * signs - 1.0) * scale[:, None]
+        return out
 
     def wire_bytes(self, n_elements: int) -> float:
         return np.ceil(n_elements / 8.0) + 4.0

@@ -6,6 +6,7 @@ Values become {-1, 0, +1} * max|x| with stochastic rounding proportional to
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -36,6 +37,33 @@ class TernGradCompressor(Compressor):
 
     def decompress(self, payload: CompressedPayload) -> np.ndarray:
         return np.asarray(payload.fields["t"], dtype=np.float64) * float(payload.fields["scale"])
+
+    def batch_roundtrip(
+        self, matrix: np.ndarray, bounds: Sequence[tuple[int, int]]
+    ) -> np.ndarray:
+        """Vectorized roundtrip; one row-major RNG draw replaces per-cell draws.
+
+        A zero-scale segment skips its draw in the scalar path, so that case
+        falls back to the per-cell reference loop before consuming any RNG
+        state.
+        """
+        matrix = np.asarray(matrix, dtype=np.float64)
+        scales = np.empty((matrix.shape[0], len(bounds)))
+        for j, (lo, hi) in enumerate(bounds):
+            # initial=0.0 only matters for zero-width segments (which then
+            # hit the fallback); abs values are >= 0 so it never changes max.
+            scales[:, j] = np.abs(matrix[:, lo:hi]).max(axis=1, initial=0.0)
+        if not scales.all():
+            return super().batch_roundtrip(matrix, bounds)
+        draws = self.rng.random(matrix.shape)
+        out = np.empty_like(matrix)
+        for j, (lo, hi) in enumerate(bounds):
+            seg = matrix[:, lo:hi]
+            scale = scales[:, j]
+            keep = draws[:, lo:hi] < np.abs(seg) / scale[:, None]
+            ternary = (np.sign(seg) * keep).astype(np.int8)
+            out[:, lo:hi] = ternary.astype(np.float64) * scale[:, None]
+        return out
 
     def wire_bytes(self, n_elements: int) -> float:
         return n_elements / 4.0 + 4.0  # 2 bits/element + fp32 scale

@@ -7,6 +7,8 @@ helpful when the compression function is relatively aggressive (e.g., top-K)".
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
 import numpy as np
 
 from .base import CompressedPayload, Compressor
@@ -44,6 +46,30 @@ class TopKCompressor(Compressor):
     def decompress(self, payload: CompressedPayload) -> np.ndarray:
         out = np.zeros(payload.n)
         out[np.asarray(payload.fields["indices"])] = payload.fields["values"]
+        return out
+
+    def batch_roundtrip(
+        self, matrix: np.ndarray, bounds: Sequence[tuple[int, int]]
+    ) -> np.ndarray:
+        """Vectorized roundtrip: 2-D argpartition per segment, scatter back.
+
+        ``np.argpartition(..., axis=1)`` partitions each row independently,
+        so selected index sets match the per-row reference exactly; the
+        scattered values are copies of the originals either way.
+        """
+        matrix = np.asarray(matrix, dtype=np.float64)
+        out = np.empty_like(matrix)
+        row_idx = np.arange(matrix.shape[0])[:, None]
+        for lo, hi in bounds:
+            seg = matrix[:, lo:hi]
+            k = self._k(hi - lo)
+            if k >= hi - lo:
+                out[:, lo:hi] = seg
+                continue
+            keep = np.argpartition(np.abs(seg), -k, axis=1)[:, -k:]
+            res = np.zeros_like(seg)
+            res[row_idx, keep] = seg[row_idx, keep]
+            out[:, lo:hi] = res
         return out
 
     def wire_bytes(self, n_elements: int) -> float:

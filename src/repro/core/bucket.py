@@ -22,7 +22,13 @@ from ..tensor.tensor import Tensor
 class TensorBucket:
     """A fused group of parameters with an optional flattened backing buffer."""
 
-    def __init__(self, params: Sequence[Tensor], name: str = "", flatten: bool = True) -> None:
+    def __init__(
+        self,
+        params: Sequence[Tensor],
+        name: str = "",
+        flatten: bool = True,
+        buffer: np.ndarray | None = None,
+    ) -> None:
         if not params:
             raise ValueError("bucket needs at least one tensor")
         self.params: list[Tensor] = list(params)
@@ -35,11 +41,26 @@ class TensorBucket:
 
         self._buffer: np.ndarray | None = None
         if flatten:
-            self._materialize()
+            self._materialize(buffer)
+        elif buffer is not None:
+            raise ValueError("an external buffer requires flatten=True")
 
-    def _materialize(self) -> None:
-        """Copy parameters into one buffer and re-point their storage at it."""
-        buffer = np.empty(self.total_elements, dtype=np.float64)
+    def _materialize(self, buffer: np.ndarray | None = None) -> None:
+        """Copy parameters into one buffer and re-point their storage at it.
+
+        ``buffer`` lets the caller supply a preallocated slice (e.g. a view
+        into a per-worker flat pool shared by all buckets) instead of a
+        private allocation — the zero-copy bucket path of the fast-path
+        engine.
+        """
+        if buffer is None:
+            buffer = np.empty(self.total_elements, dtype=np.float64)
+        else:
+            if buffer.shape != (self.total_elements,) or buffer.dtype != np.float64:
+                raise ValueError(
+                    f"bucket buffer must be float64 of shape ({self.total_elements},), "
+                    f"got {buffer.dtype} {buffer.shape}"
+                )
         for p, lo, hi, shape in zip(self.params, self._offsets, self._offsets[1:], self._shapes):
             buffer[lo:hi] = p.data.reshape(-1)
             p.data = buffer[lo:hi].reshape(shape)

@@ -22,6 +22,7 @@ from collections.abc import Callable, Sequence
 import numpy as np
 
 from ..cluster.worker import WorkerContext
+from ..comm.fastpath import use_fast_path
 from ..comm.group import CommGroup
 from ..tensor.module import Module
 from ..tensor.optim import Optimizer
@@ -194,7 +195,10 @@ class BaguaEngine:
         """One lock-step iteration; returns the mean loss across workers."""
         if len(batches) != self.world_size:
             raise ValueError(f"need {self.world_size} batches, got {len(batches)}")
+        with use_fast_path(self.config.fast_path):
+            return self._step_inner(batches, loss_fn)
 
+    def _step_inner(self, batches: Sequence, loss_fn: LossFn) -> float:
         if self.plan is None:
             losses = self._profiling_iteration(batches, loss_fn)
         else:
@@ -265,21 +269,37 @@ class BaguaEngine:
 
         All replicas share the profile recorded on worker 0 — replicas are
         identical by construction, so the ready order is too.
+
+        With flattening on, each worker gets ONE contiguous float64 pool for
+        all of its buckets; every bucket's backing buffer is a view into it.
+        Bucket-level flat views stay zero-copy exactly as before, and the
+        whole replica is additionally contiguous (one allocation per worker
+        instead of one per bucket).
         """
         assert self.plan is not None
+        flatten = self.config.flatten
+        total = sum(planned.elements for planned in self.plan.buckets)
         for worker in self.workers:
             by_name = dict(worker.model.named_parameters())
+            pool = np.empty(total, dtype=np.float64) if flatten else None
+            offset = 0
             buckets = []
             for planned in self.plan.buckets:
                 params = [by_name[name] for name in planned.names]
+                view = None
+                if pool is not None:
+                    view = pool[offset : offset + planned.elements]
+                    offset += planned.elements
                 buckets.append(
                     TensorBucket(
                         params,
                         name=f"bucket{planned.index}",
-                        flatten=self.config.flatten,
+                        flatten=flatten,
+                        buffer=view,
                     )
                 )
             worker.buckets = buckets
+            worker.state["flat_pool"] = pool
 
     def _verify_identical_replicas(self) -> None:
         reference = self.workers[0].model.state_dict()

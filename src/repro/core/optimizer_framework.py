@@ -30,12 +30,20 @@ DEFAULT_BUCKET_BYTES = 10 * 1024 * 1024
 
 @dataclass(frozen=True)
 class BaguaConfig:
-    """The three system optimizations plus bucketing granularity."""
+    """The three system optimizations plus bucketing granularity.
+
+    ``fast_path`` selects the world-batched collective kernels
+    (:mod:`repro.comm.batched`) for every communication the engine issues;
+    results and simulated timing are bitwise identical to the loop
+    reference, so this is purely a wall-clock switch (kept as a config knob
+    for A/B benchmarking and as an escape hatch).
+    """
 
     overlap: bool = True
     flatten: bool = True
     hierarchical: bool = False
     bucket_bytes: float = DEFAULT_BUCKET_BYTES
+    fast_path: bool = True
 
     def describe(self) -> str:
         return (

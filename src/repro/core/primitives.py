@@ -24,6 +24,12 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from ..comm.batched import (
+    decompress_compatible,
+    gossip_average_batched,
+    scatter_reduce_batched,
+)
+from ..comm.fastpath import resolve_fast_path
 from ..comm.group import CommGroup
 from ..comm.hierarchical import HierarchicalComm
 from ..comm.scatter_reduce import scatter_reduce
@@ -69,6 +75,7 @@ def c_lp_s(
     worker_errors: Sequence[ErrorFeedback] | None = None,
     server_errors: Sequence[ErrorFeedback] | None = None,
     hierarchical: bool = False,
+    fast_path: bool | None = None,
 ) -> list[np.ndarray]:
     """Centralized low-precision sum with optional error compensation.
 
@@ -99,6 +106,29 @@ def c_lp_s(
         biased=compressor.biased,
         error_feedback=use_ef,
     )
+
+    # The batched kernel substitutes each member's own-codec roundtrip for
+    # the loop's shared-codec decompress, so the EF variant only routes when
+    # the two decompress functions provably coincide.
+    batchable = not use_ef or all(
+        decompress_compatible(store.compressor, compressor)
+        for store in (*worker_errors, *server_errors)
+    )
+    if resolve_fast_path(fast_path) and batchable and group.size > 1:
+        if hierarchical:
+            return HierarchicalComm(group).allreduce_batched(
+                arrays,
+                codec=compressor,
+                worker_errors=worker_errors,
+                server_errors=server_errors,
+            )
+        return scatter_reduce_batched(
+            arrays,
+            group,
+            codec=compressor,
+            worker_errors=worker_errors,
+            server_errors=server_errors,
+        )
 
     if use_ef:
         def compress1(chunk: np.ndarray, member: int, chunk_id: int):
@@ -211,16 +241,22 @@ def d_fp_s(
     peers: PeerSelector,
     step: int = 0,
     hierarchical: bool = False,
+    fast_path: bool | None = None,
 ) -> list[np.ndarray]:
     """Decentralized full-precision averaging: ``x'_i = mean of {x_i} ∪ N(i)``."""
     if hierarchical:
         def exchange(leader_arrays, leader_group):
-            return d_fp_s(leader_arrays, leader_group, peers, step=step, hierarchical=False)
+            return d_fp_s(
+                leader_arrays, leader_group, peers,
+                step=step, hierarchical=False, fast_path=fast_path,
+            )
 
         return HierarchicalComm(group).decentralized_average(arrays, exchange)
 
     neighbor_sets = peers.neighbors(group.size, step)
     _trace_collective(group, "gossip", arrays[0].size, peers_by_member=neighbor_sets)
+    if resolve_fast_path(fast_path):
+        return gossip_average_batched(arrays, neighbor_sets, group)
     received = _peer_exchange([a.astype(np.float64, copy=False) for a in arrays], neighbor_sets, group)
     results = []
     for i in range(group.size):
@@ -241,6 +277,7 @@ def d_lp_s(
     peers: PeerSelector,
     step: int = 0,
     hierarchical: bool = False,
+    fast_path: bool | None = None,
 ) -> list[np.ndarray]:
     """Decentralized low-precision averaging: peers exchange ``Q(x)``.
 
@@ -250,7 +287,8 @@ def d_lp_s(
     if hierarchical:
         def exchange(leader_arrays, leader_group):
             return d_lp_s(
-                leader_arrays, leader_group, compressor, peers, step=step, hierarchical=False
+                leader_arrays, leader_group, compressor, peers,
+                step=step, hierarchical=False, fast_path=fast_path,
             )
 
         return HierarchicalComm(group).decentralized_average(arrays, exchange)
@@ -264,6 +302,8 @@ def d_lp_s(
         biased=compressor.biased,
         peers_by_member=neighbor_sets,
     )
+    if resolve_fast_path(fast_path):
+        return gossip_average_batched(arrays, neighbor_sets, group, codec=compressor)
     payloads = [compressor.compress(a) for a in arrays]
     received = _peer_exchange(payloads, neighbor_sets, group)
     results = []

@@ -5,9 +5,7 @@ import pytest
 
 from repro.comm import (
     CommGroup,
-    allgather_payloads,
     allreduce_via_root,
-    alltoall,
     broadcast,
     gather,
     reduce_to_root,
@@ -15,7 +13,7 @@ from repro.comm import (
     ring_reduce_scatter,
     send_recv,
 )
-from repro.comm.collectives import _chunk_bounds
+from repro.comm.collectives import _chunk_bounds, allgather_payloads, alltoall
 
 from .conftest import make_group
 
