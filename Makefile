@@ -1,7 +1,9 @@
-# Developer entry points.  `make check` is the pre-PR gate: lint (when ruff
-# is available), the tier-1 test suite, and the static analyzer sweep —
-# with the happens-before pass — over every registered algorithm and
-# baseline, across all O/F/H x update-mode schedule variants.
+# Developer entry points.  `make check` is the pre-PR gate: lint + typecheck
+# (when ruff/mypy are available), the tier-1 test suite, the static analyzer
+# sweep — with the happens-before pass — over every registered algorithm and
+# baseline across all O/F/H x update-mode schedule variants, and the
+# symbolic plan-space sweep (`make plans`), which verifies every enumerated
+# plan point without constructing a transport or executing a step.
 # `make perf` benchmarks the world-batched fast path against the loop
 # reference and gates against benchmarks/perf/baseline.json (see
 # docs/performance.md).
@@ -9,9 +11,9 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check lint test analyze perf
+.PHONY: check lint typecheck test analyze plans perf
 
-check: lint test analyze
+check: lint typecheck test analyze plans
 
 lint:
 	@if command -v ruff >/dev/null 2>&1; then \
@@ -20,11 +22,21 @@ lint:
 		echo "ruff not installed; skipping lint"; \
 	fi
 
+typecheck:
+	@if command -v mypy >/dev/null 2>&1; then \
+		mypy src/repro/analysis src/repro/core/autotune.py; \
+	else \
+		echo "mypy not installed; skipping typecheck"; \
+	fi
+
 test:
 	$(PYTHON) -m pytest -x -q
 
 analyze:
 	$(PYTHON) -m repro analyze --all --hb
+
+plans:
+	$(PYTHON) -m repro analyze --plans --hb
 
 perf:
 	$(PYTHON) -m repro perf --quick --check

@@ -47,6 +47,32 @@ EXPERIMENTS: dict[str, Callable[[], object]] = {
 }
 
 
+def _run_plans(args) -> int:
+    """Symbolic plan-space sweep: no transport, no dry run (``--plans``).
+
+    Exit code 1 when any error-severity finding fires on a default-enabled
+    plan (a plan the enumerator emits without codec/topology overrides) —
+    the ``lint-plans`` CI gate.
+    """
+    from .analysis.planspace import enumerate_points, sweep_planspace
+
+    algorithms = None
+    if args.algorithm is not None:
+        algorithms = [args.algorithm]
+    points = enumerate_points(
+        algorithms=algorithms,
+        world_shapes=((args.nodes, args.gpus_per_node),),
+        include_baselines=args.hb,
+    )
+    try:
+        report = sweep_planspace(points, hb=True)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    print(json.dumps(report.to_dict(), indent=2) if args.json else report.render())
+    return 0 if report.ok else 1
+
+
 def _run_analyze(args) -> int:
     from .algorithms.registry import ALGORITHM_REGISTRY
     from .analysis import analyze_algorithm, analyze_all
@@ -61,6 +87,8 @@ def _run_analyze(args) -> int:
     if args.explain is not None and args.explain < 0:
         print("--explain takes a non-negative finding index", file=sys.stderr)
         return 2
+    if args.plans:
+        return _run_plans(args)
     if args.all:
         report = analyze_all(
             num_nodes=args.nodes, gpus_per_node=args.gpus_per_node, steps=args.steps,
@@ -228,6 +256,16 @@ def main(argv=None) -> int:
         help=(
             "print finding N with its happens-before witness (the unordered "
             "event pair and a minimal HB path) instead of the full report"
+        ),
+    )
+    analyze_parser.add_argument(
+        "--plans", action="store_true",
+        help=(
+            "symbolic plan-space sweep: enumerate O/F/H x algorithm plan "
+            "points, verify each with the static rules plus the lowered "
+            "checker and happens-before suites — no transport, no dry run. "
+            "An algorithm name restricts the sweep; --hb widens it to the "
+            "baseline registry; exit 1 on any error-severity finding"
         ),
     )
 

@@ -22,6 +22,14 @@ Layers:
   (rank, thread, event) triples, race/deadlock/lost-update/staleness
   detection with printable witnesses;
 * :mod:`~repro.analysis.report` — :class:`Finding` and report rendering;
+* :mod:`~repro.analysis.symbolic` — :class:`PlanPoint` / :func:`lower_point`
+  / :func:`check_plan_static`: plan *descriptions* lower straight into the
+  IR with no transport or dry run, plus the static rules (gossip weight
+  stochasticity, hierarchy divisibility, compressor compatibility, bucket
+  feasibility) provable from the description alone;
+* :mod:`~repro.analysis.planspace` — :func:`enumerate_points` /
+  :func:`sweep_planspace` / :func:`prune_points`, the plan-space walker
+  that prunes the auto-tuner's search space (``repro analyze --plans``);
 * :mod:`~repro.analysis.driver` — :func:`analyze_algorithm` /
   :func:`analyze_all`, the ``python -m repro analyze`` entry points.
 """
@@ -51,14 +59,35 @@ from .ir import (  # noqa: F401
     ParamView,
 )
 from .lowering import (  # noqa: F401
+    CommPattern,
+    emit_iteration,
     layout_from_buckets,
     layout_from_plan,
     layout_from_schedule,
     lower_plan,
     lower_schedule,
 )
+from .planspace import (  # noqa: F401
+    PlanSpaceReport,
+    PlanVerdict,
+    enumerate_points,
+    prune_points,
+    sweep_planspace,
+    verify_point,
+)
 from .recorder import TraceRecorder, recording  # noqa: F401
 from .report import AnalysisReport, Finding, SweepReport  # noqa: F401
+from .symbolic import (  # noqa: F401
+    CommModel,
+    PlanPoint,
+    check_plan_static,
+    comm_model_of,
+    gossip_peer_sets,
+    gossip_weight_matrix,
+    lower_point,
+    probe_profile,
+    symbolic_schedule,
+)
 
 __all__ = [
     "ALL_CHECKERS",
@@ -67,7 +96,9 @@ __all__ = [
     "BucketExtent",
     "BufferAliasingChecker",
     "Checker",
+    "CommModel",
     "CommOp",
+    "CommPattern",
     "CommTrace",
     "EFInvariantChecker",
     "Finding",
@@ -81,6 +112,9 @@ __all__ = [
     "OverlapRaceChecker",
     "ParamView",
     "PeerMatchingChecker",
+    "PlanPoint",
+    "PlanSpaceReport",
+    "PlanVerdict",
     "RankSymmetryChecker",
     "SweepReport",
     "TraceRecorder",
@@ -88,11 +122,23 @@ __all__ = [
     "analyze_all",
     "build_hb",
     "check_hb",
+    "check_plan_static",
+    "comm_model_of",
+    "emit_iteration",
+    "enumerate_points",
+    "gossip_peer_sets",
+    "gossip_weight_matrix",
     "layout_from_buckets",
     "layout_from_plan",
     "layout_from_schedule",
     "lower_plan",
+    "lower_point",
     "lower_schedule",
+    "probe_profile",
+    "prune_points",
     "recording",
     "run_checkers",
+    "sweep_planspace",
+    "symbolic_schedule",
+    "verify_point",
 ]

@@ -96,10 +96,7 @@ def _probe_batches(world_size: int, steps: int, seed: int) -> list[list]:
 
 def _node_groups(spec: ClusterSpec) -> list[list[int]]:
     """Global ranks grouped per node, for the hierarchical lowering."""
-    nodes: dict[int, list[int]] = {}
-    for rank in range(spec.world_size):
-        nodes.setdefault(spec.node_of(rank), []).append(rank)
-    return [nodes[n] for n in sorted(nodes)]
+    return spec.node_groups()
 
 
 def analyze_algorithm(

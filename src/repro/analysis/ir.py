@@ -48,6 +48,11 @@ GOSSIP_KINDS = frozenset({"gossip", "compressed_gossip"})
 class CommOp:
     """One event in a single rank's communication/scheduling program.
 
+    Instances are immutable value objects; hot producers (the lowerings and
+    the recorder, which emit tens of thousands of ops per analysis sweep)
+    build them through :meth:`CommTrace.add`, which bypasses the generated
+    ``__init__`` — see ``_OP_DEFAULTS`` below.
+
     ``seq`` is the op's position in the rank's program order; ``group`` is the
     tuple of global ranks participating in a collective (empty for p2p and
     local ops).  ``peers`` is the rank's own neighbor set for gossip ops, or
@@ -112,6 +117,18 @@ class CommOp:
         return ":".join(str(p) for p in parts)
 
 
+#: Field-name -> default of :class:`CommOp`, for the fast construction path
+#: in :meth:`CommTrace.add`.  The generated dataclass ``__init__`` costs one
+#: ``object.__setattr__`` per field (the class is frozen); a plain
+#: ``__dict__.update`` builds an identical instance ~8x faster, which is
+#: what keeps the symbolic plan sweep and the ``--hb`` variant sweep cheap
+#: (they emit one op stream per rank x variant x world size).
+_OP_DEFAULTS: dict[str, object] = {
+    f.name: f.default for f in CommOp.__dataclass_fields__.values()
+}
+_OP_FIELD_NAMES = frozenset(_OP_DEFAULTS)
+
+
 class CommTrace:
     """Per-rank op sequences for one analyzed execution (or plan)."""
 
@@ -128,8 +145,36 @@ class CommTrace:
         """Append an op to ``rank``'s program; ``seq`` is assigned here."""
         if not 0 <= rank < self.world_size:
             raise ValueError(f"rank {rank} outside world of {self.world_size}")
-        op = CommOp(rank=rank, seq=len(self._ops[rank]), kind=kind, **fields)
-        self._ops[rank].append(op)
+        if not fields.keys() <= _OP_FIELD_NAMES:
+            unknown = sorted(fields.keys() - _OP_FIELD_NAMES)
+            raise TypeError(f"unknown CommOp field(s): {unknown}")
+        ops = self._ops[rank]
+        op = CommOp.__new__(CommOp)
+        attrs = op.__dict__
+        attrs.update(_OP_DEFAULTS)
+        attrs.update(fields)
+        attrs["rank"] = rank
+        attrs["seq"] = len(ops)
+        attrs["kind"] = kind
+        ops.append(op)
+        return op
+
+    def add_prepared(self, rank: int, fields: dict) -> CommOp:
+        """Package-internal fast append for hot producers (the lowerings).
+
+        ``fields`` maps validated :class:`CommOp` field names — including
+        ``kind`` but never ``rank``/``seq`` — and is not mutated, so
+        producers may share one template dict across ranks.  Callers are
+        trusted on field names and rank bounds; use :meth:`add` elsewhere.
+        """
+        ops = self._ops[rank]
+        op = CommOp.__new__(CommOp)
+        attrs = op.__dict__
+        attrs.update(_OP_DEFAULTS)
+        attrs.update(fields)
+        attrs["rank"] = rank
+        attrs["seq"] = len(ops)
+        ops.append(op)
         return op
 
     def extend(self, ops: Iterable[CommOp]) -> None:

@@ -17,6 +17,14 @@ Three producers feed the checker suite without (or alongside) a dry run:
   (cumulative offsets) or real (byte addresses of the live flattened
   buffers), for the aliasing analysis.
 
+The per-rank event enumeration itself lives in :func:`emit_iteration`, which
+is parameterized by a :class:`CommPattern` — the algorithm-level shape of
+each bucket's collective (kind, codec, error feedback, gossip peer sets).
+``lower_schedule`` drives it with the centralized pattern its arguments
+imply; :mod:`repro.analysis.symbolic` drives the very same emitter from a
+plan *description* (no engine, no transport), so the symbolic path is
+event-identical to the executor-facing lowering by construction.
+
 Lowered ops carry the metadata the happens-before engine
 (:mod:`repro.analysis.hb`) consumes: a ``thread`` id (overlapped schedules
 run collectives on a ``"comm"`` stream concurrent with ``"main"``), a
@@ -24,15 +32,18 @@ run collectives on a ``"comm"`` stream concurrent with ``"main"``), a
 :mod:`repro.core.schedule` — no stringly-typed literals here), and the
 ``start``/``stop`` element interval of the touched bucket.  With a node
 structure (``nodes=``), a hierarchical schedule lowers to its three real
-phases — intra-node ``reduce``, inter-node (compressed) ``allreduce`` on
-the leader subgroup, intra-node ``broadcast`` — so cross-phase ordering is
-verified, not assumed.
+phases — intra-node ``reduce``, inter-node (compressed) ``allreduce`` or
+gossip on the leader subgroup, intra-node ``broadcast`` — the phase
+structure shared with :func:`repro.comm.hierarchical.hierarchical_phases`,
+so cross-phase ordering is verified, not assumed.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from collections.abc import Sequence
 
+from ..comm.hierarchical import hierarchical_phases
 from ..compression.base import Compressor
 from ..core.bucket import TensorBucket
 from ..core.optimizer_framework import ExecutionPlan
@@ -44,13 +55,188 @@ from ..core.schedule import (
     UPDATE_BARRIER,
     BucketSchedule,
 )
-from .ir import AnalysisSubject, BucketExtent, CommTrace, ParamView
+from .ir import GOSSIP_KINDS, AnalysisSubject, BucketExtent, CommTrace, ParamView
 
 #: Thread names of a lowered rank program: ``main`` models the training
 #: loop (backward, awaits, optimizer), ``comm`` the concurrent reduction
 #: stream an overlapped schedule launches collectives on.
 MAIN_THREAD = "main"
 COMM_THREAD = "comm"
+
+
+@dataclass(frozen=True)
+class CommPattern:
+    """The algorithm-level shape of one iteration's bucket collectives.
+
+    ``kind`` is the flat (or, under H, inter-node) collective kind; gossip
+    kinds additionally carry ``peer_sets`` — global neighbor sets indexed by
+    global rank (for hierarchical gossip only the leader ranks' entries are
+    meaningful, since only leaders exchange with peers).  ``silent`` models
+    iterations with no collective at all (a LocalSGD step between syncs):
+    updates still happen, in plain program order, but nothing is issued,
+    communicated or awaited.
+    """
+
+    kind: str = "allreduce"
+    compressor: str = ""
+    biased: bool = False
+    error_feedback: bool = False
+    peer_sets: tuple[tuple[int, ...], ...] | None = None
+    silent: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind in GOSSIP_KINDS and self.peer_sets is None and not self.silent:
+            raise ValueError(f"gossip pattern {self.kind!r} needs peer_sets")
+
+
+def emit_iteration(
+    trace: CommTrace,
+    schedule: BucketSchedule,
+    pattern: CommPattern,
+    nodes: Sequence[Sequence[int]] | None = None,
+    step: int = -1,
+) -> None:
+    """Append one iteration's per-rank op stream to ``trace``.
+
+    This is the single event enumerator behind both lowering front-ends:
+    :func:`lower_schedule` (executor-facing) and the symbolic plan lowering
+    (:mod:`repro.analysis.symbolic`).  Multi-step callers invoke it once per
+    iteration with increasing ``step``; per-rank ``seq`` numbering continues
+    across calls, so the result is each rank's full program order.
+    """
+    world_size = trace.world_size
+    by_index = {b.index: b for b in schedule.buckets}
+    flat_group = tuple(range(world_size))
+    events = schedule.events()
+    layout = layout_from_schedule(schedule)
+    extent_of = {extent.name: (extent.start, extent.stop) for extent in layout}
+
+    node_groups: list[tuple[int, ...]] = (
+        [tuple(sorted(node)) for node in nodes] if nodes else []
+    )
+    hierarchical = bool(schedule.hierarchical) and len(node_groups) > 1
+    leaders = tuple(node[0] for node in node_groups) if hierarchical else ()
+
+    overlap = schedule.overlap_backward
+    silent = pattern.silent
+    comm_thread = COMM_THREAD if overlap else MAIN_THREAD
+    comm_gate = GATE_GRAD_READY if overlap else GATE_BACKWARD_END
+    gossip = pattern.kind in GOSSIP_KINDS
+
+    codec = {
+        "compressor": pattern.compressor,
+        "biased": pattern.biased,
+        "error_feedback": pattern.error_feedback,
+    }
+
+    # Per-rank peer sets of the flat (non-hierarchical) collective: the
+    # rank's gossip neighbors, or everyone else in the group.
+    if gossip:
+        flat_peers = [
+            tuple(pattern.peer_sets[r]) if pattern.peer_sets else ()
+            for r in range(world_size)
+        ]
+    else:
+        flat_peers = [flat_group[:r] + flat_group[r + 1:] for r in range(world_size)]
+
+    # Per-rank hierarchical phase descriptors — everything about a phase op
+    # except the bucket payload, which the event loop merges in.  Intra-node
+    # reduce / broadcast stay full-precision (H only compresses the
+    # inter-node tier, paper §3.4); later phases follow the first in
+    # comm-thread program order, so only the first carries the comm gate.
+    phase_dicts: list[list[dict]] = []
+    if hierarchical:
+        node_by_rank: dict[int, tuple[int, ...]] = {
+            rank: node for node in node_groups for rank in node
+        }
+        for rank in range(world_size):
+            if rank not in node_by_rank:
+                raise ValueError(f"rank {rank} is in no node of {node_groups}")
+            dicts: list[dict] = []
+            gate = comm_gate
+            for phase, group in hierarchical_phases(node_by_rank[rank], leaders, rank):
+                if phase == "inter":
+                    peers = (
+                        flat_peers[rank] if gossip
+                        else tuple(r for r in group if r != rank)
+                    )
+                    dicts.append(
+                        {"kind": pattern.kind, "gate": gate, "group": group,
+                         "peers": peers, **codec}
+                    )
+                else:
+                    dicts.append(
+                        {"kind": phase, "gate": gate, "group": group,
+                         "peers": tuple(r for r in group if r != rank)}
+                    )
+                gate = ""
+            phase_dicts.append(dicts)
+
+    # One template dict per event, shared across ranks (add_prepared never
+    # mutates them); only the comm op itself is rank-dependent (peers, and
+    # under H the phase structure), so it gets a copy per rank.
+    per_bucket_gate = GATE_COMM_DONE if schedule.per_bucket_updates else GATE_BARRIER
+    prepared: list[tuple] = []
+    for event in events:
+        bucket = by_index[event.bucket]
+        start, stop = extent_of[bucket.name]
+        payload = {
+            "bucket": bucket.name, "elements": bucket.elements,
+            "step": step, "start": start, "stop": stop,
+        }
+        if event.kind == "comm":
+            issue_t = {"kind": "issue", "thread": MAIN_THREAD, **payload}
+            await_t = {
+                "kind": "await", "thread": MAIN_THREAD,
+                "gate": GATE_COMM_DONE, **payload,
+            }
+            if hierarchical:
+                comm_t = {"thread": comm_thread, **payload}
+            else:
+                comm_t = {
+                    "kind": pattern.kind, "thread": comm_thread,
+                    "gate": comm_gate, "group": flat_group, **codec, **payload,
+                }
+            prepared.append(("comm", issue_t, comm_t, await_t))
+        elif event.kind == "update":
+            # On a silent (local-only) iteration the update depends on
+            # nothing but program order — there is no comm to gate on.
+            gate = "" if silent else per_bucket_gate
+            prepared.append(
+                ("update",
+                 {"kind": "opt_step", "thread": MAIN_THREAD, "gate": gate,
+                  **payload})
+            )
+        # "post" events carry no schedule hazard of their own: the
+        # decompression is part of the awaited communication.
+
+    add_prepared = trace.add_prepared
+    for rank in range(world_size):
+        # Under overlap, every comm issues at its grad-ready gate — i.e.
+        # concurrently with the rest of backward — before anything awaits.
+        if overlap and not silent:
+            for entry in prepared:
+                if entry[0] == "comm":
+                    add_prepared(rank, entry[1])
+        for entry in prepared:
+            if entry[0] == "update":
+                add_prepared(rank, entry[1])
+                continue
+            if silent:
+                continue
+            _, issue_t, comm_t, await_t = entry
+            if not overlap:
+                add_prepared(rank, issue_t)
+            if hierarchical:
+                for phase_t in phase_dicts[rank]:
+                    merged = comm_t.copy()
+                    merged.update(phase_t)
+                    add_prepared(rank, merged)
+            else:
+                merged = comm_t.copy()
+                merged["peers"] = flat_peers[rank]
+                add_prepared(rank, merged)
+            add_prepared(rank, await_t)
 
 
 def lower_plan(
@@ -102,118 +288,22 @@ def lower_schedule(
     stay on ``main`` — the two-stream structure the happens-before engine
     needs to prove the overlap race-free.  ``nodes`` (an iterable of
     per-node global-rank groups, e.g. from
-    :meth:`~repro.cluster.topology.ClusterSpec`) unlocks the hierarchical
-    three-phase lowering when ``schedule.hierarchical`` is set; without it
-    the comm lowers as one flat-group collective.
+    :meth:`~repro.cluster.topology.ClusterSpec.node_groups`) unlocks the
+    hierarchical three-phase lowering when ``schedule.hierarchical`` is set;
+    without it the comm lowers as one flat-group collective.
     """
-    trace = CommTrace(world_size)
-    by_index = {b.index: b for b in schedule.buckets}
-    codec = compressor.name if compressor is not None else ""
-    biased = bool(getattr(compressor, "biased", False)) if compressor is not None else False
-    inter_kind = "compressed_allreduce" if compressor is not None else "allreduce"
-    flat_group = tuple(range(world_size))
-    events = schedule.events()
-    layout = layout_from_schedule(schedule)
-    extent_of = {extent.name: (extent.start, extent.stop) for extent in layout}
-
-    node_groups: list[tuple[int, ...]] = (
-        [tuple(sorted(node)) for node in nodes] if nodes else []
+    pattern = CommPattern(
+        kind="compressed_allreduce" if compressor is not None else "allreduce",
+        compressor=compressor.name if compressor is not None else "",
+        biased=bool(getattr(compressor, "biased", False)) if compressor is not None else False,
+        error_feedback=error_feedback,
     )
-    hierarchical = bool(schedule.hierarchical) and len(node_groups) > 1
-
-    def node_of(rank: int) -> tuple[int, ...]:
-        for node in node_groups:
-            if rank in node:
-                return node
-        raise ValueError(f"rank {rank} is in no node of {node_groups}")
-
-    leaders = tuple(node[0] for node in node_groups) if hierarchical else ()
-
-    comm_thread = COMM_THREAD if schedule.overlap_backward else MAIN_THREAD
-    comm_gate = GATE_GRAD_READY if schedule.overlap_backward else GATE_BACKWARD_END
-
-    def emit_comm_phases(rank: int, bucket) -> None:
-        """The collective phase(s) of one bucket on one rank's comm thread."""
-        start, stop = extent_of[bucket.name]
-        common = dict(
-            bucket=bucket.name, elements=bucket.elements,
-            thread=comm_thread, start=start, stop=stop,
-        )
-        if not hierarchical:
-            trace.add(
-                rank, inter_kind, gate=comm_gate,
-                compressor=codec, biased=biased, error_feedback=error_feedback,
-                peers=tuple(r for r in flat_group if r != rank), group=flat_group,
-                **common,
-            )
-            return
-        node = node_of(rank)
-        gate = comm_gate
-        if len(node) > 1:
-            # Phase 1: reduce gradients onto the node leader.
-            trace.add(
-                rank, "reduce", gate=gate,
-                peers=tuple(r for r in node if r != rank), group=node,
-                **common,
-            )
-            gate = ""  # later phases follow in comm-thread program order
-        if rank in leaders and len(leaders) > 1:
-            # Phase 2: the (optionally compressed) inter-node exchange.
-            trace.add(
-                rank, inter_kind, gate=gate,
-                compressor=codec, biased=biased, error_feedback=error_feedback,
-                peers=tuple(r for r in leaders if r != rank), group=leaders,
-                **common,
-            )
-            gate = ""
-        if len(node) > 1:
-            # Phase 3: broadcast the reduced bucket back within the node.
-            trace.add(
-                rank, "broadcast", gate=gate,
-                peers=tuple(r for r in node if r != rank), group=node,
-                **common,
-            )
-
-    for rank in range(world_size):
-        # Under overlap, every comm issues at its grad-ready gate — i.e.
-        # concurrently with the rest of backward — before anything awaits.
-        if schedule.overlap_backward:
-            for event in events:
-                if event.kind == "comm":
-                    bucket = by_index[event.bucket]
-                    start, stop = extent_of[bucket.name]
-                    trace.add(
-                        rank, "issue", bucket=bucket.name, elements=bucket.elements,
-                        thread=MAIN_THREAD, start=start, stop=stop,
-                    )
-        for event in events:
-            bucket = by_index[event.bucket]
-            start, stop = extent_of[bucket.name]
-            if event.kind == "comm":
-                if not schedule.overlap_backward:
-                    trace.add(
-                        rank, "issue", bucket=bucket.name, elements=bucket.elements,
-                        thread=MAIN_THREAD, start=start, stop=stop,
-                    )
-                emit_comm_phases(rank, bucket)
-                trace.add(
-                    rank, "await", bucket=bucket.name, elements=bucket.elements,
-                    thread=MAIN_THREAD, gate=GATE_COMM_DONE, start=start, stop=stop,
-                )
-            elif event.kind == "update":
-                trace.add(
-                    rank, "opt_step", bucket=bucket.name, elements=bucket.elements,
-                    thread=MAIN_THREAD,
-                    gate=GATE_COMM_DONE if schedule.per_bucket_updates else GATE_BARRIER,
-                    start=start, stop=stop,
-                )
-            # "post" events carry no schedule hazard of their own: the
-            # decompression is part of the awaited communication.
-
+    trace = CommTrace(world_size)
+    emit_iteration(trace, schedule, pattern, nodes=nodes)
     return AnalysisSubject(
         world_size=world_size,
         trace=trace,
-        layout=layout,
+        layout=layout_from_schedule(schedule),
         source=f"schedule lowering ({schedule.describe()})",
     )
 

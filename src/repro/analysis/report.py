@@ -30,6 +30,7 @@ class Finding:
     seq: int | None = None
     bucket: str | None = None
     step: int | None = None
+    plan: str | None = None
     witness: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
@@ -38,6 +39,8 @@ class Finding:
 
     def location(self) -> str:
         parts = []
+        if self.plan:
+            parts.append(f"plan {self.plan}")
         if self.rank is not None:
             parts.append(f"rank {self.rank}")
         if self.seq is not None:
@@ -68,6 +71,7 @@ class Finding:
             "seq": self.seq,
             "bucket": self.bucket,
             "step": self.step,
+            "plan": self.plan,
             "witness": list(self.witness),
         }
 

@@ -83,6 +83,15 @@ class ClusterSpec:
         start = node * self.workers_per_node
         return list(range(start, start + self.workers_per_node))
 
+    def node_groups(self) -> list[list[int]]:
+        """Global ranks grouped per node, node-major: ``[[0..g), [g..2g), ...]``.
+
+        The hierarchical (H) lowering and the symbolic plan verifier consume
+        this partition; it is the static twin of
+        :meth:`repro.comm.group.CommGroup.node_subgroups`.
+        """
+        return [self.node_ranks(node) for node in range(self.num_nodes)]
+
     def node_leaders(self) -> list[int]:
         """First rank of each node (the 'leader workers' of §3.4)."""
         return [node * self.workers_per_node for node in range(self.num_nodes)]

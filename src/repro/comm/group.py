@@ -7,6 +7,31 @@ from collections.abc import Sequence
 from ..cluster.transport import Transport
 
 
+def node_major_partition(world_size: int, workers_per_node: int) -> list[tuple[int, ...]]:
+    """Node-major rank partition: ``[(0..g), (g..2g), ...]``.
+
+    The static form of the node grouping a :class:`CommGroup` derives from a
+    live transport's :class:`~repro.cluster.topology.ClusterSpec` — used by
+    the symbolic plan verifier, which has no transport to ask.  Raises
+    ``ValueError`` unless ``workers_per_node`` divides ``world_size``
+    evenly: an uneven split would leave a trailing under-sized node whose
+    leader joins inter-node collectives other leaders size differently.
+    """
+    if world_size < 1:
+        raise ValueError(f"world_size must be >= 1, got {world_size}")
+    if workers_per_node < 1:
+        raise ValueError(f"workers_per_node must be >= 1, got {workers_per_node}")
+    if world_size % workers_per_node != 0:
+        raise ValueError(
+            f"workers_per_node={workers_per_node} does not divide "
+            f"world_size={world_size}; the hierarchical split needs even nodes"
+        )
+    return [
+        tuple(range(start, start + workers_per_node))
+        for start in range(0, world_size, workers_per_node)
+    ]
+
+
 class CommGroup:
     """An MPI-style group over a subset of cluster ranks.
 

@@ -21,6 +21,37 @@ from .group import CommGroup
 from .scatter_reduce import CompressFn, DecompressFn, scatter_reduce
 
 
+def hierarchical_phases(
+    node_group: Sequence[int],
+    leaders: Sequence[int],
+    rank: int,
+) -> list[tuple[str, tuple[int, ...]]]:
+    """The phase sequence ``rank`` participates in under optimization H.
+
+    Returns ``(phase, group)`` pairs in execution order, where ``phase`` is
+    ``"reduce"`` (intra-node aggregation onto the leader), ``"inter"`` (the
+    leader-subgroup exchange — ScatterReduce for centralized primitives, the
+    peer exchange for decentralized ones) or ``"broadcast"`` (the result
+    fanned back within the node).  Single-rank nodes skip the intra phases;
+    non-leaders skip the inter phase; a single-node world has no inter
+    phase at all.
+
+    This is the *static* description of what :class:`HierarchicalComm`
+    executes — the plan lowering (:mod:`repro.analysis.lowering`) and the
+    symbolic verifier enumerate per-rank events from exactly this structure,
+    so what the analyzer proves is the phase order the communicator runs.
+    """
+    node = tuple(node_group)
+    phases: list[tuple[str, tuple[int, ...]]] = []
+    if len(node) > 1:
+        phases.append(("reduce", node))
+    if rank in leaders and len(leaders) > 1:
+        phases.append(("inter", tuple(leaders)))
+    if len(node) > 1:
+        phases.append(("broadcast", node))
+    return phases
+
+
 class HierarchicalComm:
     """Two-tier communicator derived from a flat group."""
 

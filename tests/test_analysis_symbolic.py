@@ -1,0 +1,262 @@
+"""Symbolic plan lowering: oracle identity vs engine-built schedules.
+
+The tentpole claim of :mod:`repro.analysis.symbolic` is that lowering a plan
+*description* yields IR event-identical to lowering the schedule a really
+constructed engine commits to — for every registered algorithm and baseline,
+across all sixteen O/F/H x update-mode variants, at world sizes {2, 4, 8,
+16} — while being far cheaper than executing anything (the speed test pins
+the >= 50x bound the pruner's economics rest on).
+"""
+
+import dataclasses
+import time
+
+import numpy as np
+import pytest
+
+from repro.algorithms.registry import ALGORITHM_REGISTRY, make_algorithm
+from repro.analysis import run_checkers
+from repro.analysis.checkers import HB_CHECKERS
+from repro.analysis.driver import (
+    ANALYSIS_OVERRIDES,
+    PROBE_BUCKET_BYTES,
+    _probe_batches,
+    _probe_loss,
+    _ProbeMLP,
+)
+from repro.analysis.lowering import lower_schedule
+from repro.analysis.recorder import TraceRecorder
+from repro.analysis.symbolic import (
+    PROBE_READY_INVENTORY,
+    PlanPoint,
+    lower_point,
+    probe_profile,
+    sweep_variants,
+    symbolic_schedule,
+)
+from repro.baselines import BASELINE_REGISTRY
+from repro.cluster.topology import ClusterSpec
+from repro.cluster.transport import Transport
+from repro.cluster.worker import make_workers
+from repro.core.engine import BaguaEngine
+from repro.core.optimizer_framework import BaguaConfig
+from repro.tensor.optim import SGD
+
+ALL_NAMES = sorted(ALGORITHM_REGISTRY) + sorted(BASELINE_REGISTRY)
+#: (num_nodes, workers_per_node) -> worlds {2, 4, 8, 16}.
+WORLD_SHAPES = ((1, 2), (2, 2), (2, 4), (4, 4))
+
+#: (name, num_nodes, workers_per_node) -> (engine, seconds to build + step).
+_ENGINE_CACHE: dict = {}
+
+
+def built_engine(name, num_nodes, workers_per_node):
+    """Check-by-execution: construct an engine and record a dry run.
+
+    This is the driver's canonical executed path (5 recorded steps with a
+    :class:`TraceRecorder` installed) — what verifying one plan costs when
+    the IR has to come off a real run.  Cached per (name, shape); the
+    recorded wall time feeds the speed test.
+    """
+    key = (name, num_nodes, workers_per_node)
+    if key not in _ENGINE_CACHE:
+        if name in ALGORITHM_REGISTRY:
+            algorithm = make_algorithm(name, **ANALYSIS_OVERRIDES.get(name, {}))
+        else:
+            algorithm = BASELINE_REGISTRY[name]()
+        begin = time.perf_counter()
+        spec = ClusterSpec(num_nodes=num_nodes, workers_per_node=workers_per_node)
+        transport = Transport(spec)
+        workers = make_workers(spec, transport, seed=0)
+        models = [_ProbeMLP(np.random.default_rng(0)) for _ in workers]
+        optimizers = [SGD(m.parameters(), lr=0.05, momentum=0.9) for m in models]
+        engine = BaguaEngine(
+            models, optimizers, algorithm, workers,
+            config=BaguaConfig(bucket_bytes=PROBE_BUCKET_BYTES),
+        )
+        recorder = TraceRecorder(spec.world_size).install(transport)
+        try:
+            for step, batches in enumerate(_probe_batches(spec.world_size, 5, 0)):
+                recorder.begin_step(step)
+                engine.step(batches, _probe_loss)
+        finally:
+            recorder.uninstall()
+        _ENGINE_CACHE[key] = (engine, time.perf_counter() - begin)
+    return _ENGINE_CACHE[key][0]
+
+
+def variant_grid(schedule):
+    """The driver's 16 O/F/H x update-mode rewrites, in sweep order."""
+    for overlap in (False, True):
+        for flatten in (False, True):
+            for hierarchical in (False, True):
+                for per_bucket in (False, True):
+                    yield dataclasses.replace(
+                        schedule,
+                        overlap_backward=overlap,
+                        flatten=flatten,
+                        hierarchical=hierarchical,
+                        per_bucket_updates=per_bucket,
+                    )
+
+
+# ----------------------------------------------------------------------
+# The oracle: symbolic IR == engine-built IR, per op, per rank.
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("shape", WORLD_SHAPES, ids=lambda s: f"{s[0]}x{s[1]}")
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_symbolic_sweep_is_event_identical_to_engine_sweep(name, shape):
+    num_nodes, workers_per_node = shape
+    world = num_nodes * workers_per_node
+    engine = built_engine(name, num_nodes, workers_per_node)
+    spec = ClusterSpec(num_nodes=num_nodes, workers_per_node=workers_per_node)
+    nodes = spec.node_groups()
+
+    engine_subjects = [
+        lower_schedule(variant, world, nodes=nodes)
+        for variant in variant_grid(engine.schedule)
+    ]
+    point = PlanPoint(
+        algorithm=name, world_size=world, workers_per_node=workers_per_node
+    )
+    symbolic_subjects = sweep_variants(point)
+
+    assert len(engine_subjects) == len(symbolic_subjects) == 16
+    for engine_subject, symbolic_subject in zip(engine_subjects, symbolic_subjects):
+        assert symbolic_subject.layout == engine_subject.layout
+        for rank in range(world):
+            assert (
+                symbolic_subject.trace.ops_of(rank)
+                == engine_subject.trace.ops_of(rank)
+            ), f"rank {rank} diverges for {name} @ {shape}"
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_symbolic_schedule_matches_engine_schedule(name):
+    """The reconstructed BucketSchedule equals the engine's, field for field."""
+    engine = built_engine(name, 2, 2)
+    point = PlanPoint(algorithm=name, world_size=4, workers_per_node=2)
+    assert symbolic_schedule(point) == engine.schedule
+
+
+def test_probe_profile_matches_live_profiler():
+    """The static ready inventory is what GradientReadyProfiler records."""
+    engine = built_engine("allreduce", 2, 2)
+    live = [(r.name, r.elements) for r in engine.profile.records]
+    assert live == list(PROBE_READY_INVENTORY)
+    static = probe_profile()
+    assert [(r.name, r.elements, r.ready_index) for r in static.records] == [
+        (r.name, r.elements, r.ready_index) for r in engine.profile.records
+    ]
+
+
+# ----------------------------------------------------------------------
+# Speed: the economics the pruner rests on.
+# ----------------------------------------------------------------------
+def test_symbolic_lowering_is_50x_faster_than_execution():
+    """Checking a plan symbolically must be >= 50x cheaper than checking it
+    by execution (engine construction + the driver's recorded dry run), per
+    plan, averaged over the full sweep — no engine, transport or recorded
+    trace on the symbolic side."""
+    executed = 0.0
+    executed_plans = 0
+    for name in ALL_NAMES:
+        built_engine(name, 2, 2)  # populates the cache and its timing
+        executed += _ENGINE_CACHE[(name, 2, 2)][1]
+        executed_plans += 1
+
+    begin = time.perf_counter()
+    symbolic_plans = 0
+    for name in ALL_NAMES:
+        subjects = sweep_variants(
+            PlanPoint(algorithm=name, world_size=4, workers_per_node=2)
+        )
+        symbolic_plans += len(subjects)
+    symbolic = time.perf_counter() - begin
+
+    per_plan_executed = executed / executed_plans
+    per_plan_symbolic = symbolic / symbolic_plans
+    assert per_plan_executed >= 50 * per_plan_symbolic, (
+        f"symbolic lowering only {per_plan_executed / per_plan_symbolic:.1f}x "
+        f"faster than execution ({per_plan_executed * 1e3:.2f}ms vs "
+        f"{per_plan_symbolic * 1e3:.3f}ms per plan)"
+    )
+
+
+# ----------------------------------------------------------------------
+# Gossip lowering: peer structure and checker verdicts.
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name", ["decentralized", "decentralized-8bit"])
+def test_gossip_point_lowers_clean(name):
+    subject = lower_point(PlanPoint(algorithm=name, world_size=4, workers_per_node=2))
+    findings = run_checkers(subject) + run_checkers(subject, HB_CHECKERS)
+    assert findings == [], [f.render() for f in findings]
+    kinds = {op.kind for op in subject.trace.all_ops()}
+    assert kinds & {"gossip", "compressed_gossip"}
+
+
+def test_ring_gossip_declares_expected_topology():
+    subject = lower_point(
+        PlanPoint(algorithm="decentralized-8bit", world_size=4, workers_per_node=2)
+    )
+    assert subject.expected_topology == "ring"
+    for op in subject.trace.all_ops():
+        if op.kind == "compressed_gossip":
+            left = (op.rank - 1) % 4
+            right = (op.rank + 1) % 4
+            assert set(op.peers) == {left, right}
+
+
+def test_staleness_note_mirrors_algorithm_declaration():
+    """The symbolic subject carries a staleness bound exactly when the
+    algorithm declares one — no registry algorithm currently does, so the
+    note is absent and the hb-staleness rule stays inactive, matching the
+    driver's dry-run subjects."""
+    from repro.analysis.symbolic import staleness_bound_of
+
+    for name in ALL_NAMES:
+        subject = lower_point(
+            PlanPoint(algorithm=name, world_size=4, workers_per_node=2)
+        )
+        bound = staleness_bound_of(name)
+        assert subject.notes.get("staleness_bound") == bound or (
+            bound is None and "staleness_bound" not in subject.notes
+        )
+
+
+# ----------------------------------------------------------------------
+# Multi-step structure: frequency and warmup phases.
+# ----------------------------------------------------------------------
+def test_local_sgd_alternates_silent_and_synchronized_steps():
+    point = PlanPoint(
+        algorithm="local-sgd", world_size=4, workers_per_node=2,
+        frequency=2, steps=4,
+    )
+    subject = lower_point(point)
+    comm_steps = {op.step for op in subject.trace.all_ops() if op.kind == "allreduce"}
+    assert comm_steps == {1, 3}  # steps 0 and 2 are local-only
+    silent_updates = [
+        op for op in subject.trace.ops_of(0)
+        if op.kind == "opt_step" and op.step in (0, 2)
+    ]
+    assert silent_updates and all(op.gate == "" for op in silent_updates)
+    findings = run_checkers(subject) + run_checkers(subject, HB_CHECKERS)
+    assert findings == [], [f.render() for f in findings]
+
+
+def test_1bit_adam_warmup_runs_full_precision_then_compresses():
+    point = PlanPoint(
+        algorithm="1bit-adam", world_size=4, workers_per_node=2,
+        warmup_steps=1, steps=2,
+    )
+    subject = lower_point(point)
+    step0 = [op for op in subject.trace.ops_of(0) if op.step == 0]
+    step1 = [op for op in subject.trace.ops_of(0) if op.step == 1]
+    assert any(op.kind == "allreduce" for op in step0)
+    assert not any(op.kind == "compressed_allreduce" for op in step0)
+    compressed = [op for op in step1 if op.kind == "compressed_allreduce"]
+    assert compressed
+    for op in compressed:
+        assert op.compressor == "1bit" and op.biased and op.error_feedback
+    findings = run_checkers(subject) + run_checkers(subject, HB_CHECKERS)
+    assert findings == [], [f.render() for f in findings]

@@ -12,6 +12,15 @@ from repro.models import (
     transformer_spec,
     vgg16_spec,
 )
+from repro.models.spec import LayerSpec, ModelSpec
+
+
+def mixed_spec(name, layer_names):
+    """A synthetic model whose layer inventory mixes vocabularies."""
+    layers = tuple(
+        LayerSpec(name=layer, params=100, fwd_flops=1000.0) for layer in layer_names
+    )
+    return ModelSpec(name=name, layers=layers, batch_size=8, samples_per_epoch=64)
 
 
 class TestFamilyClassification:
@@ -25,6 +34,29 @@ class TestFamilyClassification:
 
     def test_recurrent_family(self):
         assert classify_family(lstm_alexnet_spec()) == "recurrent"
+
+    # Mixed inventories follow the documented precedence: lstm beats
+    # attn/encoder beats conv (first match wins, not layer counts).
+    def test_conv_plus_attention_classifies_as_transformer(self):
+        spec = mixed_spec("hybrid-vit", ["conv1", "conv2", "attn1", "ffn1"])
+        assert classify_family(spec) == "transformer"
+
+    def test_conv_plus_encoder_classifies_as_transformer(self):
+        spec = mixed_spec("conv-encoder", ["conv1", "encoder1"])
+        assert classify_family(spec) == "transformer"
+
+    def test_lstm_plus_conv_classifies_as_recurrent(self):
+        # Figure 6's LSTM+AlexNet speech model is exactly this mix.
+        spec = mixed_spec("speech", ["conv1", "conv2", "lstm1", "fc1"])
+        assert classify_family(spec) == "recurrent"
+
+    def test_lstm_beats_attention(self):
+        spec = mixed_spec("rnn-attn", ["attn1", "lstm1"])
+        assert classify_family(spec) == "recurrent"
+
+    def test_plain_mlp_is_generic(self):
+        spec = mixed_spec("mlp", ["fc1", "fc2", "fc3"])
+        assert classify_family(spec) == "generic"
 
 
 class TestRecommendations:
@@ -101,3 +133,60 @@ class TestRecommendations:
     def test_every_model_gets_a_safe_recommendation(self, name):
         report = recommend(all_specs()[name], paper_cluster("25gbps"))
         assert report.best.safe
+
+
+class TestPlanRejection:
+    """The symbolic pruner refutes invalid candidate plans before timing."""
+
+    def test_biased_codec_without_ef_is_rejected(self):
+        report = recommend(
+            vgg16_spec(), paper_cluster("10gbps"),
+            overrides={"qsgd": {"compressor": "signsgd"}},
+        )
+        qsgd = next(r for r in report.recommendations if r.algorithm == "qsgd")
+        assert qsgd.rejected
+        assert qsgd.rejection.startswith("plan-compressor-compat")
+        assert "error feedback" in qsgd.rejection
+        assert qsgd.epoch_time == float("inf")
+        assert not qsgd.safe
+        assert report.best.algorithm != "qsgd"
+        assert "[REJECTED: plan-compressor-compat" in report.render()
+
+    def test_non_divisible_hierarchy_split_is_rejected(self):
+        # paper_cluster worlds are 16 nodes x 8 GPUs; 3 does not divide 128.
+        report = recommend(
+            vgg16_spec(), paper_cluster("10gbps"),
+            overrides={"allreduce": {"hierarchical": True, "workers_per_node": 3}},
+        )
+        allreduce = next(
+            r for r in report.recommendations if r.algorithm == "allreduce"
+        )
+        assert allreduce.rejected
+        assert allreduce.rejection.startswith("plan-hierarchy-split")
+        assert report.best.algorithm != "allreduce"
+
+    def test_rejected_candidates_sort_last(self):
+        report = recommend(
+            vgg16_spec(), paper_cluster("10gbps"),
+            overrides={"qsgd": {"compressor": "signsgd"}},
+        )
+        flags = [r.rejected for r in report.recommendations]
+        first_rejected = flags.index(True)
+        assert all(flags[first_rejected:])
+
+    def test_include_unsafe_false_drops_rejected(self):
+        report = recommend(
+            vgg16_spec(), paper_cluster("10gbps"),
+            overrides={"qsgd": {"compressor": "signsgd"}},
+            include_unsafe=False,
+        )
+        assert all(not r.rejected and r.safe for r in report.recommendations)
+        assert "qsgd" not in [r.algorithm for r in report.recommendations]
+
+    def test_verify_false_skips_the_pruner(self):
+        report = recommend(vgg16_spec(), paper_cluster("10gbps"), verify=False)
+        assert not any(r.rejected for r in report.recommendations)
+
+    def test_valid_candidates_are_never_rejected(self):
+        report = recommend(vgg16_spec(), paper_cluster("10gbps"))
+        assert not any(r.rejected for r in report.recommendations)
