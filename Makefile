@@ -6,7 +6,8 @@
 # plan point without constructing a transport or executing a step.
 # `make perf` benchmarks the world-batched fast path against the loop
 # reference and gates against benchmarks/perf/baseline.json (see
-# docs/performance.md).
+# docs/performance.md); `make perf REPRO_BACKEND=shm` runs the suite on a
+# different transport backend (see docs/backends.md).
 
 PYTHON ?= python
 export PYTHONPATH := src
@@ -24,7 +25,7 @@ lint:
 
 typecheck:
 	@if command -v mypy >/dev/null 2>&1; then \
-		mypy src/repro/analysis src/repro/core/autotune.py; \
+		mypy src/repro/analysis src/repro/cluster src/repro/core/autotune.py; \
 	else \
 		echo "mypy not installed; skipping typecheck"; \
 	fi
@@ -38,5 +39,8 @@ analyze:
 plans:
 	$(PYTHON) -m repro analyze --plans --hb
 
+# REPRO_BACKEND selects the transport backend for the whole suite
+# (local | batched | shm); unset means the batched default.
 perf:
-	$(PYTHON) -m repro perf --quick --check
+	$(PYTHON) -m repro perf --quick --check \
+		$(if $(REPRO_BACKEND),--backend $(REPRO_BACKEND))

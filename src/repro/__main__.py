@@ -129,11 +129,16 @@ def _run_analyze(args) -> int:
 
 
 def _run_perf(args) -> int:
+    import os
     from pathlib import Path
 
     from .perf import check_against_baseline, run_suite
     from .perf.harness import render
 
+    if args.backend is not None:
+        # Every Transport the suite constructs resolves its backend from
+        # the environment when nothing explicit is passed.
+        os.environ["REPRO_BACKEND"] = args.backend
     result = run_suite(quick=args.quick, repeats=args.repeats)
     out = Path(args.out)
     out.write_text(json.dumps(result, indent=2) + "\n")
@@ -216,6 +221,13 @@ def main(argv=None) -> int:
     perf_parser.add_argument(
         "--repeats", type=int, default=None,
         help="best-of-N timing repeats (default: 3, or 2 with --quick)",
+    )
+    perf_parser.add_argument(
+        "--backend", default=None, choices=["local", "batched", "shm"],
+        help=(
+            "transport backend for the suite (sets REPRO_BACKEND; "
+            "default: batched, or whatever REPRO_BACKEND already says)"
+        ),
     )
 
     analyze_parser = subparsers.add_parser(

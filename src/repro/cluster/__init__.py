@@ -1,5 +1,14 @@
 """Simulated distributed cluster: clocks, links, topology, transport."""
 
+from .backends import (
+    BackendError,
+    BatchedBackend,
+    LocalBackend,
+    SharedMemoryBackend,
+    TransportBackend,
+    available_backends,
+    resolve_backend,
+)
 from .clock import EventQueue, VirtualClock
 from .netmodel import GBPS, Link, NVLINK, TCP_10G, TCP_25G, TCP_100G, preset
 from .topology import ClusterSpec, paper_cluster
@@ -7,6 +16,13 @@ from .transport import Message, TrafficStats, Transport, payload_nbytes
 from .worker import WorkerContext, make_workers
 
 __all__ = [
+    "BackendError",
+    "BatchedBackend",
+    "LocalBackend",
+    "SharedMemoryBackend",
+    "TransportBackend",
+    "available_backends",
+    "resolve_backend",
     "VirtualClock",
     "EventQueue",
     "Link",

@@ -1,0 +1,71 @@
+"""Pluggable transport backends (see ``docs/backends.md``).
+
+The registry maps backend names to factories taking the cluster spec;
+:func:`resolve_backend` is the single selection point used by
+:class:`~repro.cluster.transport.Transport`:
+
+explicit instance > explicit name > ``REPRO_BACKEND`` env > ``"batched"``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING
+
+from .base import BackendError, TransportBackend
+from .local import BatchedBackend, LocalBackend
+from .shm import SharedMemoryBackend
+
+if TYPE_CHECKING:
+    from ..topology import ClusterSpec
+
+#: name -> factory(spec) for every backend that ships.
+BACKEND_REGISTRY = {
+    "local": lambda spec: LocalBackend(),
+    "batched": lambda spec: BatchedBackend(),
+    "shm": lambda spec: SharedMemoryBackend(spec.world_size),
+}
+
+DEFAULT_BACKEND = "batched"
+
+#: Environment override consulted when neither config nor caller names one.
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+
+
+def available_backends() -> list[str]:
+    """Registered backend names, sorted."""
+    return sorted(BACKEND_REGISTRY)
+
+
+def resolve_backend(
+    backend: TransportBackend | str | None, spec: ClusterSpec
+) -> TransportBackend:
+    """Resolve a backend selector to a live (unattached) backend instance.
+
+    ``backend`` may be an instance (returned as-is), a registry name, or
+    ``None`` — which falls back to ``$REPRO_BACKEND`` and then the default.
+    """
+    if isinstance(backend, TransportBackend):
+        return backend
+    name = backend if backend is not None else os.environ.get(BACKEND_ENV_VAR) or DEFAULT_BACKEND
+    try:
+        factory = BACKEND_REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown transport backend {name!r}; options: {available_backends()}"
+        ) from None
+    return factory(spec)
+
+
+__all__ = [
+    "BACKEND_ENV_VAR",
+    "BACKEND_REGISTRY",
+    "BackendError",
+    "BatchedBackend",
+    "DEFAULT_BACKEND",
+    "LocalBackend",
+    "SharedMemoryBackend",
+    "TransportBackend",
+    "available_backends",
+    "resolve_backend",
+]

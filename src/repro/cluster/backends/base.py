@@ -1,0 +1,128 @@
+"""The transport backend interface.
+
+A :class:`~repro.cluster.transport.Transport` owns the *simulation
+semantics* — virtual clocks, the alpha-beta/NIC cost model, traffic
+statistics and trace instrumentation.  A :class:`TransportBackend` owns the
+*execution substrate*: how a round's payloads actually move between ranks,
+where each rank's flat bucket pool lives, and where per-rank compute runs.
+
+Three backends ship (see :mod:`repro.cluster.backends`):
+
+* ``local`` — the in-process loop reference.  Payloads are handed from
+  sender to receiver as Python objects; per-rank tasks run serially.  This
+  is the oracle every other backend must match bit-for-bit.
+* ``batched`` — identical delivery substrate, but collectives prefer the
+  world-batched ``(world, n)`` kernels of :mod:`repro.comm.batched` (the
+  PR 5 fast path).  The default.
+* ``shm`` — one OS worker process per rank.  Payload rounds travel through
+  ``multiprocessing.shared_memory`` ring buffers (each record stamped with
+  the round's sequence number and barriered on per-worker acks), bucket
+  pools are shared-memory segments mapped into both address spaces, and
+  per-rank tasks execute concurrently on real cores.
+
+The backend contract is strict: delivered payloads, traffic statistics,
+virtual clocks and recorded traces must be **bit-identical** across
+backends (``tests/test_backend_identity.py`` enforces this) — backends may
+only differ in wall-clock time and in which address space does the work.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping, Sequence
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+if TYPE_CHECKING:
+    from ..transport import Message, Transport
+
+
+class BackendError(RuntimeError):
+    """A transport backend failed (protocol violation, dead worker, ...)."""
+
+
+class TransportBackend:
+    """Pluggable execution substrate behind a :class:`Transport`.
+
+    Subclasses implement payload routing (:meth:`route_round`), flat-pool
+    allocation (:meth:`allocate_pool`) and per-rank task execution
+    (:meth:`run_rank_tasks`).  The base class provides attach/close
+    bookkeeping and context-manager lifetime.
+    """
+
+    #: registry name ("local", "batched", "shm")
+    name: str = "base"
+    #: kernel flavor collectives pick when no explicit fast-path override is
+    #: active: the loop reference (False) or the world-batched kernels (True).
+    prefers_fast_path: bool = True
+
+    def __init__(self) -> None:
+        self._transport: Transport | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def attach(self, transport: Transport) -> None:
+        """Bind this backend to ``transport`` (validates world size)."""
+        self.validate_world(transport.spec.world_size)
+        self._transport = transport
+
+    def validate_world(self, world_size: int) -> None:  # noqa: B027 (hook)
+        """Raise if this backend cannot serve ``world_size`` ranks."""
+
+    def close(self) -> None:  # noqa: B027 (hook)
+        """Release backend resources (processes, shared memory).  Idempotent."""
+
+    def __enter__(self) -> TransportBackend:
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Contract
+    # ------------------------------------------------------------------
+    def route_round(self, messages: Sequence[Message]) -> dict[int, list[Message]]:
+        """Deliver one round of messages; return them grouped by receiver.
+
+        Per-destination message order must match the order of ``messages``,
+        and every delivered payload must be bit-identical to the payload
+        sent.  The transport has already charged clocks/stats/tracer for the
+        round — this method only moves the payloads.
+        """
+        raise NotImplementedError
+
+    def allocate_pool(self, rank: int, n_elements: int) -> np.ndarray:
+        """Allocate rank ``rank``'s flat float64 bucket pool.
+
+        Returns the parent-side array view.  Backends that execute rank
+        tasks elsewhere must make the same storage visible to that rank's
+        executor (the shm backend maps one shared-memory segment into both
+        processes, so bucket views stay zero-copy on both sides).
+        """
+        raise NotImplementedError
+
+    def run_rank_tasks(
+        self,
+        fn: Callable[..., Any],
+        args_by_rank: Mapping[int, tuple],
+    ) -> dict[int, Any]:
+        """Execute ``fn(pool, *args_by_rank[rank])`` for every rank given.
+
+        ``pool`` is the rank's pool from :meth:`allocate_pool` (or ``None``
+        when none was allocated).  ``fn`` must be a module-level callable so
+        multiprocess backends can pickle it by reference.  Returns results
+        keyed by rank.  Backends with real per-rank executors run the tasks
+        concurrently; in-process backends run them serially.
+        """
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def describe(self) -> dict[str, Any]:
+        """Small diagnostic summary (used by the perf harness / docs)."""
+        return {"name": self.name, "prefers_fast_path": self.prefers_fast_path}
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

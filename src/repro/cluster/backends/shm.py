@@ -1,0 +1,534 @@
+"""Shared-memory multiprocess backend: one OS worker process per rank.
+
+The data plane is a pair of ``multiprocessing.shared_memory`` ring buffers
+per worker (parent→worker and worker→parent).  Every record is stamped with
+the round's sequence number, offsets advance modulo the ring capacity
+(8-byte aligned), and a record that cannot fit the ring falls back to the
+control pipe inline.  The control plane is one OS pipe per worker carrying
+doorbells — ``round`` / ``task`` / ``pool`` / ``close`` — and their acks;
+idle workers block in the kernel instead of spinning.
+
+Round semantics match :meth:`repro.cluster.transport.Transport.exchange`
+exactly: the parent writes all of a round's payloads into the destination
+workers' rings, rings the doorbells, then **barriers** on every
+participating worker's ack (validating the per-round sequence number)
+before the round returns.  Each worker decodes the payloads in its own
+address space and re-encodes them into its outbound ring, so delivered
+bytes really cross process boundaries twice — and must still come back
+bit-identical (``tests/test_backend_identity.py``).
+
+Rank bucket pools (:meth:`allocate_pool`) are plain shared-memory segments
+mapped as float64 arrays in both the parent and the rank's worker: the
+engine's zero-copy bucket views work unchanged on either side, and
+:meth:`run_rank_tasks` runs per-rank compute on real cores against the same
+storage the parent sees.
+
+Teardown is graceful: ``close()`` (also the context-manager exit and an
+``atexit`` hook) sends shutdown doorbells, joins with a timeout, terminates
+stragglers, and unlinks every segment; a failure mid-startup unwinds the
+workers already spawned so no orphan processes or segments survive.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import os
+import pickle
+import struct
+import time
+import traceback
+from collections.abc import Callable, Mapping, Sequence
+from dataclasses import dataclass, field
+from multiprocessing import shared_memory
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from .base import BackendError, TransportBackend
+
+if TYPE_CHECKING:
+    from multiprocessing.connection import Connection
+    from multiprocessing.process import BaseProcess
+
+    from ..transport import Message
+
+#: Default per-direction ring capacity (bytes).
+DEFAULT_RING_BYTES = 1 << 22
+#: Default ack timeout (seconds) before a worker is declared wedged.
+DEFAULT_TIMEOUT_S = 120.0
+
+#: Record payload encodings.
+_RAW_F64 = 0
+_PICKLED = 1
+
+#: Per-record sequence stamp preceding the payload bytes in the ring.
+_SEQ = struct.Struct("<Q")
+
+#: A ring entry in a control message: (kind, offset, nbytes, inline_bytes).
+#: ``offset`` is -1 (and ``inline_bytes`` set) when the record overflowed
+#: the ring and travelled inline over the pipe instead.
+_Entry = tuple[int, int, int, bytes | None]
+
+
+def _encode(payload: Any) -> tuple[int, np.ndarray]:
+    """Payload → (kind, uint8 buffer).  Flat f64 arrays go raw, rest pickled."""
+    if (
+        isinstance(payload, np.ndarray)
+        and payload.dtype == np.float64
+        and payload.ndim == 1
+        and payload.flags.c_contiguous
+    ):
+        return _RAW_F64, payload.view(np.uint8)
+    raw = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    return _PICKLED, np.frombuffer(raw, dtype=np.uint8)
+
+
+def _decode(kind: int, data: np.ndarray) -> Any:
+    """Inverse of :func:`_encode`; always returns freshly owned objects."""
+    if kind == _RAW_F64:
+        return data.view(np.float64).copy()
+    return pickle.loads(data.tobytes())
+
+
+class _RingWriter:
+    """Sequential writer over one shared-memory ring.
+
+    Offsets are 8-byte aligned and wrap to 0 when a record would cross the
+    end.  ``begin_round`` resets the per-round budget: the records of one
+    round must all be resident simultaneously (the reader only drains at
+    the doorbell), so placement refuses — returning ``None``, which makes
+    the record travel inline — once a round has consumed the capacity.
+    """
+
+    def __init__(self, buf: memoryview, capacity: int) -> None:
+        self.buf = buf
+        self.capacity = capacity
+        self._off = 0
+        self._used = 0
+
+    def begin_round(self) -> None:
+        self._used = 0
+
+    def write(self, seq: int, data: np.ndarray) -> tuple[int, int] | None:
+        """Stamp + blit one record; returns (offset, nbytes) or None if full."""
+        total = _SEQ.size + len(data)
+        off = (self._off + 7) & ~7
+        waste = off - self._off
+        if off + total > self.capacity:
+            waste += self.capacity - off
+            off = 0
+        if total > self.capacity or self._used + waste + total > self.capacity:
+            return None
+        _SEQ.pack_into(self.buf, off, seq)
+        view = np.frombuffer(self.buf, dtype=np.uint8, count=len(data), offset=off + _SEQ.size)
+        view[:] = data
+        del view
+        self._off = off + total
+        self._used += waste + total
+        return off, len(data)
+
+
+def _write_record(writer: _RingWriter, seq: int, payload: Any) -> _Entry:
+    kind, data = _encode(payload)
+    placed = writer.write(seq, data)
+    if placed is None:
+        return (kind, -1, len(data), data.tobytes())
+    off, nbytes = placed
+    return (kind, off, nbytes, None)
+
+
+def _read_record(buf: memoryview, seq: int, entry: _Entry) -> Any:
+    kind, off, nbytes, inline = entry
+    if off < 0:
+        if inline is None:
+            raise BackendError("ring entry has neither an offset nor inline bytes")
+        return _decode(kind, np.frombuffer(inline, dtype=np.uint8))
+    stamp = _SEQ.unpack_from(buf, off)[0]
+    if stamp != seq:
+        raise BackendError(
+            f"ring record at offset {off} is stamped seq {stamp}, expected {seq}"
+        )
+    data = np.frombuffer(buf, dtype=np.uint8, count=nbytes, offset=off + _SEQ.size)
+    payload = _decode(kind, data)
+    del data
+    return payload
+
+
+def _close_segment(shm: shared_memory.SharedMemory, unlink: bool) -> None:
+    """Best-effort close (+ optional unlink) tolerating exported views.
+
+    Note on the resource tracker: worker processes inherit the parent's
+    tracker (fork and spawn both ship its fd), and registrations live in a
+    set — so a worker attaching a segment is a no-op re-registration and
+    the parent's unlink below performs the single unregister.  Workers must
+    never unregister themselves or the parent's unlink would KeyError in
+    the tracker process.
+    """
+    if unlink:
+        try:
+            shm.unlink()
+        except FileNotFoundError:
+            pass
+    try:
+        shm.close()
+    except BufferError:
+        # Long-lived pool views (engine buckets) may still reference the
+        # mapping; the segment is already unlinked, so the memory goes away
+        # with the last view / at process exit.  Disarm the instance so its
+        # __del__ does not retry the close and print an ignored exception.
+        shm.close = lambda: None  # type: ignore[method-assign]
+
+
+def _worker_main(
+    rank: int, in_name: str, out_name: str, capacity: int, conn: Connection
+) -> None:
+    """Entry point of one rank server process."""
+    in_shm = shared_memory.SharedMemory(name=in_name)
+    out_shm = shared_memory.SharedMemory(name=out_name)
+    writer = _RingWriter(out_shm.buf, capacity)
+    pool_shm: shared_memory.SharedMemory | None = None
+    pool: np.ndarray | None = None
+    expected = 0
+    try:
+        while True:
+            try:
+                request = conn.recv()
+            except EOFError:
+                break
+            op, seq = request[0], request[1]
+            try:
+                if seq != expected:
+                    raise BackendError(
+                        f"worker {rank}: expected doorbell seq {expected}, got {seq}"
+                    )
+                expected += 1
+                if op == "round":
+                    payloads = [_read_record(in_shm.buf, seq, e) for e in request[2]]
+                    writer.begin_round()
+                    entries = [_write_record(writer, seq, p) for p in payloads]
+                    conn.send(("ok", seq, entries))
+                elif op == "task":
+                    fn, args = _read_record(in_shm.buf, seq, request[2])
+                    result = fn(pool, *args)
+                    writer.begin_round()
+                    conn.send(("ok", seq, _write_record(writer, seq, result)))
+                elif op == "pool":
+                    new = shared_memory.SharedMemory(name=request[2])
+                    pool = np.frombuffer(new.buf, dtype=np.float64, count=request[3])
+                    if pool_shm is not None:
+                        _close_segment(pool_shm, unlink=False)
+                    pool_shm = new
+                    conn.send(("ok", seq, None))
+                elif op == "close":
+                    conn.send(("ok", seq, None))
+                    break
+                else:
+                    raise BackendError(f"worker {rank}: unknown doorbell {op!r}")
+            except BaseException:
+                conn.send(("err", seq, traceback.format_exc()))
+    finally:
+        pool = None
+        if pool_shm is not None:
+            _close_segment(pool_shm, unlink=False)
+        writer = None
+        _close_segment(in_shm, unlink=False)
+        _close_segment(out_shm, unlink=False)
+        conn.close()
+
+
+@dataclass
+class _WorkerHandle:
+    """Parent-side view of one rank server."""
+
+    rank: int
+    process: BaseProcess
+    conn: Connection
+    in_shm: shared_memory.SharedMemory
+    out_shm: shared_memory.SharedMemory
+    writer: _RingWriter = field(init=False)
+    seq: int = 0
+
+    def __post_init__(self) -> None:
+        self.writer = _RingWriter(self.in_shm.buf, self.in_shm.size)
+
+    def next_seq(self) -> int:
+        seq = self.seq
+        self.seq += 1
+        return seq
+
+
+class SharedMemoryBackend(TransportBackend):
+    """N rank-server processes over shared-memory rings (see module doc)."""
+
+    name = "shm"
+    prefers_fast_path = True
+
+    def __init__(
+        self,
+        world_size: int,
+        ring_bytes: int = DEFAULT_RING_BYTES,
+        timeout_s: float = DEFAULT_TIMEOUT_S,
+        start_method: str | None = None,
+    ) -> None:
+        super().__init__()
+        if world_size < 1:
+            raise ValueError(f"world_size must be >= 1, got {world_size}")
+        self.world_size = world_size
+        self.ring_bytes = int(ring_bytes)
+        self.timeout_s = float(timeout_s)
+        if start_method is None:
+            start_method = "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+        self._ctx = multiprocessing.get_context(start_method)
+        self.start_method = start_method
+        self._workers: dict[int, _WorkerHandle] = {}
+        self._pools: dict[int, tuple[shared_memory.SharedMemory, np.ndarray]] = {}
+        self._started = False
+        self._closed = False
+        self._atexit_hook: Callable[[], None] | None = None
+        self.shm_stats = {"rounds": 0, "payload_bytes": 0, "tasks": 0, "inline_fallbacks": 0}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def validate_world(self, world_size: int) -> None:
+        if world_size != self.world_size:
+            raise ValueError(
+                f"shm backend serves {self.world_size} ranks, transport has {world_size}"
+            )
+
+    def ensure_started(self) -> None:
+        """Spawn the rank servers (lazy; a no-op once running)."""
+        if self._started:
+            return
+        if self._closed:
+            raise BackendError("shm backend already closed")
+        try:
+            for rank in range(self.world_size):
+                in_shm = shared_memory.SharedMemory(create=True, size=self.ring_bytes)
+                out_shm = shared_memory.SharedMemory(create=True, size=self.ring_bytes)
+                parent_conn, child_conn = self._ctx.Pipe()
+                process = self._ctx.Process(
+                    target=_worker_main,
+                    args=(rank, in_shm.name, out_shm.name, self.ring_bytes, child_conn),
+                    name=f"repro-shm-w{rank}",
+                    daemon=True,
+                )
+                # Register the handle before starting so a failed spawn is
+                # still unwound by the except-branch close().
+                self._workers[rank] = _WorkerHandle(rank, process, parent_conn, in_shm, out_shm)
+                process.start()
+                child_conn.close()
+            self._started = True
+        except BaseException:
+            self._teardown(graceful=False)
+            raise
+        hook = self.close
+        atexit.register(hook)
+        self._atexit_hook = hook
+        # Re-attach pools allocated before startup.
+        for rank, (pool_shm, pool) in self._pools.items():
+            self._map_pool(rank, pool_shm, pool.shape[0])
+
+    def close(self) -> None:
+        """Shut down workers and release every segment.  Idempotent."""
+        if self._closed:
+            return
+        self._teardown(graceful=True)
+        self._closed = True
+        if self._atexit_hook is not None:
+            atexit.unregister(self._atexit_hook)
+            self._atexit_hook = None
+
+    def _teardown(self, graceful: bool) -> None:
+        for handle in self._workers.values():
+            if graceful and handle.process.is_alive():
+                try:
+                    handle.conn.send(("close", handle.next_seq()))
+                except (BrokenPipeError, OSError):
+                    pass
+        for handle in self._workers.values():
+            if handle.process.is_alive():
+                handle.process.join(timeout=2.0)
+            if handle.process.is_alive():
+                handle.process.terminate()
+                handle.process.join(timeout=2.0)
+            try:
+                handle.conn.close()
+            except OSError:
+                pass
+            _close_segment(handle.in_shm, unlink=True)
+            _close_segment(handle.out_shm, unlink=True)
+        self._workers.clear()
+        self._started = False
+        for pool_shm, _pool in self._pools.values():
+            _close_segment(pool_shm, unlink=True)
+        self._pools.clear()
+
+    # ------------------------------------------------------------------
+    # Control plane
+    # ------------------------------------------------------------------
+    def _await_ack(self, handle: _WorkerHandle, seq: int) -> Any:
+        deadline = time.monotonic() + self.timeout_s
+        while not handle.conn.poll(0.05):
+            if not handle.process.is_alive():
+                code = handle.process.exitcode
+                self.close()
+                raise BackendError(
+                    f"shm worker {handle.rank} died (exit code {code}); backend closed"
+                )
+            if time.monotonic() > deadline:
+                self.close()
+                raise BackendError(
+                    f"shm worker {handle.rank} did not ack seq {seq} within "
+                    f"{self.timeout_s:.0f}s; backend closed"
+                )
+        op, ack_seq, payload = handle.conn.recv()
+        if op == "err":
+            raise BackendError(f"shm worker {handle.rank} failed:\n{payload}")
+        if ack_seq != seq:
+            self.close()
+            raise BackendError(
+                f"shm worker {handle.rank} acked seq {ack_seq}, expected {seq}; "
+                "backend closed"
+            )
+        return payload
+
+    def _post(self, handle: _WorkerHandle, op: str, *payload: Any) -> int:
+        seq = handle.next_seq()
+        try:
+            handle.conn.send((op, seq, *payload))
+        except (BrokenPipeError, OSError) as exc:
+            self.close()
+            raise BackendError(
+                f"shm worker {handle.rank} pipe is gone ({exc}); backend closed"
+            ) from exc
+        return seq
+
+    # ------------------------------------------------------------------
+    # Backend contract
+    # ------------------------------------------------------------------
+    def route_round(self, messages: Sequence[Message]) -> dict[int, list[Message]]:
+        from ..transport import Message as MessageCls
+
+        self.ensure_started()
+        by_dst: dict[int, list[Message]] = {}
+        for message in messages:
+            by_dst.setdefault(message.dst, []).append(message)
+
+        # Phase 1: stage every destination's payloads and ring its doorbell.
+        pending: list[tuple[_WorkerHandle, int, list[Message]]] = []
+        for dst, batch in by_dst.items():
+            handle = self._workers[dst]
+            seq = handle.next_seq()
+            handle.writer.begin_round()
+            entries = []
+            for message in batch:
+                entry = _write_record(handle.writer, seq, message.payload)
+                if entry[1] < 0:
+                    self.shm_stats["inline_fallbacks"] += 1
+                self.shm_stats["payload_bytes"] += entry[2]
+                entries.append(entry)
+            try:
+                handle.conn.send(("round", seq, entries))
+            except (BrokenPipeError, OSError) as exc:
+                self.close()
+                raise BackendError(
+                    f"shm worker {dst} pipe is gone ({exc}); backend closed"
+                ) from exc
+            pending.append((handle, seq, batch))
+        self.shm_stats["rounds"] += 1
+
+        # Phase 2: barrier — every participating worker must ack its round
+        # seq and echo the payloads through its outbound ring.
+        inbox: dict[int, list[Message]] = {}
+        for handle, seq, batch in pending:
+            out_entries = self._await_ack(handle, seq)
+            if len(out_entries) != len(batch):
+                self.close()
+                raise BackendError(
+                    f"shm worker {handle.rank} echoed {len(out_entries)} records "
+                    f"for a {len(batch)}-message round; backend closed"
+                )
+            delivered = []
+            for message, entry in zip(batch, out_entries):
+                payload = _read_record(handle.out_shm.buf, seq, entry)
+                delivered.append(
+                    MessageCls(
+                        src=message.src,
+                        dst=message.dst,
+                        payload=payload,
+                        nbytes=message.nbytes,
+                        match_id=message.match_id,
+                    )
+                )
+            inbox[handle.rank] = delivered
+        return inbox
+
+    def allocate_pool(self, rank: int, n_elements: int) -> np.ndarray:
+        if not 0 <= rank < self.world_size:
+            raise ValueError(f"rank {rank} outside world of {self.world_size}")
+        nbytes = max(8, int(n_elements) * 8)
+        pool_shm = shared_memory.SharedMemory(create=True, size=nbytes)
+        pool = np.frombuffer(pool_shm.buf, dtype=np.float64, count=n_elements)
+        previous = self._pools.get(rank)
+        self._pools[rank] = (pool_shm, pool)
+        if self._started:
+            self._map_pool(rank, pool_shm, n_elements)
+        if previous is not None:
+            _close_segment(previous[0], unlink=True)
+        return pool
+
+    def _map_pool(self, rank: int, pool_shm: shared_memory.SharedMemory, n: int) -> None:
+        handle = self._workers[rank]
+        seq = self._post(handle, "pool", pool_shm.name, n)
+        self._await_ack(handle, seq)
+
+    def run_rank_tasks(
+        self,
+        fn: Callable[..., Any],
+        args_by_rank: Mapping[int, tuple],
+    ) -> dict[int, Any]:
+        self.ensure_started()
+        ranks = sorted(args_by_rank)
+        pending: list[tuple[_WorkerHandle, int]] = []
+        for rank in ranks:
+            handle = self._workers[rank]
+            seq = handle.next_seq()
+            handle.writer.begin_round()
+            entry = _write_record(handle.writer, seq, (fn, tuple(args_by_rank[rank])))
+            try:
+                handle.conn.send(("task", seq, entry))
+            except (BrokenPipeError, OSError) as exc:
+                self.close()
+                raise BackendError(
+                    f"shm worker {rank} pipe is gone ({exc}); backend closed"
+                ) from exc
+            pending.append((handle, seq))
+        self.shm_stats["tasks"] += len(ranks)
+        results: dict[int, Any] = {}
+        for handle, seq in pending:
+            entry = self._await_ack(handle, seq)
+            results[handle.rank] = _read_record(handle.out_shm.buf, seq, entry)
+        return results
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def describe(self) -> dict[str, Any]:
+        info = super().describe()
+        info.update(
+            world_size=self.world_size,
+            started=self._started,
+            start_method=self.start_method,
+            ring_bytes=self.ring_bytes,
+            cpu_count=os.cpu_count(),
+            **self.shm_stats,
+        )
+        return info
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:
+            pass

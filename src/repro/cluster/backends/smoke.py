@@ -1,0 +1,66 @@
+"""2-core scaling smoke check: ``python -m repro.cluster.backends.smoke``.
+
+Runs the compute-bound per-rank workload at world 2 on the ``local``
+(serial) and ``shm`` (one process per rank) backends and requires the shm
+backend to show real overlap — wall time below ~85% of serial — plus
+bitwise-identical results.  Exits 0 and prints SKIP on machines with fewer
+than 2 cores, where the scaling assertion is physically unsatisfiable;
+exits 1 on a miss.  CI's ``backends`` job runs this on a 2-core runner.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+from ..topology import ClusterSpec
+from ..transport import Transport
+from ...perf.workloads import EPOCH_ITERS, EPOCH_POOL_ELEMENTS, compute_epoch_task
+
+WORLD = 2
+#: shm wall time must be below this fraction of serial local wall time.
+#: Perfect 2-core scaling is 0.5; 0.85 leaves headroom for dispatch
+#: overhead and noisy shared runners while still proving actual overlap.
+MAX_RATIO = 0.85
+REPEATS = 3
+
+
+def _best_run(backend, args) -> tuple[float, dict]:
+    result = backend.run_rank_tasks(compute_epoch_task, args)  # warmup
+    best = float("inf")
+    for _ in range(REPEATS):
+        t0 = time.perf_counter()
+        result = backend.run_rank_tasks(compute_epoch_task, args)
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def main() -> int:
+    cpus = os.cpu_count() or 1
+    if cpus < 2:
+        print(f"SKIP: {cpus} core(s); the scaling check needs >= 2")
+        return 0
+    spec = ClusterSpec(num_nodes=1, workers_per_node=WORLD)
+    args = {rank: (rank, EPOCH_ITERS) for rank in range(WORLD)}
+    times: dict[str, float] = {}
+    results: dict[str, dict] = {}
+    for name in ("local", "shm"):
+        with Transport(spec, backend=name) as transport:
+            for rank in range(WORLD):
+                transport.backend.allocate_pool(rank, EPOCH_POOL_ELEMENTS)
+            times[name], results[name] = _best_run(transport.backend, args)
+    if results["local"] != results["shm"]:
+        print(f"FAIL: backend results diverge: {results}")
+        return 1
+    ratio = times["shm"] / times["local"]
+    verdict = "ok" if ratio <= MAX_RATIO else "FAIL"
+    print(
+        f"{verdict}: world={WORLD} local={times['local']:.3f}s "
+        f"shm={times['shm']:.3f}s ratio={ratio:.2f} (required <= {MAX_RATIO})"
+    )
+    return 0 if ratio <= MAX_RATIO else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,27 +12,43 @@ under an alpha-beta cost model with NIC serialization:
 Payloads are opaque to the transport; their wire size is taken from the
 message, so compressed payloads are charged their true compressed size and
 timing-mode stubs can declare full-scale sizes without materializing data.
+
+*Moving* the payloads — as opposed to pricing them — is delegated to a
+pluggable :class:`~repro.cluster.backends.TransportBackend` (in-process
+reference, world-batched, or shared-memory multiprocess); see
+``docs/backends.md``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from collections.abc import Sequence
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
 from .clock import VirtualClock
 from .topology import ClusterSpec
 
+if TYPE_CHECKING:
+    from ..analysis.recorder import TraceRecorder
+    from .backends import TransportBackend
+
+#: Wire-size charge for a container envelope (tuple/list) and for scalars.
+#: A container costs one header plus its elements, so ``(i, array)`` chunk
+#: tags price as 16 bytes of framing + the array, and an empty tuple is no
+#: longer free while a bare scalar costs 8.
+CONTAINER_BYTES = 8.0
+
 
 def payload_nbytes(payload: Any) -> float:
     """Best-effort wire size of a payload in bytes.
 
     Numpy arrays report their buffer size; objects exposing ``wire_bytes``
-    (compressed payloads, timing stubs) report that; tuples/lists sum their
-    elements (collectives tag chunks as ``(chunk_id, array)``); scalars and
-    anything else count as an 8-byte header.
+    (compressed payloads, timing stubs) report that; tuples/lists charge an
+    8-byte container header plus the sum of their elements (collectives tag
+    chunks as ``(chunk_id, array)``); scalars and anything else count as an
+    8-byte header.
     """
     if isinstance(payload, np.ndarray):
         return float(payload.nbytes)
@@ -40,7 +56,7 @@ def payload_nbytes(payload: Any) -> float:
     if wire is not None:
         return float(wire)
     if isinstance(payload, (tuple, list)):
-        return sum(payload_nbytes(item) for item in payload)
+        return CONTAINER_BYTES + sum(payload_nbytes(item) for item in payload)
     return 8.0
 
 
@@ -101,15 +117,28 @@ class TrafficStats:
 
 
 class Transport:
-    """Round-based message delivery over a :class:`ClusterSpec`."""
+    """Round-based message delivery over a :class:`ClusterSpec`.
 
-    def __init__(self, spec: ClusterSpec) -> None:
+    ``backend`` selects the execution substrate (an instance, a registry
+    name, or ``None`` for ``$REPRO_BACKEND`` / the default); the transport
+    attaches it on construction and owns its lifetime via :meth:`close`.
+    """
+
+    def __init__(
+        self,
+        spec: ClusterSpec,
+        backend: TransportBackend | str | None = None,
+    ) -> None:
+        from .backends import resolve_backend
+
         self.spec = spec
+        self.backend = resolve_backend(backend, spec)
+        self.backend.attach(self)
         self.clocks: list[VirtualClock] = [VirtualClock() for _ in range(spec.world_size)]
         self.stats = TrafficStats()
-        # Optional instrumentation sink (repro.analysis.recorder.TraceRecorder):
-        # when set, every exchanged round is reported before delivery.
-        self.tracer = None
+        # Optional instrumentation sink: when set, every exchanged round is
+        # reported before delivery.
+        self.tracer: TraceRecorder | None = None
         self._round_counter = 0
         # Topology is immutable, so the link / NIC-key lookups every message
         # repeats are memoized per (src, dst) pair.  ``_sized_cache`` holds
@@ -168,6 +197,16 @@ class Transport:
             clock.reset()
         self.stats.reset()
 
+    def close(self) -> None:
+        """Release the backend's resources (idempotent)."""
+        self.backend.close()
+
+    def __enter__(self) -> Transport:
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
     # ------------------------------------------------------------------
     # Delivery
     # ------------------------------------------------------------------
@@ -201,7 +240,6 @@ class Transport:
         egress_free: dict[tuple[int, str], float] = {}
         ingress_free: dict[tuple[int, str], float] = {}
         arrivals: dict[int, float] = {}
-        inbox: dict[int, list[Message]] = {}
 
         sender_done: dict[int, float] = {}
         clocks = self.clocks
@@ -225,13 +263,14 @@ class Transport:
             ingress_free[ingress_key] = arrival
 
             arrivals[dst] = max(arrivals.get(dst, 0.0), arrival)
-            inbox.setdefault(dst, []).append(message)
 
         for rank, done_at in sender_done.items():
             clocks[rank].advance_to(done_at)
         for rank, arrival in arrivals.items():
             clocks[rank].advance_to(arrival)
-        return inbox
+        # Timing, stats and trace are settled; the backend now actually
+        # moves the payloads (in-process hand-off or cross-process rings).
+        return self.backend.route_round(messages)
 
     def exchange_sized(
         self, sends: Sequence[tuple[int, int, float, str | None]]

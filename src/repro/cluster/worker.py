@@ -42,10 +42,17 @@ class WorkerContext:
 
 
 def make_workers(
-    spec: ClusterSpec, transport: Transport | None = None, seed: int = 0
+    spec: ClusterSpec,
+    transport: Transport | None = None,
+    seed: int = 0,
+    backend: str | None = None,
 ) -> list[WorkerContext]:
-    """Create one context per rank sharing a transport."""
-    transport = transport or Transport(spec)
+    """Create one context per rank sharing a transport.
+
+    ``backend`` names the transport backend for a freshly created transport
+    (ignored when ``transport`` is passed in).
+    """
+    transport = transport or Transport(spec, backend=backend)
     return [
         WorkerContext(
             rank=rank,

@@ -38,8 +38,9 @@ from .chunking import check_arrays, chunk_bounds
 from .group import CommGroup
 
 #: tuple-header bytes of the ``(index, payload)`` envelope the loop
-#: collectives send (``payload_nbytes`` charges 8 bytes per scalar element)
-_HEADER_BYTES = 8.0
+#: collectives send: 8 for the tuple container itself plus 8 for the scalar
+#: index element (``payload_nbytes`` charges both since the container fix)
+_HEADER_BYTES = 16.0
 #: wire bytes per element of a float64 ndarray payload
 _F64_BYTES = 8.0
 

@@ -53,7 +53,7 @@ def ring_reduce_scatter(
     to its right neighbor and accumulates the chunk arriving from the left.
     Returns the reduced chunk owned by each member.
     """
-    if resolve_fast_path(fast_path) and group.size > 1:
+    if resolve_fast_path(fast_path, group.transport) and group.size > 1:
         from .batched import ring_reduce_scatter_batched
 
         return ring_reduce_scatter_batched(arrays, group)
@@ -105,7 +105,7 @@ def ring_all_gather_chunks(
     ``chunks[i]`` is the chunk owned by member i whose id is ``owners[i]``;
     chunk ids index into the canonical ``chunk_bounds(total, n)`` layout.
     """
-    if resolve_fast_path(fast_path) and group.size > 1:
+    if resolve_fast_path(fast_path, group.transport) and group.size > 1:
         from .batched import ring_all_gather_chunks_batched
 
         return ring_all_gather_chunks_batched(chunks, owners, group, total)
@@ -144,7 +144,7 @@ def ring_allreduce(
     arrays: Sequence[np.ndarray], group: CommGroup, fast_path: bool | None = None
 ) -> list[np.ndarray]:
     """Classic two-phase ring allreduce (sum); 2(n-1) rounds of S/n bytes."""
-    if resolve_fast_path(fast_path) and group.size > 1:
+    if resolve_fast_path(fast_path, group.transport) and group.size > 1:
         from .batched import ring_allreduce_batched
 
         return ring_allreduce_batched(arrays, group)

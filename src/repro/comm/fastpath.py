@@ -10,11 +10,16 @@ transport schedules):
 * the **fast path** — the world dimension batched into single ``(world, n)``
   ndarray kernels with size-stub messages (see :mod:`repro.comm.batched`).
 
-The fast path is the default.  It can be disabled globally
-(``set_fast_path(False)``, or ``REPRO_FAST_PATH=0`` in the environment),
-per call site (every routed function takes ``fast_path=...``), or lexically
-with the :func:`use_fast_path` context manager — which is how benchmarks and
-bit-identity tests drive both implementations side by side.
+Resolution order for each collective call:
+
+1. an explicit per-call ``fast_path=...`` argument;
+2. an explicit global — ``REPRO_FAST_PATH`` in the environment,
+   :func:`set_fast_path`, or the :func:`use_fast_path` context manager;
+3. the transport backend's preference (``backend.prefers_fast_path``):
+   ``local`` picks the loop reference, ``batched``/``shm`` the kernels.
+
+With no explicit setting anywhere the default remains the fast path, so
+behavior is unchanged for existing callers.
 """
 
 from __future__ import annotations
@@ -22,8 +27,16 @@ from __future__ import annotations
 import os
 from contextlib import contextmanager
 from collections.abc import Iterator
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from ..cluster.transport import Transport
 
 _enabled: bool = os.environ.get("REPRO_FAST_PATH", "1").lower() not in ("0", "false", "no")
+# Whether the global was *explicitly* chosen (env var present, set_fast_path,
+# or use_fast_path).  Only an explicit global overrides a transport backend's
+# kernel preference.
+_explicit: bool = "REPRO_FAST_PATH" in os.environ
 
 
 def fast_path_enabled() -> bool:
@@ -31,24 +44,41 @@ def fast_path_enabled() -> bool:
     return _enabled
 
 
-def set_fast_path(enabled: bool) -> None:
-    """Set the global fast-path default (True = batched kernels)."""
-    global _enabled
+def set_fast_path(enabled: bool | None) -> None:
+    """Set the global fast-path default (True = batched kernels).
+
+    ``None`` clears any explicit global: the default reverts to the
+    environment (``REPRO_FAST_PATH``) and per-call resolution defers to the
+    transport backend's kernel preference again.
+    """
+    global _enabled, _explicit
+    if enabled is None:
+        _enabled = os.environ.get("REPRO_FAST_PATH", "1").lower() not in ("0", "false", "no")
+        _explicit = "REPRO_FAST_PATH" in os.environ
+        return
     _enabled = bool(enabled)
+    _explicit = True
 
 
-def resolve_fast_path(override: bool | None) -> bool:
-    """Resolve a per-call ``fast_path`` argument against the global default."""
-    return _enabled if override is None else bool(override)
+def resolve_fast_path(override: bool | None, transport: Transport | None = None) -> bool:
+    """Resolve a per-call ``fast_path`` argument (see module doc for order)."""
+    if override is not None:
+        return bool(override)
+    if _explicit or transport is None:
+        return _enabled
+    return transport.backend.prefers_fast_path
 
 
 @contextmanager
 def use_fast_path(enabled: bool) -> Iterator[None]:
     """Temporarily force the fast path on or off (tests, benchmarks)."""
-    global _enabled
+    global _enabled, _explicit
     previous = _enabled
+    previous_explicit = _explicit
     _enabled = bool(enabled)
+    _explicit = True
     try:
         yield
     finally:
         _enabled = previous
+        _explicit = previous_explicit

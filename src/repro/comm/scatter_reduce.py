@@ -71,7 +71,7 @@ def scatter_reduce(
         and compress_phase2 is None
         and decompress_phase2 is None
     )
-    if hooks_default and group.size > 1 and resolve_fast_path(fast_path):
+    if hooks_default and group.size > 1 and resolve_fast_path(fast_path, group.transport):
         from .batched import scatter_reduce_batched
 
         return scatter_reduce_batched(arrays, group)

@@ -21,10 +21,14 @@ pair per member) matches the per-rank program exactly.
 from __future__ import annotations
 
 from collections.abc import Sequence
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..comm.group import CommGroup
+
+if TYPE_CHECKING:
+    from ..cluster.backends import TransportBackend
 from ..compression.base import Compressor
 from ..compression.error_feedback import ErrorFeedback
 from .primitives import PeerSelector, RingPeers, c_fp_s, c_lp_s, d_fp_s, d_lp_s
@@ -135,6 +139,11 @@ class GlobalComm:
     @property
     def world_size(self) -> int:
         return self.group.size
+
+    @property
+    def backend(self) -> TransportBackend:
+        """The execution substrate the group's transport runs on."""
+        return self.group.transport.backend
 
 
 def get_global_comm(engine) -> GlobalComm:

@@ -136,6 +136,13 @@ class BaguaEngine:
             for ctx, m, o in zip(workers, models, optimizers)
         ]
         transport = workers[0].transport
+        if self.config.backend is not None and self.config.backend != transport.backend.name:
+            raise ValueError(
+                f"config selects backend {self.config.backend!r} but the workers' "
+                f"transport runs {transport.backend.name!r}; build the transport "
+                "with the same backend (e.g. make_workers(spec, "
+                f"backend={self.config.backend!r}))"
+            )
         self.group = CommGroup(transport, [w.ctx.rank for w in self.workers])
         self.plan: ExecutionPlan | None = None
         self.profile: ExecutionProfile | None = None
@@ -195,6 +202,10 @@ class BaguaEngine:
         """One lock-step iteration; returns the mean loss across workers."""
         if len(batches) != self.world_size:
             raise ValueError(f"need {self.world_size} batches, got {len(batches)}")
+        if self.config.fast_path is None:
+            # No explicit choice: collectives follow the transport backend's
+            # kernel preference (resolve_fast_path's backend-aware default).
+            return self._step_inner(batches, loss_fn)
         with use_fast_path(self.config.fast_path):
             return self._step_inner(batches, loss_fn)
 
@@ -274,14 +285,18 @@ class BaguaEngine:
         all of its buckets; every bucket's backing buffer is a view into it.
         Bucket-level flat views stay zero-copy exactly as before, and the
         whole replica is additionally contiguous (one allocation per worker
-        instead of one per bucket).
+        instead of one per bucket).  The pool's storage comes from the
+        transport backend: in-process backends hand back plain ndarrays, the
+        shm backend maps a shared-memory segment visible to the rank's
+        worker process as well.
         """
         assert self.plan is not None
         flatten = self.config.flatten
+        backend = self.group.transport.backend
         total = sum(planned.elements for planned in self.plan.buckets)
         for worker in self.workers:
             by_name = dict(worker.model.named_parameters())
-            pool = np.empty(total, dtype=np.float64) if flatten else None
+            pool = backend.allocate_pool(worker.rank, total) if flatten else None
             offset = 0
             buckets = []
             for planned in self.plan.buckets:

@@ -32,18 +32,23 @@ DEFAULT_BUCKET_BYTES = 10 * 1024 * 1024
 class BaguaConfig:
     """The three system optimizations plus bucketing granularity.
 
-    ``fast_path`` selects the world-batched collective kernels
-    (:mod:`repro.comm.batched`) for every communication the engine issues;
-    results and simulated timing are bitwise identical to the loop
-    reference, so this is purely a wall-clock switch (kept as a config knob
-    for A/B benchmarking and as an escape hatch).
+    ``backend`` selects the transport execution substrate by registry name
+    (``"local"``, ``"batched"``, ``"shm"``; ``None`` defers to
+    ``$REPRO_BACKEND`` / the default — see :mod:`repro.cluster.backends`).
+    ``fast_path`` forces the world-batched collective kernels
+    (:mod:`repro.comm.batched`) on or off for every communication the
+    engine issues; ``None`` (the default) lets the backend's kernel
+    preference decide.  Results and simulated timing are bitwise identical
+    either way, so both knobs are purely wall-clock switches (kept for A/B
+    benchmarking and as escape hatches).
     """
 
     overlap: bool = True
     flatten: bool = True
     hierarchical: bool = False
     bucket_bytes: float = DEFAULT_BUCKET_BYTES
-    fast_path: bool = True
+    fast_path: bool | None = None
+    backend: str | None = None
 
     def describe(self) -> str:
         return (

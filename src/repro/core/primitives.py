@@ -114,7 +114,7 @@ def c_lp_s(
         decompress_compatible(store.compressor, compressor)
         for store in (*worker_errors, *server_errors)
     )
-    if resolve_fast_path(fast_path) and batchable and group.size > 1:
+    if resolve_fast_path(fast_path, group.transport) and batchable and group.size > 1:
         if hierarchical:
             return HierarchicalComm(group).allreduce_batched(
                 arrays,
@@ -255,7 +255,7 @@ def d_fp_s(
 
     neighbor_sets = peers.neighbors(group.size, step)
     _trace_collective(group, "gossip", arrays[0].size, peers_by_member=neighbor_sets)
-    if resolve_fast_path(fast_path):
+    if resolve_fast_path(fast_path, group.transport):
         return gossip_average_batched(arrays, neighbor_sets, group)
     received = _peer_exchange([a.astype(np.float64, copy=False) for a in arrays], neighbor_sets, group)
     results = []
@@ -302,7 +302,7 @@ def d_lp_s(
         biased=compressor.biased,
         peers_by_member=neighbor_sets,
     )
-    if resolve_fast_path(fast_path):
+    if resolve_fast_path(fast_path, group.transport):
         return gossip_average_batched(arrays, neighbor_sets, group, codec=compressor)
     payloads = [compressor.compress(a) for a in arrays]
     received = _peer_exchange(payloads, neighbor_sets, group)

@@ -1,0 +1,33 @@
+"""Module-level per-rank workloads for backend benchmarks.
+
+These run inside :meth:`TransportBackend.run_rank_tasks`, so they must be
+importable by name — the shm backend pickles the function *by reference*
+and each rank's worker process resolves it in its own interpreter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Pool length / iteration count of the compute-bound epoch benchmark:
+#: sized so one rank's task takes a few hundred ms of pure numpy compute —
+#: long enough that process dispatch overhead (~1 ms) is noise, short
+#: enough for quick mode.
+EPOCH_POOL_ELEMENTS = 120_000
+EPOCH_ITERS = 120
+
+
+def compute_epoch_task(pool: np.ndarray | None, rank: int, iters: int) -> float:
+    """A compute-bound 'epoch': iterated elementwise math on the rank's pool.
+
+    Deterministic in ``(rank, iters, len(pool))`` so results are bitwise
+    comparable across backends; writes through the pool so the shm backend's
+    cross-process pool mapping is exercised, and returns a checksum.
+    """
+    if pool is None:
+        pool = np.empty(EPOCH_POOL_ELEMENTS, dtype=np.float64)
+    x = np.random.default_rng(1000 + rank).standard_normal(pool.shape[0])
+    for _ in range(iters):
+        x = np.tanh(x) + 0.25 * np.sin(x * 1.7) - 0.001 * x * x
+    pool[:] = x
+    return float(x.sum())

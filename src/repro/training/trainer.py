@@ -41,7 +41,9 @@ class DistributedTrainer:
         seed: int = 0,
     ) -> None:
         self.spec = spec
-        self.transport = Transport(spec)
+        self.transport = Transport(
+            spec, backend=config.backend if config is not None else None
+        )
         self.workers: list[WorkerContext] = make_workers(spec, self.transport, seed=seed)
         # All replicas initialize from the SAME rng seed — a hard requirement
         # of data-parallel training (the engine verifies it).

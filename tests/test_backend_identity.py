@@ -1,0 +1,283 @@
+"""Backend bit-identity: LocalBackend vs SharedMemoryBackend.
+
+The backend contract (``repro/cluster/backends/base.py``) requires every
+backend to be observationally identical — same result bits, same virtual
+clocks, same :class:`TrafficStats`, same round counters, same recorded
+traces — differing only in wall clock and address spaces.  These tests
+drive every collective × compressor combination through the in-process
+oracle and the multiprocess shm backend side by side, on the loop path
+(``fast_path=False``) so message payloads genuinely cross the rings.
+
+One shm backend per world size is reused across tests/examples (workers
+are expensive to spawn); backends re-attach cleanly to fresh transports.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import ClusterSpec, Transport
+from repro.cluster.backends import SharedMemoryBackend
+from repro.cluster.netmodel import TCP_25G
+from repro.comm import CommGroup, ring_allreduce, scatter_reduce
+from repro.compression import (
+    ErrorFeedback,
+    OneBitCompressor,
+    QSGDCompressor,
+    SignSGDCompressor,
+    TernGradCompressor,
+    TopKCompressor,
+)
+from repro.core.primitives import RingPeers, c_fp_s, c_lp_s, d_fp_s, d_lp_s
+
+CODEC_FACTORIES = {
+    "qsgd8": lambda: QSGDCompressor(bits=8, rng=np.random.default_rng(3)),
+    "qsgd4": lambda: QSGDCompressor(bits=4, rng=np.random.default_rng(11)),
+    "onebit": OneBitCompressor,
+    "terngrad": lambda: TernGradCompressor(rng=np.random.default_rng(5)),
+    "topk": lambda: TopKCompressor(ratio=0.25),
+    "signsgd": SignSGDCompressor,
+}
+
+_SHM_CACHE: dict[int, SharedMemoryBackend] = {}
+
+
+def _shm_backend(world: int) -> SharedMemoryBackend:
+    backend = _SHM_CACHE.get(world)
+    if backend is None or backend._closed:
+        backend = SharedMemoryBackend(world)
+        _SHM_CACHE[world] = backend
+    return backend
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _shutdown_cached_backends():
+    yield
+    for backend in _SHM_CACHE.values():
+        backend.close()
+    _SHM_CACHE.clear()
+
+
+class _Recorder:
+    """Minimal tracer capturing what TraceRecorder observes per round."""
+
+    def __init__(self):
+        self.rounds = []
+
+    def on_exchange(self, messages):
+        self.rounds.append([(m.src, m.dst, m.nbytes, m.match_id) for m in messages])
+
+    def on_collective(self, group, kind, elements, **meta):
+        self.rounds.append(("collective", kind, elements, tuple(sorted(meta))))
+
+    def on_local(self, rank, kind, **meta):
+        self.rounds.append(("local", rank, kind, tuple(sorted(meta.items()))))
+
+
+def _spec(world: int) -> ClusterSpec:
+    if world > 4 and world % 4 == 0:
+        return ClusterSpec(num_nodes=world // 4, workers_per_node=4, inter_node=TCP_25G)
+    return ClusterSpec(num_nodes=1, workers_per_node=world, inter_node=TCP_25G)
+
+
+def _transport_state(group: CommGroup) -> tuple:
+    transport = group.transport
+    stats = transport.stats
+    return (
+        [clock.now for clock in transport.clocks],
+        stats.messages,
+        stats.rounds,
+        stats.total_bytes,
+        stats.inter_node_bytes,
+        stats.intra_node_bytes,
+        dict(stats.per_rank_sent_bytes),
+        transport._round_counter,
+    )
+
+
+def _compare(world: int, run):
+    """Run ``run(group)`` on both backends; assert total observational identity."""
+    from repro.comm.fastpath import use_fast_path
+
+    spec = _spec(world)
+    outputs, states, traces = {}, {}, {}
+    for name, backend in (("local", "local"), ("shm", _shm_backend(world))):
+        group = CommGroup(Transport(spec, backend=backend), list(range(world)))
+        recorder = _Recorder()
+        group.transport.tracer = recorder
+        # Force the loop path on both backends so payloads really route
+        # through route_round (the fast path sends size stubs only).
+        with use_fast_path(False):
+            outputs[name] = run(group)
+        states[name] = _transport_state(group)
+        traces[name] = recorder.rounds
+    local_out, shm_out = outputs["local"], outputs["shm"]
+    assert len(local_out) == len(shm_out)
+    for a, b in zip(local_out, shm_out):
+        assert a.dtype == b.dtype
+        assert a.tobytes() == b.tobytes(), "shm result bits differ from local"
+    assert states["local"] == states["shm"]
+    assert traces["local"] == traces["shm"]
+    return local_out
+
+
+worlds = st.integers(min_value=2, max_value=4)
+sizes = st.integers(min_value=1, max_value=96)
+
+
+class TestCollectiveIdentity:
+    @settings(max_examples=8, deadline=None)
+    @given(world=worlds, size=sizes, seed=st.integers(0, 2**16))
+    def test_scatter_reduce(self, world, size, seed):
+        rng = np.random.default_rng(seed)
+        base = [rng.standard_normal(size) for _ in range(world)]
+        _compare(world, lambda g: scatter_reduce([a.copy() for a in base], g, fast_path=False))
+
+    @settings(max_examples=6, deadline=None)
+    @given(world=worlds, size=sizes, seed=st.integers(0, 2**16))
+    def test_ring_allreduce(self, world, size, seed):
+        rng = np.random.default_rng(seed)
+        base = [rng.standard_normal(size) for _ in range(world)]
+        _compare(world, lambda g: ring_allreduce([a.copy() for a in base], g, fast_path=False))
+
+    @settings(max_examples=6, deadline=None)
+    @given(world=worlds, size=sizes, seed=st.integers(0, 2**16))
+    def test_c_fp_s(self, world, size, seed):
+        rng = np.random.default_rng(seed)
+        base = [rng.standard_normal(size) for _ in range(world)]
+        _compare(world, lambda g: c_fp_s([a.copy() for a in base], g))
+
+    @settings(max_examples=6, deadline=None)
+    @given(world=worlds, size=sizes, seed=st.integers(0, 2**16))
+    def test_gossip_d_fp_s(self, world, size, seed):
+        rng = np.random.default_rng(seed)
+        base = [rng.standard_normal(size) for _ in range(world)]
+        _compare(
+            world,
+            lambda g: d_fp_s([a.copy() for a in base], g, RingPeers(), fast_path=False),
+        )
+
+    def test_multi_node_world_eight(self):
+        # Mixes NVLink and TCP fabrics (2 nodes x 4 workers).
+        rng = np.random.default_rng(8)
+        base = [rng.standard_normal(64) for _ in range(8)]
+        _compare(8, lambda g: scatter_reduce([a.copy() for a in base], g, fast_path=False))
+
+
+class TestCompressedIdentity:
+    @pytest.mark.parametrize("codec_name", sorted(CODEC_FACTORIES))
+    def test_c_lp_s(self, codec_name):
+        rng = np.random.default_rng(17)
+        base = [rng.standard_normal(64) for _ in range(4)]
+
+        def run(group):
+            codec = CODEC_FACTORIES[codec_name]()
+            return c_lp_s([a.copy() for a in base], group, codec, fast_path=False)
+
+        _compare(4, run)
+
+    @pytest.mark.parametrize("codec_name", sorted(CODEC_FACTORIES))
+    def test_d_lp_s(self, codec_name):
+        rng = np.random.default_rng(23)
+        base = [rng.standard_normal(48) for _ in range(4)]
+
+        def run(group):
+            codec = CODEC_FACTORIES[codec_name]()
+            return d_lp_s(
+                [a.copy() for a in base], group, codec, RingPeers(), fast_path=False
+            )
+
+        _compare(4, run)
+
+    @pytest.mark.parametrize("codec_name", ["qsgd8", "onebit", "topk"])
+    def test_c_lp_s_with_error_feedback(self, codec_name):
+        rng = np.random.default_rng(29)
+        base = [rng.standard_normal(64) for _ in range(4)]
+        residuals = {}
+
+        def run(group):
+            codec = CODEC_FACTORIES[codec_name]()
+            worker_err = [ErrorFeedback(codec) for _ in range(4)]
+            server_err = [ErrorFeedback(codec) for _ in range(4)]
+            out = None
+            for _ in range(3):  # iterate so residuals accumulate
+                out = c_lp_s(
+                    [a.copy() for a in base], group, codec,
+                    worker_errors=worker_err, server_errors=server_err,
+                    fast_path=False,
+                )
+            residuals[group.transport.backend.name] = (worker_err, server_err)
+            return out
+
+        _compare(4, run)
+        for local_ef, shm_ef in zip(residuals["local"], residuals["shm"]):
+            for a, b in zip(local_ef, shm_ef):
+                assert a._residuals.keys() == b._residuals.keys()
+                for key in a._residuals:
+                    assert a._residuals[key].tobytes() == b._residuals[key].tobytes()
+
+
+class TestTracedRounds:
+    def test_real_trace_recorder_identical(self):
+        from repro.analysis.recorder import TraceRecorder
+
+        spec = _spec(4)
+        rng = np.random.default_rng(31)
+        base = [rng.standard_normal(40) for _ in range(4)]
+        events = {}
+        for name, backend in (("local", "local"), ("shm", _shm_backend(4))):
+            transport = Transport(spec, backend=backend)
+            group = CommGroup(transport, list(range(4)))
+            recorder = TraceRecorder(4).install(transport)
+            scatter_reduce([a.copy() for a in base], group, fast_path=False)
+            events[name] = [
+                (op.rank, op.seq, op.kind, op.round, op.elements, op.nbytes,
+                 op.peers, op.group, op.match)
+                for op in recorder.trace.all_ops()
+            ]
+            recorder.uninstall()
+        assert len(events["local"]) > 0
+        assert events["local"] == events["shm"]
+
+
+class TestEngineEndToEnd:
+    def test_trainer_identical_across_backends(self):
+        from repro.algorithms import QSGD
+        from repro.core.optimizer_framework import BaguaConfig
+        from repro.data.loader import make_sharded_loaders
+        from repro.training import DistributedTrainer, get_task
+
+        task = get_task("VGG16")
+        dataset = task.dataset_factory(0)
+        records = {}
+        for backend in ("local", "shm"):
+            spec = ClusterSpec(num_nodes=1, workers_per_node=2, inter_node=TCP_25G)
+            trainer = DistributedTrainer(
+                spec, task.model_factory, task.make_optimizer, QSGD(bits=8),
+                # fast_path=False keeps the loop path so bucket payloads
+                # genuinely travel through the backend every round.
+                config=BaguaConfig(backend=backend, fast_path=False),
+                seed=0,
+            )
+            assert trainer.transport.backend.name == backend
+            loaders = make_sharded_loaders(dataset, 2, 16, seed=0)
+            record = trainer.train(loaders, task.loss_fn, epochs=1, label="parity")
+            weights = np.concatenate(
+                [w.flatten() for w in trainer.engine.workers[0].model.state_dict().values()]
+            )
+            records[backend] = (
+                record.epoch_losses,
+                record.epoch_sim_times,
+                record.epoch_comm_bytes,
+                trainer.transport.stats.messages,
+                trainer.transport.stats.total_bytes,
+                weights.tobytes(),
+            )
+            if backend == "shm":
+                # Engine pools came from the backend: shm-mapped storage.
+                for worker in trainer.engine.workers:
+                    pool = worker.state["flat_pool"]
+                    assert pool is not None and not pool.flags.owndata
+            trainer.transport.close()
+        assert records["local"] == records["shm"]

@@ -1,0 +1,249 @@
+"""SharedMemoryBackend unit tests: lifecycle, rings, pools, failures.
+
+Bit-identity against the in-process oracle lives in
+``test_backend_identity.py``; this file covers the multiprocess machinery
+itself.  Per-rank task functions are module-level on purpose — the shm
+backend pickles them by reference into the worker processes.
+"""
+
+import os
+import signal
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterSpec, Message, Transport
+from repro.cluster.backends import (
+    BACKEND_REGISTRY,
+    BackendError,
+    BatchedBackend,
+    LocalBackend,
+    SharedMemoryBackend,
+    available_backends,
+    resolve_backend,
+)
+
+
+def _spec(world: int) -> ClusterSpec:
+    return ClusterSpec(num_nodes=1, workers_per_node=world)
+
+
+def scale_task(pool, factor):
+    pool *= factor
+    return float(pool.sum())
+
+
+def echo_task(pool, value):
+    return value
+
+
+def boom_task(pool):
+    raise ValueError("boom from the worker")
+
+
+class TestRegistry:
+    def test_names(self):
+        assert available_backends() == ["batched", "local", "shm"]
+        assert set(BACKEND_REGISTRY) == {"local", "batched", "shm"}
+
+    def test_resolve_by_name(self):
+        spec = _spec(2)
+        assert isinstance(resolve_backend("local", spec), LocalBackend)
+        assert isinstance(resolve_backend("batched", spec), BatchedBackend)
+        shm = resolve_backend("shm", spec)
+        assert isinstance(shm, SharedMemoryBackend)
+        assert shm.world_size == 2
+        shm.close()
+
+    def test_resolve_default_is_batched(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        assert resolve_backend(None, _spec(2)).name == "batched"
+
+    def test_resolve_env_var(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "local")
+        assert resolve_backend(None, _spec(2)).name == "local"
+
+    def test_resolve_instance_passthrough(self):
+        backend = LocalBackend()
+        assert resolve_backend(backend, _spec(2)) is backend
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown transport backend"):
+            resolve_backend("carrier-pigeon", _spec(2))
+
+    def test_transport_env_selection(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "local")
+        assert Transport(_spec(2)).backend.name == "local"
+
+    def test_kernel_preferences(self):
+        assert LocalBackend.prefers_fast_path is False
+        assert BatchedBackend.prefers_fast_path is True
+        assert SharedMemoryBackend.prefers_fast_path is True
+
+
+class TestLocalBackend:
+    def test_route_round_groups_in_order(self):
+        backend = LocalBackend()
+        messages = [
+            Message(0, 1, "a"),
+            Message(2, 1, "b"),
+            Message(0, 2, "c"),
+        ]
+        inbox = backend.route_round(messages)
+        assert [m.payload for m in inbox[1]] == ["a", "b"]
+        assert [m.payload for m in inbox[2]] == ["c"]
+        assert inbox[1][0] is messages[0]  # in-process hand-off, no copy
+
+    def test_serial_tasks_use_pools(self):
+        backend = LocalBackend()
+        pool = backend.allocate_pool(0, 4)
+        pool[:] = 2.0
+        results = backend.run_rank_tasks(scale_task, {0: (3.0,)})
+        assert results == {0: 24.0}
+        assert pool[0] == 6.0
+
+
+class TestShmLifecycle:
+    def test_lazy_start_and_idempotent_close(self):
+        backend = SharedMemoryBackend(2)
+        assert not backend._started
+        backend.ensure_started()
+        assert backend._started
+        assert all(h.process.is_alive() for h in backend._workers.values())
+        pids = [h.process.pid for h in backend._workers.values()]
+        backend.close()
+        backend.close()
+        for pid in pids:
+            with pytest.raises(ProcessLookupError):
+                os.kill(pid, 0)
+
+    def test_context_manager(self):
+        with SharedMemoryBackend(2) as backend:
+            backend.ensure_started()
+            handles = list(backend._workers.values())
+        assert all(not h.process.is_alive() for h in handles)
+
+    def test_use_after_close_raises(self):
+        backend = SharedMemoryBackend(2)
+        backend.ensure_started()
+        backend.close()
+        with pytest.raises(BackendError, match="closed"):
+            backend.ensure_started()
+
+    def test_world_size_validated(self):
+        backend = SharedMemoryBackend(2)
+        with pytest.raises(ValueError, match="serves 2 ranks"):
+            Transport(_spec(3), backend=backend)
+        backend.close()
+
+    def test_transport_close_closes_backend(self):
+        transport = Transport(_spec(2), backend="shm")
+        transport.backend.ensure_started()
+        with Transport(_spec(2), backend="local"):
+            pass
+        transport.close()
+        assert transport.backend._closed
+
+    def test_dead_worker_detected_and_cleaned_up(self):
+        backend = SharedMemoryBackend(2, timeout_s=30.0)
+        transport = Transport(_spec(2), backend=backend)
+        transport.exchange([Message(0, 1, np.zeros(3))])
+        victim = backend._workers[1].process
+        os.kill(victim.pid, signal.SIGKILL)
+        victim.join(timeout=5.0)
+        # Detected either at doorbell send (broken pipe) or while awaiting
+        # the ack (liveness poll), depending on kernel buffering.
+        with pytest.raises(BackendError, match="died|pipe is gone"):
+            transport.exchange([Message(0, 1, np.zeros(3))])
+        assert backend._closed  # orphan cleanup ran
+
+
+class TestShmPayloads:
+    @pytest.fixture(scope="class")
+    def transport(self):
+        with Transport(_spec(2), backend="shm") as transport:
+            yield transport
+
+    def _roundtrip(self, transport, payload):
+        return transport.exchange([Message(0, 1, payload)])[1][0].payload
+
+    def test_f64_raw_bitwise(self, transport):
+        sent = np.array([0.0, -0.0, np.inf, -np.inf, np.nan, 1e-300])
+        got = self._roundtrip(transport, sent)
+        assert got.dtype == np.float64
+        assert sent.tobytes() == got.tobytes()  # bit-for-bit, incl. -0.0/NaN
+        assert not np.shares_memory(sent, got)
+
+    def test_non_contiguous_and_other_dtypes(self, transport):
+        strided = np.arange(10.0)[::2]
+        assert np.array_equal(self._roundtrip(transport, strided), strided)
+        f32 = np.arange(4, dtype=np.float32)
+        got = self._roundtrip(transport, f32)
+        assert got.dtype == np.float32 and np.array_equal(got, f32)
+
+    def test_structured_payloads(self, transport):
+        payload = {"k": np.float32(2.5), "v": [1, (2, np.arange(3.0))], "e": ()}
+        got = self._roundtrip(transport, payload)
+        assert got["k"] == np.float32(2.5)
+        assert np.array_equal(got["v"][1][1], np.arange(3.0))
+        assert got["e"] == ()
+
+    def test_ring_wraparound_many_rounds(self, transport):
+        for i in range(300):
+            got = self._roundtrip(transport, np.full(1024, float(i)))
+            assert got[0] == float(i)
+
+    def test_oversize_payload_falls_back_inline(self):
+        with Transport(_spec(2), backend=SharedMemoryBackend(2, ring_bytes=1 << 14)) as tr:
+            before = tr.backend.shm_stats["inline_fallbacks"]
+            big = np.random.default_rng(0).standard_normal(1 << 12)  # 32 KiB > ring
+            got = tr.exchange([Message(0, 1, big)])[1][0].payload
+            assert np.array_equal(got, big)
+            assert tr.backend.shm_stats["inline_fallbacks"] == before + 1
+
+    def test_round_order_preserved_per_destination(self, transport):
+        inbox = transport.exchange(
+            [Message(0, 1, ("first", 1)), Message(0, 1, ("second", 2))]
+        )
+        assert [m.payload[0] for m in inbox[1]] == ["first", "second"]
+
+
+class TestShmPoolsAndTasks:
+    def test_pool_shared_with_worker(self):
+        with Transport(_spec(2), backend="shm") as transport:
+            backend = transport.backend
+            pool = backend.allocate_pool(0, 8)
+            pool[:] = np.arange(8.0)
+            results = backend.run_rank_tasks(scale_task, {0: (2.0,)})
+            assert results == {0: float(np.arange(8.0).sum() * 2.0)}
+            # The worker's in-place write is visible through the parent view.
+            assert np.array_equal(pool, np.arange(8.0) * 2.0)
+
+    def test_pool_reallocation_replaces_mapping(self):
+        with Transport(_spec(2), backend="shm") as transport:
+            backend = transport.backend
+            backend.allocate_pool(0, 4)[:] = 1.0
+            new = backend.allocate_pool(0, 6)
+            new[:] = 5.0
+            assert backend.run_rank_tasks(scale_task, {0: (1.0,)}) == {0: 30.0}
+
+    def test_tasks_run_on_requested_ranks_only(self):
+        with Transport(_spec(2), backend="shm") as transport:
+            results = transport.backend.run_rank_tasks(echo_task, {1: ("only-me",)})
+            assert results == {1: "only-me"}
+
+    def test_task_error_propagates_with_traceback(self):
+        with Transport(_spec(2), backend="shm") as transport:
+            with pytest.raises(BackendError, match="boom from the worker"):
+                transport.backend.run_rank_tasks(boom_task, {0: ()})
+            # A failed task does not kill the worker; the backend stays usable.
+            assert transport.backend.run_rank_tasks(echo_task, {0: (7,)}) == {0: 7}
+
+    def test_describe_reports_shm_facts(self):
+        with Transport(_spec(2), backend="shm") as transport:
+            transport.backend.ensure_started()
+            info = transport.backend.describe()
+            assert info["name"] == "shm"
+            assert info["world_size"] == 2
+            assert info["started"] is True
+            assert info["start_method"] in ("fork", "spawn")

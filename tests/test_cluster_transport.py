@@ -28,10 +28,29 @@ class TestPayloadSize:
         assert payload_nbytes(Stub()) == 123.0
 
     def test_tuple_recurses(self):
-        assert payload_nbytes((1, np.zeros(4))) == 8.0 + 32.0
+        # 8 B container header + 8 B scalar index + 32 B array
+        assert payload_nbytes((1, np.zeros(4))) == 8.0 + 8.0 + 32.0
 
     def test_scalar_default(self):
         assert payload_nbytes("ctl") == 8.0
+
+    def test_empty_container_not_free(self):
+        # An empty envelope still costs its container header — it used to
+        # price at 0 bytes while a bare scalar cost 8.
+        assert payload_nbytes(()) == 8.0
+        assert payload_nbytes([]) == 8.0
+
+    def test_nested_containers(self):
+        # Each nesting level charges its own header.
+        assert payload_nbytes((1, (2, 3))) == 8.0 + 8.0 + (8.0 + 8.0 + 8.0)
+        assert payload_nbytes([[], ()]) == 8.0 + 8.0 + 8.0
+        assert payload_nbytes([np.zeros(2), [np.zeros(1)]]) == 8.0 + 16.0 + (8.0 + 8.0)
+
+    def test_wire_bytes_wins_inside_container(self):
+        class Stub:
+            wire_bytes = 100.0
+
+        assert payload_nbytes((0, Stub())) == 8.0 + 8.0 + 100.0
 
 
 class TestMessage:

@@ -46,7 +46,7 @@ CODEC_FACTORIES = {
 }
 
 
-def _group(world: int) -> CommGroup:
+def _group(world: int, backend: str = "batched") -> CommGroup:
     """Multi-node when divisible into nodes of 4 (mixes NVLink + TCP fabrics)."""
     if world > 4 and world % 4 == 0:
         spec = ClusterSpec(
@@ -54,7 +54,7 @@ def _group(world: int) -> CommGroup:
         )
     else:
         spec = ClusterSpec(num_nodes=1, workers_per_node=world, inter_node=TCP_25G)
-    return CommGroup(Transport(spec), list(range(world)))
+    return CommGroup(Transport(spec, backend=backend), list(range(world)))
 
 
 def _transport_state(group: CommGroup) -> tuple:
@@ -291,8 +291,26 @@ class TestFastPathSwitch:
     def test_engine_config_controls_path(self):
         from repro.core.optimizer_framework import BaguaConfig
 
-        assert BaguaConfig().fast_path is True
+        # Default defers to the transport backend's kernel preference.
+        assert BaguaConfig().fast_path is None
+        assert BaguaConfig(fast_path=True).fast_path is True
         assert BaguaConfig(fast_path=False).fast_path is False
+
+    def test_backend_preference_resolves_default(self, monkeypatch):
+        from repro.comm.fastpath import resolve_fast_path
+
+        monkeypatch.delenv("REPRO_FAST_PATH", raising=False)
+        set_fast_path(None)  # clear any explicit global left by other tests
+        loop_group = _group(2, backend="local")
+        fast_group = _group(2, backend="batched")
+        assert resolve_fast_path(None, loop_group.transport) is False
+        assert resolve_fast_path(None, fast_group.transport) is True
+        # An explicit global (context manager) overrides the preference...
+        with use_fast_path(True):
+            assert resolve_fast_path(None, loop_group.transport) is True
+        # ...and an explicit per-call argument overrides everything.
+        assert resolve_fast_path(True, loop_group.transport) is True
+        assert resolve_fast_path(False, fast_group.transport) is False
 
 
 class TestDeprecatedLoopInternals:
