@@ -1,9 +1,14 @@
 # Developer entry points.  `make check` is the pre-PR gate: lint + typecheck
 # (when ruff/mypy are available), the tier-1 test suite, the static analyzer
 # sweep — with the happens-before pass — over every registered algorithm and
-# baseline across all O/F/H x update-mode schedule variants, and the
-# symbolic plan-space sweep (`make plans`), which verifies every enumerated
-# plan point without constructing a transport or executing a step.
+# baseline across all O/F/H x update-mode schedule variants, the symbolic
+# plan-space sweep (`make plans`), which verifies every enumerated plan
+# point without constructing a transport or executing a step, and the
+# transport-protocol gate (`make protocol`): exhaustive interleaving
+# exploration of the shm protocol model, the seeded-bug mutation suite, and
+# a sanitized live conformance run (see docs/backends.md).
+# `make typecheck-strict` is the CI variant that *fails* when mypy is
+# missing instead of skipping.
 # `make perf` benchmarks the world-batched fast path against the loop
 # reference and gates against benchmarks/perf/baseline.json (see
 # docs/performance.md); `make perf REPRO_BACKEND=shm` runs the suite on a
@@ -12,9 +17,9 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check lint typecheck test analyze plans perf
+.PHONY: check lint typecheck typecheck-strict test analyze plans protocol perf
 
-check: lint typecheck test analyze plans
+check: lint typecheck test analyze plans protocol
 
 lint:
 	@if command -v ruff >/dev/null 2>&1; then \
@@ -23,12 +28,18 @@ lint:
 		echo "ruff not installed; skipping lint"; \
 	fi
 
+# The mypy scope lives in pyproject.toml ([tool.mypy] files = ...): the
+# analysis subsystem, the cluster layer, the comm kernels, the perf harness
+# and the auto-tuner.
 typecheck:
 	@if command -v mypy >/dev/null 2>&1; then \
-		mypy src/repro/analysis src/repro/cluster src/repro/core/autotune.py; \
+		mypy; \
 	else \
 		echo "mypy not installed; skipping typecheck"; \
 	fi
+
+typecheck-strict:
+	mypy
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -38,6 +49,9 @@ analyze:
 
 plans:
 	$(PYTHON) -m repro analyze --plans --hb
+
+protocol:
+	$(PYTHON) -m repro analyze --protocol
 
 # REPRO_BACKEND selects the transport backend for the whole suite
 # (local | batched | shm); unset means the batched default.

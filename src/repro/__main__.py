@@ -73,6 +73,15 @@ def _run_plans(args) -> int:
     return 0 if report.ok else 1
 
 
+def _run_protocol(args) -> int:
+    """Protocol gate: model exploration + mutations + live conformance."""
+    from .analysis.protocol import analyze_protocol
+
+    report = analyze_protocol(live=not args.no_live)
+    print(json.dumps(report.to_dict(), indent=2) if args.json else report.render())
+    return 0 if report.ok else 1
+
+
 def _run_analyze(args) -> int:
     from .algorithms.registry import ALGORITHM_REGISTRY
     from .analysis import analyze_algorithm, analyze_all
@@ -87,6 +96,8 @@ def _run_analyze(args) -> int:
     if args.explain is not None and args.explain < 0:
         print("--explain takes a non-negative finding index", file=sys.stderr)
         return 2
+    if args.protocol:
+        return _run_protocol(args)
     if args.plans:
         return _run_plans(args)
     if args.all:
@@ -269,6 +280,20 @@ def main(argv=None) -> int:
             "print finding N with its happens-before witness (the unordered "
             "event pair and a minimal HB path) instead of the full report"
         ),
+    )
+    analyze_parser.add_argument(
+        "--protocol", action="store_true",
+        help=(
+            "verify the transport backend protocol: exhaustively explore "
+            "the shm protocol model (all interleavings, DPOR-reduced), run "
+            "the seeded-bug mutation suite, and replay one sanitized live "
+            "shm run through the cross-process conformance checker; exit 1 "
+            "on any finding, missed mutation, or divergence"
+        ),
+    )
+    analyze_parser.add_argument(
+        "--no-live", action="store_true",
+        help="with --protocol: skip the live sanitized shm run (model only)",
     )
     analyze_parser.add_argument(
         "--plans", action="store_true",

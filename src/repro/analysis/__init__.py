@@ -30,6 +30,12 @@ Layers:
 * :mod:`~repro.analysis.planspace` — :func:`enumerate_points` /
   :func:`sweep_planspace` / :func:`prune_points`, the plan-space walker
   that prunes the auto-tuner's search space (``repro analyze --plans``);
+* :mod:`~repro.analysis.protocol` — the transport-protocol model checker:
+  an executable state machine of the shm backend's multiprocess protocol,
+  an exhaustive interleaving explorer with DPOR-style partial-order
+  reduction, the cross-process conformance sanitizer
+  (``REPRO_PROTOCOL_SANITIZE=1``) and its mutation-testing harness
+  (``repro analyze --protocol``);
 * :mod:`~repro.analysis.driver` — :func:`analyze_algorithm` /
   :func:`analyze_all`, the ``python -m repro analyze`` entry points.
 """
@@ -75,6 +81,14 @@ from .planspace import (  # noqa: F401
     sweep_planspace,
     verify_point,
 )
+from .protocol import (  # noqa: F401
+    Faults,
+    ProtocolReport,
+    Workload,
+    analyze_protocol,
+    check_events,
+    explore,
+)
 from .recorder import TraceRecorder, recording  # noqa: F401
 from .report import AnalysisReport, Finding, SweepReport  # noqa: F401
 from .symbolic import (  # noqa: F401
@@ -101,6 +115,7 @@ __all__ = [
     "CommPattern",
     "CommTrace",
     "EFInvariantChecker",
+    "Faults",
     "Finding",
     "HB_CHECKERS",
     "HBDeadlockChecker",
@@ -115,11 +130,16 @@ __all__ = [
     "PlanPoint",
     "PlanSpaceReport",
     "PlanVerdict",
+    "ProtocolReport",
     "RankSymmetryChecker",
     "SweepReport",
     "TraceRecorder",
+    "Workload",
     "analyze_algorithm",
     "analyze_all",
+    "analyze_protocol",
+    "check_events",
+    "explore",
     "build_hb",
     "check_hb",
     "check_plan_static",

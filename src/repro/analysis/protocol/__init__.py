@@ -1,0 +1,60 @@
+"""repro.analysis.protocol — model checker + conformance sanitizer for
+transport backends.
+
+The shm backend (:mod:`repro.cluster.backends.shm`) implements a hand-rolled
+multiprocess protocol; this package verifies it three ways:
+
+* :mod:`~repro.analysis.protocol.model` — an executable state-machine model
+  of the protocol (roles, channels, guarded transitions, seeded
+  :class:`Faults`);
+* :mod:`~repro.analysis.protocol.explorer` — bounded-exhaustive
+  interleaving exploration with DPOR-style partial-order reduction and
+  counterexample witnesses;
+* :mod:`~repro.analysis.protocol.sanitizer` — replay of real cross-process
+  event streams (``REPRO_PROTOCOL_SANITIZE=1``) with vector clocks extended
+  across OS processes;
+* :mod:`~repro.analysis.protocol.mutations` — the seeded-bug suite proving
+  each protocol rule actually fires, with exact root-cause localization;
+* :mod:`~repro.analysis.protocol.driver` — :func:`analyze_protocol`, the
+  ``python -m repro analyze --protocol`` gate.
+"""
+
+from .driver import ProtocolReport, analyze_protocol  # noqa: F401
+from .explorer import ExplorationResult, Explorer, explore  # noqa: F401
+from .model import (  # noqa: F401
+    ALL_RULES,
+    Faults,
+    ModelState,
+    Workload,
+    build_model,
+)
+from .mutations import (  # noqa: F401
+    MUTATIONS,
+    Mutation,
+    MutationOutcome,
+    MutationReport,
+    run_mutation,
+    run_mutations,
+)
+from .sanitizer import check_events, vc_leq  # noqa: F401
+
+__all__ = [
+    "ALL_RULES",
+    "MUTATIONS",
+    "ExplorationResult",
+    "Explorer",
+    "Faults",
+    "ModelState",
+    "Mutation",
+    "MutationOutcome",
+    "MutationReport",
+    "ProtocolReport",
+    "Workload",
+    "analyze_protocol",
+    "build_model",
+    "check_events",
+    "explore",
+    "run_mutation",
+    "run_mutations",
+    "vc_leq",
+]

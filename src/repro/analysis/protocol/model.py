@@ -1,0 +1,830 @@
+"""Executable state-machine model of the shared-memory backend protocol.
+
+:class:`~repro.cluster.backends.shm.SharedMemoryBackend` implements a
+hand-rolled multiprocess protocol: seq-stamped ring records, doorbell/ack
+pipes, a barrier per round, a per-round ring budget with inline fallback,
+pool-segment mapping, and multi-stage teardown.  This module models that
+protocol as a small transition system the interleaving explorer
+(:mod:`.explorer`) can check exhaustively:
+
+* **roles** — one *parent* process and one *worker* per rank;
+* **channels** — per worker, a doorbell FIFO (parent→worker), an ack FIFO
+  (worker→parent), and two ring buffers (``in``/``out``) modelled at the
+  granularity the safety argument needs: byte offsets, 8-byte alignment,
+  wraparound, per-round budgets, and a seq + destination stamp per record;
+* **guarded transitions** — the parent executes a straight-line *program*
+  (round posting, ack barriers, pool mapping, graceful teardown) while each
+  worker runs the reactive doorbell loop (`recv → read → echo → ack`).
+
+Transitions validate the protocol invariants as they fire (seq monotonicity,
+stamp matching, ring-slot overlap, budget handling, segment lifecycle); a
+quiescent state that is not a clean termination is classified as deadlock,
+lost wakeup, orphaned worker, missed barrier, or leaked segment.  Violations
+surface as :class:`~repro.analysis.report.Finding` objects whose witness is
+the interleaving trace, in the happens-before witness style.
+
+:class:`Faults` injects the protocol bugs the mutation harness
+(:mod:`.mutations`) seeds — each knob corresponds to a one-line bug a real
+backend patch could introduce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..report import Finding
+
+#: Ring-record seq stamp size, mirroring ``shm._SEQ.size``.
+STAMP_BYTES = 8
+
+#: Destination stamp meaning "the parent" (echo records travel worker→parent).
+PARENT = -1
+
+# Worker reactive phases.
+_RECV = "recv"
+_READ = "read"
+_ECHO = "echo"
+_ACK = "ack"
+
+#: Protocol rule identifiers (one per invariant class).
+RULE_DEADLOCK = "protocol-deadlock"
+RULE_LOST_WAKEUP = "protocol-lost-wakeup"
+RULE_SEQ = "protocol-seq"
+RULE_DELIVERY = "protocol-delivery"
+RULE_RING_OVERLAP = "protocol-ring-overlap"
+RULE_BUDGET = "protocol-budget"
+RULE_LIFECYCLE = "protocol-lifecycle"
+RULE_BARRIER = "protocol-barrier"
+RULE_LEAK = "protocol-leak"
+RULE_ORPHAN = "protocol-orphan"
+RULE_CONFORMANCE = "protocol-conformance"
+
+ALL_RULES = (
+    RULE_DEADLOCK,
+    RULE_LOST_WAKEUP,
+    RULE_SEQ,
+    RULE_DELIVERY,
+    RULE_RING_OVERLAP,
+    RULE_BUDGET,
+    RULE_LIFECYCLE,
+    RULE_BARRIER,
+    RULE_LEAK,
+    RULE_ORPHAN,
+    RULE_CONFORMANCE,
+)
+
+
+class Violation(Exception):
+    """Internal control flow: a transition tripped a protocol invariant."""
+
+    def __init__(self, finding: Finding) -> None:
+        super().__init__(finding.message)
+        self.finding = finding
+
+
+def _finding(rule: str, message: str, rank: int | None = None, seq: int | None = None) -> Finding:
+    return Finding(rule=rule, severity="error", message=message, rank=rank, seq=seq)
+
+
+@dataclass(frozen=True)
+class Faults:
+    """Seeded protocol bugs; all default off (the faithful protocol).
+
+    Each field flips one guarded behaviour of the model into the broken
+    variant a plausible backend bug would produce.  The mutation harness
+    constructs one :class:`Faults` per seeded bug and asserts the explorer
+    reports exactly the matching root-cause finding.
+    """
+
+    #: (rank, seq) pairs whose worker ack is silently dropped.
+    drop_ack: tuple[tuple[int, int], ...] = ()
+    #: (rank, round) pairs whose doorbell reuses the previous seq number.
+    stale_seq: tuple[tuple[int, int], ...] = ()
+    #: ranks whose segments the parent unlinks *before* join (early unlink).
+    early_unlink: tuple[int, ...] = ()
+    #: round indices whose ack barrier the parent skips entirely.
+    skip_barrier: tuple[int, ...] = ()
+    #: force ring placement even when the per-round budget refuses (the
+    #: inline-overflow fallback is "forgotten").
+    force_place: bool = False
+    #: ranks that receive a second close doorbell (double close).
+    double_close: tuple[int, ...] = ()
+    #: (rank, round) pairs whose records are stamped for the wrong rank.
+    wrong_dst: tuple[tuple[int, int], ...] = ()
+    #: ranks the parent abandons: no close, no join, no unlink (orphan).
+    orphan: tuple[int, ...] = ()
+    #: ranks whose segments are never unlinked (leak).
+    skip_unlink: tuple[int, ...] = ()
+    #: rounds posted without awaiting the previous round's barrier first
+    #: (pipelined rounds; drives write-before-read-complete ring overlap).
+    pipeline_rounds: bool = False
+    #: ranks that get one extra round doorbell posted *after* their close
+    #: doorbell (use-after-close: the wakeup is lost behind the shutdown).
+    post_after_close: tuple[int, ...] = ()
+
+
+@dataclass
+class _Record:
+    """One live ring record: [off, off+nbytes) stamped (seq, dst)."""
+
+    off: int
+    nbytes: int  # stamp + payload, the footprint in the ring
+    seq: int
+    dst: int
+    read: bool = False
+
+    def key(self) -> tuple[int, int, int, int, bool]:
+        return (self.off, self.nbytes, self.seq, self.dst, self.read)
+
+
+@dataclass
+class _Ring:
+    """One shared-memory ring: mirrors ``shm._RingWriter`` placement."""
+
+    capacity: int
+    records: list[_Record] = field(default_factory=list)
+    next_off: int = 0
+    used: int = 0  # budget consumed since begin_round
+
+    def clone(self) -> _Ring:
+        return _Ring(
+            self.capacity,
+            [replace(r) for r in self.records],
+            self.next_off,
+            self.used,
+        )
+
+    def key(self) -> tuple:
+        return (self.next_off, self.used, tuple(r.key() for r in self.records))
+
+    def begin_round(self) -> None:
+        self.used = 0
+
+    def place(self, payload_bytes: int) -> tuple[int, int] | None:
+        """Compute the next record placement; ``None`` means over budget."""
+        total = STAMP_BYTES + payload_bytes
+        off = (self.next_off + 7) & ~7
+        waste = off - self.next_off
+        if off + total > self.capacity:
+            waste += self.capacity - off
+            off = 0
+        if total > self.capacity or self.used + waste + total > self.capacity:
+            return None
+        return off, waste
+
+    def write(
+        self, seq: int, dst: int, payload_bytes: int, *, force: bool, writer_rank: int | None
+    ) -> tuple[int, int] | None:
+        """Write one record; returns (offset, nbytes) or ``None`` for inline.
+
+        ``force=True`` models the budget-overflow bug: the record is rammed
+        into the ring even though placement refused.
+        """
+        placed = self.place(payload_bytes)
+        total = STAMP_BYTES + payload_bytes
+        if placed is None:
+            if not force:
+                return None  # the correct inline-pipe fallback
+            raise Violation(
+                _finding(
+                    RULE_BUDGET,
+                    f"record of {total} bytes exceeds the ring's per-round budget "
+                    f"({self.capacity} bytes) but was placed in the ring instead of "
+                    "falling back to the inline pipe",
+                    rank=writer_rank,
+                    seq=seq,
+                )
+            )
+        off, waste = placed
+        lo, hi = off, off + total
+        for record in self.records:
+            if not record.read and record.off < hi and lo < record.off + record.nbytes:
+                raise Violation(
+                    _finding(
+                        RULE_RING_OVERLAP,
+                        f"ring write [{lo}, {hi}) for seq {seq} overlaps the live "
+                        f"unread record at offset {record.off} (seq {record.seq}): "
+                        "write-before-read-complete",
+                        rank=writer_rank,
+                        seq=seq,
+                    )
+                )
+        # Reclaim fully-read records the new write covers.
+        self.records = [
+            r for r in self.records if not (r.read and r.off < hi and lo < r.off + r.nbytes)
+        ]
+        self.records.append(_Record(off=off, nbytes=total, seq=seq, dst=dst))
+        self.next_off = off + total
+        self.used += waste + total
+        return off, total
+
+    def read(self, off: int, expected_seq: int, expected_dst: int, reader: int | None) -> None:
+        """Validate and consume the record at ``off`` (stamp + dst checks)."""
+        for record in self.records:
+            if record.off == off and not record.read:
+                if record.seq != expected_seq:
+                    raise Violation(
+                        _finding(
+                            RULE_SEQ,
+                            f"ring record at offset {off} is stamped seq {record.seq}, "
+                            f"expected {expected_seq}: stale or regressed sequence",
+                            rank=reader,
+                            seq=expected_seq,
+                        )
+                    )
+                if record.dst != expected_dst:
+                    raise Violation(
+                        _finding(
+                            RULE_DELIVERY,
+                            f"ring record at offset {off} (seq {record.seq}) is stamped "
+                            f"for rank {record.dst} but was delivered to rank "
+                            f"{expected_dst}: wrong-rank delivery",
+                            rank=reader,
+                            seq=expected_seq,
+                        )
+                    )
+                record.read = True
+                return
+        raise Violation(
+            _finding(
+                RULE_SEQ,
+                f"no live record at ring offset {off} for seq {expected_seq}: "
+                "the read raced the write or consumed a stale entry",
+                rank=reader,
+                seq=expected_seq,
+            )
+        )
+
+
+#: A doorbell-entry describing where one record travels:
+#: ("ring", offset) or ("inline", payload_bytes).
+_EntryT = tuple[str, int]
+
+
+@dataclass
+class _Worker:
+    """One rank server: the reactive doorbell loop."""
+
+    rank: int
+    alive: bool = True
+    expected: int = 0
+    phase: str = _RECV
+    cur_op: str = ""
+    cur_seq: int = -1
+    cur_data: tuple = ()
+    echo_entries: tuple[_EntryT, ...] = ()
+    pool_seg: int | None = None
+
+    def clone(self) -> _Worker:
+        return replace(self)
+
+    def key(self) -> tuple:
+        return (
+            self.rank,
+            self.alive,
+            self.expected,
+            self.phase,
+            self.cur_op,
+            self.cur_seq,
+            self.cur_data,
+            self.echo_entries,
+            self.pool_seg,
+        )
+
+
+@dataclass
+class _Segment:
+    """One named shared-memory segment (ring or pool)."""
+
+    seg_id: int
+    kind: str  # "in" | "out" | "pool"
+    rank: int
+    unlinked: bool = False
+
+    def clone(self) -> _Segment:
+        return replace(self)
+
+    def key(self) -> tuple:
+        return (self.seg_id, self.kind, self.rank, self.unlinked)
+
+
+# Parent program instructions (straight-line; guards block, never branch):
+#   ("post", dst, op, sizes, round_index)   op in {"round", "task"}
+#   ("await", dst)
+#   ("pool", rank, n_bytes)
+#   ("close", rank)
+#   ("join", rank)
+#   ("unlink", rank)
+#   ("end",)
+_Instr = tuple
+
+
+@dataclass
+class ModelState:
+    """The whole system state: parent + workers + channels + segments."""
+
+    world: int
+    faults: Faults
+    program: tuple[_Instr, ...]
+    pc: int = 0
+    parent_done: bool = False
+    next_seq: dict[int, int] = field(default_factory=dict)
+    #: per destination, FIFO of (seq, op) posted but not yet barriered
+    outstanding: dict[int, list[tuple[int, str]]] = field(default_factory=dict)
+    door: dict[int, list[tuple]] = field(default_factory=dict)
+    ack: dict[int, list[tuple]] = field(default_factory=dict)
+    in_ring: dict[int, _Ring] = field(default_factory=dict)
+    out_ring: dict[int, _Ring] = field(default_factory=dict)
+    workers: dict[int, _Worker] = field(default_factory=dict)
+    segments: list[_Segment] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Exploration plumbing
+    # ------------------------------------------------------------------
+    def clone(self) -> ModelState:
+        return ModelState(
+            world=self.world,
+            faults=self.faults,
+            program=self.program,
+            pc=self.pc,
+            parent_done=self.parent_done,
+            next_seq=dict(self.next_seq),
+            outstanding={k: list(v) for k, v in self.outstanding.items()},
+            door={k: list(v) for k, v in self.door.items()},
+            ack={k: list(v) for k, v in self.ack.items()},
+            in_ring={k: v.clone() for k, v in self.in_ring.items()},
+            out_ring={k: v.clone() for k, v in self.out_ring.items()},
+            workers={k: v.clone() for k, v in self.workers.items()},
+            segments=[s.clone() for s in self.segments],
+        )
+
+    def fingerprint(self) -> tuple:
+        return (
+            self.pc,
+            self.parent_done,
+            tuple(sorted(self.next_seq.items())),
+            tuple((k, tuple(v)) for k, v in sorted(self.outstanding.items())),
+            tuple((k, tuple(v)) for k, v in sorted(self.door.items())),
+            tuple((k, tuple(v)) for k, v in sorted(self.ack.items())),
+            tuple((k, v.key()) for k, v in sorted(self.in_ring.items())),
+            tuple((k, v.key()) for k, v in sorted(self.out_ring.items())),
+            tuple((k, v.key()) for k, v in sorted(self.workers.items())),
+            tuple(s.key() for s in self.segments),
+        )
+
+    # ------------------------------------------------------------------
+    # Enabledness
+    # ------------------------------------------------------------------
+    def parent_enabled(self) -> bool:
+        if self.parent_done or self.pc >= len(self.program):
+            return False
+        instr = self.program[self.pc]
+        if instr[0] == "await":
+            return bool(self.ack[instr[1]])
+        if instr[0] == "join":
+            return not self.workers[instr[1]].alive
+        return True
+
+    def worker_enabled(self, rank: int) -> bool:
+        worker = self.workers[rank]
+        if not worker.alive:
+            return False
+        if worker.phase == _RECV:
+            return bool(self.door[rank])
+        return True  # mid-protocol phases never block
+
+    def enabled_procs(self) -> list[str]:
+        procs = []
+        if self.parent_enabled():
+            procs.append("parent")
+        for rank in range(self.world):
+            if self.worker_enabled(rank):
+                procs.append(f"worker:{rank}")
+        return procs
+
+    def footprint(self, proc: str) -> frozenset[tuple[str, int]]:
+        """Objects the proc's next transition touches (independence relation)."""
+        if proc == "parent":
+            instr = self.program[self.pc]
+            op = instr[0]
+            if op == "post":
+                return frozenset({("door", instr[1]), ("inring", instr[1]), ("life", instr[1])})
+            if op == "await":
+                return frozenset({("ack", instr[1]), ("outring", instr[1])})
+            if op == "pool":
+                return frozenset({("door", instr[1]), ("seg", instr[1]), ("life", instr[1])})
+            if op == "close":
+                return frozenset({("door", instr[1]), ("life", instr[1])})
+            if op == "join":
+                return frozenset({("life", instr[1])})
+            if op == "unlink":
+                return frozenset({("seg", instr[1]), ("life", instr[1])})
+            return frozenset()
+        rank = int(proc.split(":")[1])
+        worker = self.workers[rank]
+        if worker.phase == _RECV:
+            return frozenset({("door", rank), ("life", rank)})
+        if worker.phase == _READ:
+            return frozenset({("inring", rank)})
+        if worker.phase == _ECHO:
+            return frozenset({("outring", rank)})
+        # ack / pool-attach / close-finish: touches the ack pipe, possibly
+        # segments and liveness.
+        return frozenset({("ack", rank), ("seg", rank), ("life", rank)})
+
+    # ------------------------------------------------------------------
+    # Transition semantics
+    # ------------------------------------------------------------------
+    def step(self, proc: str) -> tuple[str, Finding | None]:
+        """Fire ``proc``'s enabled transition in place.
+
+        Returns ``(description, finding)``; a non-``None`` finding means the
+        transition tripped an invariant and the state is a counterexample.
+        """
+        try:
+            if proc == "parent":
+                return self._step_parent(), None
+            return self._step_worker(int(proc.split(":")[1])), None
+        except Violation as violation:
+            return violation.finding.message, violation.finding
+
+    def _take_seq(self, dst: int, round_index: int | None) -> int:
+        seq = self.next_seq[dst]
+        self.next_seq[dst] = seq + 1
+        if round_index is not None and (dst, round_index) in self.faults.stale_seq:
+            return max(0, seq - 1)  # reuse the previous round's seq: stale
+        return seq
+
+    def _check_worker_alive(self, rank: int, what: str) -> None:
+        if not self.workers[rank].alive:
+            raise Violation(
+                _finding(
+                    RULE_LIFECYCLE,
+                    f"parent posted {what} to worker {rank} after it exited: "
+                    "the doorbell can never be received",
+                    rank=rank,
+                )
+            )
+
+    def _step_parent(self) -> str:
+        instr = self.program[self.pc]
+        self.pc += 1
+        op = instr[0]
+        if op == "post":
+            _, dst, kind, sizes, round_index = instr
+            # No liveness check here: round/task doorbells ride a buffered
+            # pipe, and the real backend's send to a worker that is mid-exit
+            # succeeds and vanishes.  An undelivered doorbell surfaces at
+            # quiescence as a lost wakeup (the classification that names the
+            # root cause), not as an eager send failure.
+            seq = self._take_seq(dst, round_index)
+            ring_dst = dst
+            stamp_dst = dst
+            if round_index is not None and (dst, round_index) in self.faults.wrong_dst:
+                stamp_dst = (dst + 1) % self.world
+            ring = self.in_ring[ring_dst]
+            ring.begin_round()
+            entries: list[_EntryT] = []
+            for nbytes in sizes:
+                placed = ring.write(
+                    seq, stamp_dst, nbytes, force=self.faults.force_place, writer_rank=dst
+                )
+                entries.append(("inline", nbytes) if placed is None else ("ring", placed[0]))
+            self.door[dst].append((kind, seq, tuple(entries)))
+            self.outstanding[dst].append((seq, kind))
+            return f"parent posts {kind} seq {seq} to worker {dst} ({len(sizes)} record(s))"
+        if op == "await":
+            dst = instr[1]
+            status, seq, entries = self.ack[dst].pop(0)
+            if not self.outstanding[dst]:
+                raise Violation(
+                    _finding(
+                        RULE_SEQ,
+                        f"parent received ack seq {seq} from worker {dst} with no "
+                        "outstanding round: duplicated or unsolicited ack",
+                        rank=dst,
+                        seq=seq,
+                    )
+                )
+            expected, kind = self.outstanding[dst].pop(0)
+            if seq != expected:
+                raise Violation(
+                    _finding(
+                        RULE_SEQ,
+                        f"worker {dst} acked seq {seq}, parent expected seq {expected} "
+                        f"({kind}): ack/seq mismatch",
+                        rank=dst,
+                        seq=expected,
+                    )
+                )
+            if entries is not None:
+                out = self.out_ring[dst]
+                for entry in entries:
+                    if entry[0] == "ring":
+                        out.read(entry[1], seq, PARENT, reader=dst)
+            return f"parent barriers on worker {dst} ack seq {seq} ({kind})"
+        if op == "pool":
+            _, rank, _n_bytes = instr
+            self._check_worker_alive(rank, "pool doorbell")
+            seg = _Segment(seg_id=len(self.segments), kind="pool", rank=rank)
+            self.segments.append(seg)
+            seq = self._take_seq(rank, None)
+            self.door[rank].append(("pool", seq, seg.seg_id))
+            self.outstanding[rank].append((seq, "pool"))
+            return f"parent maps pool segment {seg.seg_id} into worker {rank} (seq {seq})"
+        if op == "close":
+            rank = instr[1]
+            if self.workers[rank].alive or rank in self.faults.double_close:
+                # The real backend checks is_alive before the graceful close;
+                # posting to a dead worker is itself the double-close bug.
+                self._check_worker_alive(rank, "close doorbell")
+            seq = self._take_seq(rank, None)
+            self.door[rank].append(("close", seq, None))
+            self.outstanding[rank].append((seq, "close"))
+            return f"parent posts close seq {seq} to worker {rank}"
+        if op == "join":
+            return f"parent joins worker {instr[1]}"
+        if op == "unlink":
+            rank = instr[1]
+            if self.workers[rank].alive:
+                raise Violation(
+                    _finding(
+                        RULE_LIFECYCLE,
+                        f"parent unlinked worker {rank}'s segments while the worker "
+                        "is still attached (unlink must happen after join)",
+                        rank=rank,
+                    )
+                )
+            for seg in self.segments:
+                if seg.rank == rank:
+                    seg.unlinked = True
+            return f"parent unlinks worker {rank}'s segments"
+        if op == "end":
+            self.parent_done = True
+            return "parent exits"
+        raise AssertionError(f"unknown parent instruction {instr!r}")
+
+    def _step_worker(self, rank: int) -> str:
+        worker = self.workers[rank]
+        if worker.phase == _RECV:
+            op, seq, data = self.door[rank].pop(0)
+            if seq != worker.expected:
+                direction = "regressed" if seq < worker.expected else "skipped ahead"
+                raise Violation(
+                    _finding(
+                        RULE_SEQ,
+                        f"worker {rank} received doorbell seq {seq}, expected "
+                        f"{worker.expected}: sequence {direction}",
+                        rank=rank,
+                        seq=seq,
+                    )
+                )
+            worker.expected += 1
+            worker.cur_op, worker.cur_seq = op, seq
+            worker.cur_data = data if isinstance(data, tuple) else (data,)
+            worker.phase = _READ if op in ("round", "task") else _ACK
+            return f"worker {rank} receives {op} doorbell seq {seq}"
+        if worker.phase == _READ:
+            ring = self.in_ring[rank]
+            sizes = []
+            for entry in worker.cur_data:
+                if entry[0] == "ring":
+                    ring.read(entry[1], worker.cur_seq, rank, reader=rank)
+                    record = next(r for r in ring.records if r.off == entry[1])
+                    sizes.append(record.nbytes - STAMP_BYTES)
+                else:
+                    sizes.append(entry[1])
+            worker.cur_data = tuple(sizes)
+            worker.phase = _ECHO
+            return (
+                f"worker {rank} reads {len(sizes)} record(s) for seq {worker.cur_seq} "
+                "from its inbound ring"
+            )
+        if worker.phase == _ECHO:
+            out = self.out_ring[rank]
+            out.begin_round()
+            entries: list[_EntryT] = []
+            for nbytes in worker.cur_data:
+                placed = out.write(worker.cur_seq, PARENT, nbytes, force=False, writer_rank=rank)
+                entries.append(("inline", nbytes) if placed is None else ("ring", placed[0]))
+            worker.echo_entries = tuple(entries)
+            worker.phase = _ACK
+            return f"worker {rank} echoes seq {worker.cur_seq} into its outbound ring"
+        if worker.phase == _ACK:
+            op, seq = worker.cur_op, worker.cur_seq
+            if op == "pool":
+                seg = self.segments[worker.cur_data[0]]
+                if seg.unlinked:
+                    raise Violation(
+                        _finding(
+                            RULE_LIFECYCLE,
+                            f"worker {rank} attached pool segment {seg.seg_id} after "
+                            "the parent unlinked it (map-after-unlink)",
+                            rank=rank,
+                            seq=seq,
+                        )
+                    )
+                worker.pool_seg = seg.seg_id
+            payload = worker.echo_entries if op in ("round", "task") else None
+            dropped = (rank, seq) in self.faults.drop_ack
+            if not dropped:
+                self.ack[rank].append(("ok", seq, payload))
+            worker.echo_entries = ()
+            worker.cur_data = ()
+            worker.phase = _RECV
+            if op == "close":
+                worker.alive = False
+                return f"worker {rank} acks close seq {seq} and exits"
+            verb = "drops the ack for" if dropped else "acks"
+            return f"worker {rank} {verb} {op} seq {seq}"
+        raise AssertionError(f"unknown worker phase {worker.phase!r}")
+
+    # ------------------------------------------------------------------
+    # Quiescence classification
+    # ------------------------------------------------------------------
+    def quiescence_finding(self) -> Finding | None:
+        """Classify a state with no enabled transitions.
+
+        ``None`` means clean termination; otherwise the single root-cause
+        finding for the stuck or leaky state.
+        """
+        if not self.parent_done:
+            return self._blocked_parent_finding()
+        for rank, worker in sorted(self.workers.items()):
+            if worker.alive:
+                return _finding(
+                    RULE_ORPHAN,
+                    f"parent exited while worker {rank} is still alive and blocked "
+                    "on its doorbell pipe: orphaned worker (no close was sent)",
+                    rank=rank,
+                )
+        for rank in range(self.world):
+            if self.door[rank]:
+                op, seq, _ = self.door[rank][0]
+                return _finding(
+                    RULE_LOST_WAKEUP,
+                    f"{op} doorbell seq {seq} for worker {rank} was never received "
+                    "(the worker exited first): lost wakeup",
+                    rank=rank,
+                    seq=seq,
+                )
+        for rank in range(self.world):
+            pending = [(seq, op) for seq, op in self.outstanding[rank] if op != "close"]
+            if pending:
+                seq, op = pending[0]
+                return _finding(
+                    RULE_BARRIER,
+                    f"{op} seq {seq} posted to worker {rank} was never barriered: "
+                    "the parent returned without draining the worker's ack",
+                    rank=rank,
+                    seq=seq,
+                )
+        for rank in range(self.world):
+            # Close acks are legitimately unread (join is the close barrier).
+            stray = [
+                (seq, status)
+                for status, seq, _ in self.ack[rank]
+                if (seq, "close") not in self.outstanding[rank]
+            ]
+            if stray:
+                seq, _status = stray[0]
+                return _finding(
+                    RULE_BARRIER,
+                    f"worker {rank}'s ack seq {seq} was never consumed by the parent",
+                    rank=rank,
+                    seq=seq,
+                )
+        for seg in self.segments:
+            if not seg.unlinked:
+                return _finding(
+                    RULE_LEAK,
+                    f"shared-memory segment {seg.seg_id} ({seg.kind}, rank {seg.rank}) "
+                    "was never unlinked: leaked segment",
+                    rank=seg.rank,
+                )
+        return None
+
+    def _blocked_parent_finding(self) -> Finding:
+        instr = self.program[self.pc] if self.pc < len(self.program) else ("end",)
+        if instr[0] == "await":
+            dst = instr[1]
+            worker = self.workers[dst]
+            if not worker.alive:
+                return _finding(
+                    RULE_LOST_WAKEUP,
+                    f"parent is blocked awaiting an ack from worker {dst}, but the "
+                    "worker already exited: the ack will never arrive",
+                    rank=dst,
+                )
+            # Worker alive and quiescent means it is blocked in recv with an
+            # empty doorbell queue: a parent->worker->parent wait cycle.
+            return _finding(
+                RULE_DEADLOCK,
+                f"wait cycle: parent is blocked on worker {dst}'s ack pipe while "
+                f"worker {dst} is blocked on its doorbell pipe — the ack for the "
+                "current round was never sent",
+                rank=dst,
+            )
+        if instr[0] == "join":
+            rank = instr[1]
+            return _finding(
+                RULE_DEADLOCK,
+                f"wait cycle: parent is joined on worker {rank} but the worker is "
+                "blocked in its doorbell loop and will never exit (close was not "
+                "delivered or not processed)",
+                rank=rank,
+            )
+        return _finding(
+            RULE_DEADLOCK,
+            f"parent is stuck at instruction {instr!r} with no enabled transition",
+        )
+
+
+# ----------------------------------------------------------------------
+# Workload → model construction
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Workload:
+    """Shape of the protocol run the model executes.
+
+    ``record_sizes[r]`` is the per-destination list of payload sizes for
+    round ``r`` (every rank participates in every round, matching
+    ``Transport.exchange``'s all-rank barrier).  ``oversize`` appends one
+    record larger than the ring to exercise the inline-overflow fallback.
+    """
+
+    world: int = 2
+    rounds: int = 2
+    record_sizes: tuple[int, ...] = (64, 24)
+    ring_bytes: int = 256
+    pool: bool = True
+    task: bool = True
+    oversize: bool = False
+
+
+def build_model(workload: Workload, faults: Faults | None = None) -> ModelState:
+    """Build the initial model state for ``workload`` with ``faults`` seeded."""
+    faults = faults or Faults()
+    world = workload.world
+    program: list[_Instr] = []
+    sizes = list(workload.record_sizes)
+    if workload.oversize:
+        sizes = sizes + [workload.ring_bytes + 32]
+    for r in range(workload.rounds):
+        for dst in range(world):
+            program.append(("post", dst, "round", tuple(sizes), r))
+        if r in faults.skip_barrier:
+            continue
+        if faults.pipeline_rounds and r < workload.rounds - 1:
+            continue  # post the next round before barriering this one
+        for dst in range(world):
+            program.append(("await", dst))
+    if faults.pipeline_rounds:
+        # Drain every ack that was pipelined past its round.
+        for r in range(workload.rounds - 1 if workload.rounds else 0):
+            if r in faults.skip_barrier:
+                continue
+            for dst in range(world):
+                program.append(("await", dst))
+    if workload.pool:
+        for rank in range(world):
+            program.append(("pool", rank, 512))
+        for rank in range(world):
+            program.append(("await", rank))
+    if workload.task:
+        for rank in range(world):
+            program.append(("post", rank, "task", (32,), None))
+        for rank in range(world):
+            program.append(("await", rank))
+    for rank in range(world):
+        if rank in faults.orphan:
+            continue
+        program.append(("close", rank))
+        if rank in faults.double_close:
+            program.append(("close", rank))
+        if rank in faults.post_after_close:
+            program.append(("post", rank, "round", tuple(sizes), None))
+    for rank in range(world):
+        if rank in faults.orphan:
+            continue
+        if rank in faults.early_unlink:
+            program.append(("unlink", rank))
+            program.append(("join", rank))
+        else:
+            program.append(("join", rank))
+            if rank not in faults.skip_unlink:
+                program.append(("unlink", rank))
+    program.append(("end",))
+
+    state = ModelState(world=world, faults=faults, program=tuple(program))
+    for rank in range(world):
+        state.next_seq[rank] = 0
+        state.outstanding[rank] = []
+        state.door[rank] = []
+        state.ack[rank] = []
+        state.in_ring[rank] = _Ring(capacity=workload.ring_bytes)
+        state.out_ring[rank] = _Ring(capacity=workload.ring_bytes)
+        state.workers[rank] = _Worker(rank=rank)
+        state.segments.append(_Segment(seg_id=len(state.segments), kind="in", rank=rank))
+        state.segments.append(_Segment(seg_id=len(state.segments), kind="out", rank=rank))
+    return state

@@ -9,7 +9,7 @@ algorithm; :class:`SweepReport` aggregates reports across the registry for
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 SEVERITIES = ("error", "warning", "info")
 
@@ -36,6 +36,10 @@ class Finding:
     def __post_init__(self) -> None:
         if self.severity not in SEVERITIES:
             raise ValueError(f"severity must be one of {SEVERITIES}, got {self.severity!r}")
+
+    def with_witness(self, witness: tuple[str, ...]) -> Finding:
+        """Copy of this finding carrying ``witness`` as its printable proof."""
+        return replace(self, witness=tuple(witness))
 
     def location(self) -> str:
         parts = []

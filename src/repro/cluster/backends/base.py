@@ -28,17 +28,70 @@ only differ in wall-clock time and in which address space does the work.
 
 from __future__ import annotations
 
+import os
 from collections.abc import Callable, Mapping, Sequence
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
 if TYPE_CHECKING:
+    from ...analysis.report import Finding
     from ..transport import Message, Transport
 
 
 class BackendError(RuntimeError):
     """A transport backend failed (protocol violation, dead worker, ...)."""
+
+
+#: Environment switch for the protocol conformance sanitizer (opt-in):
+#: when truthy, backends emit :class:`ProtocolEvent` streams from every
+#: participating process and ``repro.analysis.protocol`` replays them
+#: against the protocol model.  ``BaguaConfig.protocol_sanitize`` pins the
+#: choice per engine.
+PROTOCOL_SANITIZE_ENV = "REPRO_PROTOCOL_SANITIZE"
+
+
+def protocol_sanitize_enabled() -> bool:
+    """Resolve the sanitizer default from ``REPRO_PROTOCOL_SANITIZE``."""
+    return os.environ.get(PROTOCOL_SANITIZE_ENV, "0").lower() not in ("", "0", "false", "no")
+
+
+@dataclass(frozen=True)
+class ProtocolEvent:
+    """One observed protocol action, emitted by a backend under sanitation.
+
+    Events are deliberately tiny and picklable: worker processes buffer
+    theirs and piggyback them on the acks they already send, so the
+    sanitizer sees both sides of every pipe without a new channel.
+
+    ``proc`` is ``"parent"`` or ``"worker:<rank>"``; ``rank`` is the worker
+    the event concerns (``-1`` for backend-wide events).  ``kind`` is one of
+    ``config, spawn, post, recv, ring_read, ring_write, ack_send, ack_recv,
+    pool_map, exit, unlink, closed``; ``op`` carries the doorbell kind
+    (``round``/``task``/``pool``/``close``) where one applies; ``detail``
+    is per-kind metadata (e.g. ``(records, ring_bytes, inline)`` for a
+    round post).
+    """
+
+    proc: str
+    kind: str
+    rank: int = -1
+    seq: int = -1
+    op: str = ""
+    detail: tuple = ()
+
+    def describe(self) -> str:
+        parts = [self.proc, self.kind]
+        if self.op:
+            parts.append(self.op)
+        if self.rank >= 0:
+            parts.append(f"rank {self.rank}")
+        if self.seq >= 0:
+            parts.append(f"seq {self.seq}")
+        if self.detail:
+            parts.append(repr(self.detail))
+        return " ".join(parts)
 
 
 class TransportBackend:
@@ -58,6 +111,9 @@ class TransportBackend:
 
     def __init__(self) -> None:
         self._transport: Transport | None = None
+        self._protocol_sanitize = protocol_sanitize_enabled()
+        #: Observed protocol events (empty unless sanitize mode is on).
+        self.protocol_events: list[ProtocolEvent] = []
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -78,6 +134,49 @@ class TransportBackend:
 
     def __exit__(self, *exc_info: object) -> None:
         self.close()
+
+    # ------------------------------------------------------------------
+    # Protocol conformance sanitizer (opt-in instrumentation)
+    # ------------------------------------------------------------------
+    @property
+    def sanitizing(self) -> bool:
+        """Whether this backend records a protocol event stream."""
+        return self._protocol_sanitize
+
+    def set_protocol_sanitize(self, enabled: bool) -> None:
+        """Switch sanitize mode on/off (before any protocol traffic).
+
+        Backends with external executors (the shm backend's worker
+        processes) need the flag at spawn time and override this to reject
+        late flips.
+        """
+        self._protocol_sanitize = bool(enabled)
+
+    def emit_protocol_event(
+        self,
+        kind: str,
+        rank: int = -1,
+        seq: int = -1,
+        op: str = "",
+        detail: tuple = (),
+        proc: str = "parent",
+    ) -> None:
+        """Record one protocol event (no-op unless sanitizing)."""
+        if self._protocol_sanitize:
+            self.protocol_events.append(
+                ProtocolEvent(proc=proc, kind=kind, rank=rank, seq=seq, op=op, detail=detail)
+            )
+
+    def conformance_findings(self) -> list[Finding]:
+        """Replay the recorded event stream against the protocol model.
+
+        Returns the sanitizer's findings (empty = conformant).  Requires
+        sanitize mode; the import is lazy so the cluster layer stays free of
+        an analysis dependency unless the sanitizer is actually used.
+        """
+        from ...analysis.protocol.sanitizer import check_events
+
+        return check_events(self.protocol_events)
 
     # ------------------------------------------------------------------
     # Contract

@@ -36,6 +36,7 @@ import multiprocessing
 import os
 import pickle
 import struct
+import sys
 import time
 import traceback
 from collections.abc import Callable, Mapping, Sequence
@@ -45,7 +46,7 @@ from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
-from .base import BackendError, TransportBackend
+from .base import BackendError, ProtocolEvent, TransportBackend
 
 if TYPE_CHECKING:
     from multiprocessing.connection import Connection
@@ -181,15 +182,43 @@ def _close_segment(shm: shared_memory.SharedMemory, unlink: bool) -> None:
 
 
 def _worker_main(
-    rank: int, in_name: str, out_name: str, capacity: int, conn: Connection
+    rank: int,
+    in_name: str,
+    out_name: str,
+    capacity: int,
+    conn: Connection,
+    sanitize: bool = False,
 ) -> None:
-    """Entry point of one rank server process."""
+    """Entry point of one rank server process.
+
+    With ``sanitize`` on, the worker records a :class:`ProtocolEvent` for
+    every protocol action and piggybacks the buffered events on each ack it
+    already sends — the parent's sanitizer sees both sides of the pipe
+    without any extra channel.
+    """
     in_shm = shared_memory.SharedMemory(name=in_name)
     out_shm = shared_memory.SharedMemory(name=out_name)
     writer = _RingWriter(out_shm.buf, capacity)
     pool_shm: shared_memory.SharedMemory | None = None
     pool: np.ndarray | None = None
     expected = 0
+    me = f"worker:{rank}"
+    events: list[ProtocolEvent] = []
+
+    def emit(kind: str, seq: int = -1, op: str = "", detail: tuple = ()) -> None:
+        if sanitize:
+            events.append(
+                ProtocolEvent(proc=me, kind=kind, rank=rank, seq=seq, op=op, detail=detail)
+            )
+
+    def send(*payload: Any) -> None:
+        """Ship one ack, with the buffered event batch attached in sanitize mode."""
+        if sanitize:
+            conn.send((*payload, tuple(events)))
+            events.clear()
+        else:
+            conn.send(payload)
+
     try:
         while True:
             try:
@@ -197,6 +226,7 @@ def _worker_main(
             except EOFError:
                 break
             op, seq = request[0], request[1]
+            emit("recv", seq=seq, op=op)
             try:
                 if seq != expected:
                     raise BackendError(
@@ -205,33 +235,44 @@ def _worker_main(
                 expected += 1
                 if op == "round":
                     payloads = [_read_record(in_shm.buf, seq, e) for e in request[2]]
+                    emit("ring_read", seq=seq, detail=(len(payloads),))
                     writer.begin_round()
                     entries = [_write_record(writer, seq, p) for p in payloads]
-                    conn.send(("ok", seq, entries))
+                    emit("ring_write", seq=seq, detail=(len(entries),))
+                    emit("ack_send", seq=seq, op=op)
+                    send("ok", seq, entries)
                 elif op == "task":
                     fn, args = _read_record(in_shm.buf, seq, request[2])
+                    emit("ring_read", seq=seq, detail=(1,))
                     result = fn(pool, *args)
                     writer.begin_round()
-                    conn.send(("ok", seq, _write_record(writer, seq, result)))
+                    entry = _write_record(writer, seq, result)
+                    emit("ring_write", seq=seq, detail=(1,))
+                    emit("ack_send", seq=seq, op=op)
+                    send("ok", seq, entry)
                 elif op == "pool":
                     new = shared_memory.SharedMemory(name=request[2])
                     pool = np.frombuffer(new.buf, dtype=np.float64, count=request[3])
                     if pool_shm is not None:
                         _close_segment(pool_shm, unlink=False)
                     pool_shm = new
-                    conn.send(("ok", seq, None))
+                    emit("pool_map", seq=seq)
+                    emit("ack_send", seq=seq, op=op)
+                    send("ok", seq, None)
                 elif op == "close":
-                    conn.send(("ok", seq, None))
+                    emit("exit")
+                    emit("ack_send", seq=seq, op=op)
+                    send("ok", seq, None)
                     break
                 else:
                     raise BackendError(f"worker {rank}: unknown doorbell {op!r}")
             except BaseException:
-                conn.send(("err", seq, traceback.format_exc()))
+                send("err", seq, traceback.format_exc())
     finally:
         pool = None
         if pool_shm is not None:
             _close_segment(pool_shm, unlink=False)
-        writer = None
+        del writer  # releases the ring view so the segment can close
         _close_segment(in_shm, unlink=False)
         _close_segment(out_shm, unlink=False)
         conn.close()
@@ -270,8 +311,11 @@ class SharedMemoryBackend(TransportBackend):
         ring_bytes: int = DEFAULT_RING_BYTES,
         timeout_s: float = DEFAULT_TIMEOUT_S,
         start_method: str | None = None,
+        sanitize: bool | None = None,
     ) -> None:
         super().__init__()
+        if sanitize is not None:
+            self._protocol_sanitize = bool(sanitize)
         if world_size < 1:
             raise ValueError(f"world_size must be >= 1, got {world_size}")
         self.world_size = world_size
@@ -297,12 +341,21 @@ class SharedMemoryBackend(TransportBackend):
                 f"shm backend serves {self.world_size} ranks, transport has {world_size}"
             )
 
+    def set_protocol_sanitize(self, enabled: bool) -> None:
+        """Sanitize mode must be fixed before the workers spawn."""
+        if self._started and bool(enabled) != self._protocol_sanitize:
+            raise BackendError(
+                "protocol sanitize mode must be set before the shm workers start"
+            )
+        self._protocol_sanitize = bool(enabled)
+
     def ensure_started(self) -> None:
         """Spawn the rank servers (lazy; a no-op once running)."""
         if self._started:
             return
         if self._closed:
             raise BackendError("shm backend already closed")
+        self.emit_protocol_event("config", detail=(self.world_size, self.ring_bytes))
         try:
             for rank in range(self.world_size):
                 in_shm = shared_memory.SharedMemory(create=True, size=self.ring_bytes)
@@ -310,7 +363,14 @@ class SharedMemoryBackend(TransportBackend):
                 parent_conn, child_conn = self._ctx.Pipe()
                 process = self._ctx.Process(
                     target=_worker_main,
-                    args=(rank, in_shm.name, out_shm.name, self.ring_bytes, child_conn),
+                    args=(
+                        rank,
+                        in_shm.name,
+                        out_shm.name,
+                        self.ring_bytes,
+                        child_conn,
+                        self._protocol_sanitize,
+                    ),
                     name=f"repro-shm-w{rank}",
                     daemon=True,
                 )
@@ -319,6 +379,7 @@ class SharedMemoryBackend(TransportBackend):
                 self._workers[rank] = _WorkerHandle(rank, process, parent_conn, in_shm, out_shm)
                 process.start()
                 child_conn.close()
+                self.emit_protocol_event("spawn", rank=rank)
             self._started = True
         except BaseException:
             self._teardown(graceful=False)
@@ -335,6 +396,7 @@ class SharedMemoryBackend(TransportBackend):
         if self._closed:
             return
         self._teardown(graceful=True)
+        self.emit_protocol_event("closed")
         self._closed = True
         if self._atexit_hook is not None:
             atexit.unregister(self._atexit_hook)
@@ -344,8 +406,28 @@ class SharedMemoryBackend(TransportBackend):
         for handle in self._workers.values():
             if graceful and handle.process.is_alive():
                 try:
-                    handle.conn.send(("close", handle.next_seq()))
+                    seq = handle.next_seq()
+                    handle.conn.send(("close", seq))
                 except (BrokenPipeError, OSError):
+                    pass
+                else:
+                    self.emit_protocol_event("post", rank=handle.rank, seq=seq, op="close")
+        if self._protocol_sanitize and graceful:
+            # The close doorbell is normally fire-and-forget (join is the
+            # close barrier), but the worker's final event batch — including
+            # its exit event — rides on the close ack; drain it so the
+            # sanitizer can prove unlink happened after every exit.
+            for handle in self._workers.values():
+                try:
+                    if handle.process.is_alive() or handle.conn.poll(0):
+                        if handle.conn.poll(2.0):
+                            message = handle.conn.recv()
+                            if len(message) > 3:
+                                self.protocol_events.extend(message[3])
+                            self.emit_protocol_event(
+                                "ack_recv", rank=handle.rank, seq=message[1]
+                            )
+                except (EOFError, OSError):
                     pass
         for handle in self._workers.values():
             if handle.process.is_alive():
@@ -359,10 +441,12 @@ class SharedMemoryBackend(TransportBackend):
                 pass
             _close_segment(handle.in_shm, unlink=True)
             _close_segment(handle.out_shm, unlink=True)
+            self.emit_protocol_event("unlink", rank=handle.rank)
         self._workers.clear()
         self._started = False
-        for pool_shm, _pool in self._pools.values():
+        for rank, (pool_shm, _pool) in self._pools.items():
             _close_segment(pool_shm, unlink=True)
+            self.emit_protocol_event("unlink", rank=rank)
         self._pools.clear()
 
     # ------------------------------------------------------------------
@@ -383,7 +467,11 @@ class SharedMemoryBackend(TransportBackend):
                     f"shm worker {handle.rank} did not ack seq {seq} within "
                     f"{self.timeout_s:.0f}s; backend closed"
                 )
-        op, ack_seq, payload = handle.conn.recv()
+        message = handle.conn.recv()
+        op, ack_seq, payload = message[0], message[1], message[2]
+        if self._protocol_sanitize and len(message) > 3:
+            self.protocol_events.extend(message[3])
+        self.emit_protocol_event("ack_recv", rank=handle.rank, seq=ack_seq)
         if op == "err":
             raise BackendError(f"shm worker {handle.rank} failed:\n{payload}")
         if ack_seq != seq:
@@ -403,6 +491,7 @@ class SharedMemoryBackend(TransportBackend):
             raise BackendError(
                 f"shm worker {handle.rank} pipe is gone ({exc}); backend closed"
             ) from exc
+        self.emit_protocol_event("post", rank=handle.rank, seq=seq, op=op)
         return seq
 
     # ------------------------------------------------------------------
@@ -436,6 +525,11 @@ class SharedMemoryBackend(TransportBackend):
                 raise BackendError(
                     f"shm worker {dst} pipe is gone ({exc}); backend closed"
                 ) from exc
+            placed = sum(e[2] for e in entries if e[1] >= 0)
+            inline = sum(1 for e in entries if e[1] < 0)
+            self.emit_protocol_event(
+                "post", rank=dst, seq=seq, op="round", detail=(len(entries), placed, inline)
+            )
             pending.append((handle, seq, batch))
         self.shm_stats["rounds"] += 1
 
@@ -504,6 +598,9 @@ class SharedMemoryBackend(TransportBackend):
                 raise BackendError(
                     f"shm worker {rank} pipe is gone ({exc}); backend closed"
                 ) from exc
+            self.emit_protocol_event(
+                "post", rank=rank, seq=seq, op="task", detail=(1, entry[2], int(entry[1] < 0))
+            )
             pending.append((handle, seq))
         self.shm_stats["tasks"] += len(ranks)
         results: dict[int, Any] = {}
@@ -528,7 +625,13 @@ class SharedMemoryBackend(TransportBackend):
         return info
 
     def __del__(self) -> None:
+        # Interpreter shutdown tears modules down in arbitrary order: a
+        # backend dropped at exit must not touch multiprocessing machinery
+        # (pipes, process joins, the resource tracker) once finalization has
+        # begun — the atexit hook already ran close() while it was safe.
         try:
+            if sys is None or sys.is_finalizing():
+                return
             self.close()
         except Exception:
             pass

@@ -40,7 +40,7 @@ from .tree import tree_allreduce, tree_broadcast, tree_reduce
 _DEPRECATED_LOOP_INTERNALS = ("alltoall", "allgather_payloads")
 
 
-def __getattr__(name):
+def __getattr__(name: str) -> object:
     if name in _DEPRECATED_LOOP_INTERNALS:
         warnings.warn(
             f"repro.comm.{name} is a loop-path internal and deprecated at the "

@@ -11,8 +11,12 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 from functools import lru_cache
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:
+    from .group import CommGroup
 
 
 @lru_cache(maxsize=4096)
@@ -37,7 +41,7 @@ def chunk_sizes(length: int, parts: int) -> tuple[int, ...]:
     return tuple(hi - lo for lo, hi in chunk_bounds(length, parts))
 
 
-def check_arrays(arrays: Sequence[np.ndarray], group) -> None:
+def check_arrays(arrays: Sequence[np.ndarray], group: CommGroup) -> None:
     """Validate the per-member input convention of the collectives.
 
     One 1-D array per group member, all the same shape.

@@ -11,6 +11,7 @@ time and bytes.
 from __future__ import annotations
 
 from collections.abc import Sequence
+from typing import Any
 
 import numpy as np
 
@@ -33,7 +34,7 @@ def _chunk_bounds(length: int, parts: int) -> list[tuple]:
 # ----------------------------------------------------------------------
 # Point-to-point helpers
 # ----------------------------------------------------------------------
-def send_recv(group: CommGroup, src: int, dst: int, payload) -> object:
+def send_recv(group: CommGroup, src: int, dst: int, payload: Any) -> Any:
     """One message from ``src`` to ``dst`` (global ranks); returns the payload."""
     inbox = group.transport.exchange(
         [Message(src, dst, payload, match_id=f"p2p:{src}->{dst}")]

@@ -3,8 +3,13 @@
 from __future__ import annotations
 
 from collections.abc import Sequence
+from typing import TYPE_CHECKING
 
 from ..cluster.transport import Transport
+
+if TYPE_CHECKING:
+    from ..analysis.recorder import TraceRecorder
+    from ..cluster.topology import ClusterSpec
 
 
 def node_major_partition(world_size: int, workers_per_node: int) -> list[tuple[int, ...]]:
@@ -57,11 +62,11 @@ class CommGroup:
         return len(self.ranks)
 
     @property
-    def spec(self):
+    def spec(self) -> ClusterSpec:
         return self.transport.spec
 
     @property
-    def tracer(self):
+    def tracer(self) -> TraceRecorder | None:
         """The transport's installed trace recorder, or ``None``."""
         return self.transport.tracer
 

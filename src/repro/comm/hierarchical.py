@@ -13,12 +13,17 @@ leaders perform the peer exchange — the paper calls this out explicitly.
 from __future__ import annotations
 
 from collections.abc import Callable, Sequence
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from .collectives import broadcast, gather, ring_allreduce
 from .group import CommGroup
 from .scatter_reduce import CompressFn, DecompressFn, scatter_reduce
+
+if TYPE_CHECKING:
+    from ..compression.base import Compressor
+    from ..compression.error_feedback import ErrorFeedback
 
 
 def hierarchical_phases(
@@ -118,9 +123,9 @@ class HierarchicalComm:
     def allreduce_batched(
         self,
         arrays: Sequence[np.ndarray],
-        codec=None,
-        worker_errors=None,
-        server_errors=None,
+        codec: Compressor | None = None,
+        worker_errors: Sequence[ErrorFeedback] | None = None,
+        server_errors: Sequence[ErrorFeedback] | None = None,
     ) -> list[np.ndarray]:
         """Hierarchical sum with the world-batched inter-node tier.
 

@@ -143,6 +143,11 @@ class BaguaEngine:
                 "with the same backend (e.g. make_workers(spec, "
                 f"backend={self.config.backend!r}))"
             )
+        if self.config.protocol_sanitize is not None:
+            # Must happen before any protocol traffic: the shm backend bakes
+            # the flag into its workers at spawn time (and raises on a late
+            # flip), so the engine applies it at construction.
+            transport.backend.set_protocol_sanitize(self.config.protocol_sanitize)
         self.group = CommGroup(transport, [w.ctx.rank for w in self.workers])
         self.plan: ExecutionPlan | None = None
         self.profile: ExecutionProfile | None = None

@@ -41,6 +41,12 @@ class BaguaConfig:
     preference decide.  Results and simulated timing are bitwise identical
     either way, so both knobs are purely wall-clock switches (kept for A/B
     benchmarking and as escape hatches).
+
+    ``protocol_sanitize`` opts the transport backend into the protocol
+    conformance sanitizer (:mod:`repro.analysis.protocol`): the backend
+    records cross-process protocol events for later replay through
+    ``check_events``.  ``None`` defers to ``$REPRO_PROTOCOL_SANITIZE``.
+    Purely observational — it changes no delivered byte.
     """
 
     overlap: bool = True
@@ -49,6 +55,7 @@ class BaguaConfig:
     bucket_bytes: float = DEFAULT_BUCKET_BYTES
     fast_path: bool | None = None
     backend: str | None = None
+    protocol_sanitize: bool | None = None
 
     def describe(self) -> str:
         return (
