@@ -54,7 +54,10 @@ protocol:
 	$(PYTHON) -m repro analyze --protocol
 
 # REPRO_BACKEND selects the transport backend for the whole suite
-# (local | batched | shm); unset means the batched default.
+# (local | batched | shm); unset means the batched default.  The result
+# JSON carries the backend as a suffix so per-backend runs (and their CI
+# artifacts) never clobber each other.
 perf:
 	$(PYTHON) -m repro perf --quick --check \
+		--out BENCH$(if $(REPRO_BACKEND),-$(REPRO_BACKEND)).json \
 		$(if $(REPRO_BACKEND),--backend $(REPRO_BACKEND))

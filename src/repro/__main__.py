@@ -207,14 +207,16 @@ def main(argv=None) -> int:
         help="benchmark the world-batched fast path vs the loop reference",
         description=(
             "Time the hot collective and compression kernels (loop vs "
-            "batched fast path) and one functional-mode epoch per world "
-            "size, write BENCH_PR5.json, and optionally gate against the "
-            "committed baseline (fails when a kernel's geomean speedup "
-            "drops >20% below baseline, or on a missed speedup floor)."
+            "batched fast path), one functional-mode epoch per world "
+            "size, and the shm round-latency/wire-codec microbenches, "
+            "write the result JSON (default BENCH.json; CI suffixes it "
+            "per backend), and optionally gate against the committed "
+            "baseline (fails when a kernel's geomean speedup drops >20% "
+            "below baseline, or on a missed speedup floor)."
         ),
     )
     perf_parser.add_argument(
-        "--out", default="BENCH_PR5.json", help="result JSON path"
+        "--out", default="BENCH.json", help="result JSON path"
     )
     perf_parser.add_argument(
         "--baseline",

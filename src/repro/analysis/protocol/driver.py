@@ -4,8 +4,10 @@ One :func:`analyze_protocol` call runs the three protocol checks end to
 end and aggregates them into a :class:`ProtocolReport`:
 
 1. **exhaustive exploration** — the clean protocol model at several world
-   sizes (default 1/2/4), every interleaving, under DPOR + state dedup;
-   any finding or truncation fails the gate;
+   sizes (default 1/2/4), every interleaving, under DPOR + state dedup,
+   over *both* wire protocols (legacy per-round pipe doorbells and the
+   PR 9 batched flag-word steady state); any finding or truncation fails
+   the gate;
 2. **mutation testing** — the seeded-bug suite of :mod:`.mutations`; every
    bug must be caught with exactly its root-cause rule;
 3. **live conformance** (optional, default on) — a real
@@ -131,6 +133,8 @@ def analyze_protocol(
     report = ProtocolReport()
     for world in worlds:
         report.explorations.append(explorer.explore(Workload(world=world)))
+    for world in worlds:
+        report.explorations.append(explorer.explore(Workload(world=world, batched=True)))
     if mutations:
         report.mutation_report = run_mutations(explorer=explorer)
     if live:

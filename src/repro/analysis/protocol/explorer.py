@@ -57,8 +57,9 @@ class ExplorationResult:
 
     def describe(self) -> str:
         status = "clean" if self.ok else ("TRUNCATED" if self.finding is None else "FAIL")
+        wire = " (batched flag-word)" if self.workload.batched else ""
         return (
-            f"{status}: world {self.workload.world}, {self.states} states, "
+            f"{status}: world {self.workload.world}{wire}, {self.states} states, "
             f"{self.transitions} transitions, depth {self.max_depth}, "
             f"{self.elapsed_s * 1000:.0f} ms"
         )
@@ -67,6 +68,7 @@ class ExplorationResult:
         return {
             "world": self.workload.world,
             "rounds": self.workload.rounds,
+            "batched": self.workload.batched,
             "ok": self.ok,
             "states": self.states,
             "transitions": self.transitions,

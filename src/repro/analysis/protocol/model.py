@@ -16,6 +16,18 @@ protocol as a small transition system the interleaving explorer
   (round posting, ack barriers, pool mapping, graceful teardown) while each
   worker runs the reactive doorbell loop (`recv → read → echo → ack`).
 
+The model covers both wire protocols the backend speaks.  The legacy
+per-round mode posts one pipe doorbell per round and barriers each ack.
+The **batched** mode (``Workload(batched=True)``) mirrors the PR 9 steady
+state: the parent *stages* a whole iteration's rounds as one program of
+ring records sharing a batch seq, rings a single seq-stamped *flag word*
+(a one-slot overwrite register, not a FIFO), and the worker executes the
+entire program before setting its own ack flag word; pipes stay reserved
+for control (``pool``/``close``).  A flag word whose seq was never bumped
+cannot wake the worker — the model classifies that quiescent state as a
+lost wakeup — and an ack raised before the staged program finished
+executing violates :data:`RULE_PROGRAM`.
+
 Transitions validate the protocol invariants as they fire (seq monotonicity,
 stamp matching, ring-slot overlap, budget handling, segment lifecycle); a
 quiescent state that is not a clean termination is classified as deadlock,
@@ -58,6 +70,7 @@ RULE_BARRIER = "protocol-barrier"
 RULE_LEAK = "protocol-leak"
 RULE_ORPHAN = "protocol-orphan"
 RULE_CONFORMANCE = "protocol-conformance"
+RULE_PROGRAM = "protocol-program"
 
 ALL_RULES = (
     RULE_DEADLOCK,
@@ -71,6 +84,7 @@ ALL_RULES = (
     RULE_LEAK,
     RULE_ORPHAN,
     RULE_CONFORMANCE,
+    RULE_PROGRAM,
 )
 
 
@@ -121,6 +135,13 @@ class Faults:
     #: ranks that get one extra round doorbell posted *after* their close
     #: doorbell (use-after-close: the wakeup is lost behind the shutdown).
     post_after_close: tuple[int, ...] = ()
+    #: ranks whose workers ack a batch flag word before executing the staged
+    #: program (ack-before-program-end; batched mode only).
+    ack_early: tuple[int, ...] = ()
+    #: (rank, batch) pairs whose doorbell flag word reuses the previous batch
+    #: seq — the flag is "rung" but its value never changes, so the spinning
+    #: worker cannot observe the new batch (batched mode only).
+    stale_flag: tuple[tuple[int, int], ...] = ()
 
 
 @dataclass
@@ -274,6 +295,9 @@ class _Worker:
     cur_data: tuple = ()
     echo_entries: tuple[_EntryT, ...] = ()
     pool_seg: int | None = None
+    #: batch items actually executed before the ack flag was set (batched
+    #: mode; the faithful worker always executes the whole staged program).
+    executed: int = 0
 
     def clone(self) -> _Worker:
         return replace(self)
@@ -289,6 +313,7 @@ class _Worker:
             self.cur_data,
             self.echo_entries,
             self.pool_seg,
+            self.executed,
         )
 
 
@@ -311,6 +336,9 @@ class _Segment:
 # Parent program instructions (straight-line; guards block, never branch):
 #   ("post", dst, op, sizes, round_index)   op in {"round", "task"}
 #   ("await", dst)
+#   ("stage", dst, kind, sizes, batch_index)  kind in {"round", "task"}
+#   ("flag", dst, batch_index)
+#   ("flagwait", dst)
 #   ("pool", rank, n_bytes)
 #   ("close", rank)
 #   ("join", rank)
@@ -333,6 +361,15 @@ class ModelState:
     outstanding: dict[int, list[tuple[int, str]]] = field(default_factory=dict)
     door: dict[int, list[tuple]] = field(default_factory=dict)
     ack: dict[int, list[tuple]] = field(default_factory=dict)
+    #: per destination, the seq-stamped doorbell flag word — a single-slot
+    #: OVERWRITE register (the shared-memory u64), not a FIFO: (seq, items)
+    door_flag: dict[int, tuple | None] = field(default_factory=dict)
+    #: per destination, the ack flag word: (seq, executed, echo_entries)
+    ack_flag: dict[int, tuple | None] = field(default_factory=dict)
+    #: per destination, the staged-but-not-yet-flagged batch: (seq, items)
+    open_batch: dict[int, tuple[int, tuple]] = field(default_factory=dict)
+    #: per destination, how many items the last flagged program contained
+    flagged: dict[int, int] = field(default_factory=dict)
     in_ring: dict[int, _Ring] = field(default_factory=dict)
     out_ring: dict[int, _Ring] = field(default_factory=dict)
     workers: dict[int, _Worker] = field(default_factory=dict)
@@ -352,6 +389,10 @@ class ModelState:
             outstanding={k: list(v) for k, v in self.outstanding.items()},
             door={k: list(v) for k, v in self.door.items()},
             ack={k: list(v) for k, v in self.ack.items()},
+            door_flag=dict(self.door_flag),
+            ack_flag=dict(self.ack_flag),
+            open_batch=dict(self.open_batch),
+            flagged=dict(self.flagged),
             in_ring={k: v.clone() for k, v in self.in_ring.items()},
             out_ring={k: v.clone() for k, v in self.out_ring.items()},
             workers={k: v.clone() for k, v in self.workers.items()},
@@ -366,6 +407,10 @@ class ModelState:
             tuple((k, tuple(v)) for k, v in sorted(self.outstanding.items())),
             tuple((k, tuple(v)) for k, v in sorted(self.door.items())),
             tuple((k, tuple(v)) for k, v in sorted(self.ack.items())),
+            tuple(sorted(self.door_flag.items())),
+            tuple(sorted(self.ack_flag.items())),
+            tuple(sorted(self.open_batch.items())),
+            tuple(sorted(self.flagged.items())),
             tuple((k, v.key()) for k, v in sorted(self.in_ring.items())),
             tuple((k, v.key()) for k, v in sorted(self.out_ring.items())),
             tuple((k, v.key()) for k, v in sorted(self.workers.items())),
@@ -381,16 +426,28 @@ class ModelState:
         instr = self.program[self.pc]
         if instr[0] == "await":
             return bool(self.ack[instr[1]])
+        if instr[0] == "flagwait":
+            return self.ack_flag.get(instr[1]) is not None
         if instr[0] == "join":
             return not self.workers[instr[1]].alive
         return True
+
+    def _flag_ready(self, rank: int) -> bool:
+        """Whether rank's spinning worker can observe its doorbell flag.
+
+        The worker spins until the flag word carries the seq it expects; a
+        stale value (seq already consumed) leaves the spin loop blocked —
+        that is the whole point of the seq stamp.
+        """
+        flag = self.door_flag.get(rank)
+        return flag is not None and flag[0] == self.workers[rank].expected
 
     def worker_enabled(self, rank: int) -> bool:
         worker = self.workers[rank]
         if not worker.alive:
             return False
         if worker.phase == _RECV:
-            return bool(self.door[rank])
+            return bool(self.door[rank]) or self._flag_ready(rank)
         return True  # mid-protocol phases never block
 
     def enabled_procs(self) -> list[str]:
@@ -410,6 +467,12 @@ class ModelState:
             if op == "post":
                 return frozenset({("door", instr[1]), ("inring", instr[1]), ("life", instr[1])})
             if op == "await":
+                return frozenset({("ack", instr[1]), ("outring", instr[1])})
+            if op == "stage":
+                return frozenset({("inring", instr[1])})
+            if op == "flag":
+                return frozenset({("door", instr[1])})
+            if op == "flagwait":
                 return frozenset({("ack", instr[1]), ("outring", instr[1])})
             if op == "pool":
                 return frozenset({("door", instr[1]), ("seg", instr[1]), ("life", instr[1])})
@@ -523,6 +586,85 @@ class ModelState:
                     if entry[0] == "ring":
                         out.read(entry[1], seq, PARENT, reader=dst)
             return f"parent barriers on worker {dst} ack seq {seq} ({kind})"
+        if op == "stage":
+            _, dst, kind, sizes, _batch_index = instr
+            opened = self.open_batch.get(dst)
+            if opened is None:
+                # Opening a batch takes one seq for the whole program and
+                # resets the ring budget once (shm._batch / begin_round).
+                seq = self._take_seq(dst, None)
+                self.in_ring[dst].begin_round()
+                items: tuple = ()
+            else:
+                seq, items = opened
+            ring = self.in_ring[dst]
+            entries: list[_EntryT] = []
+            for nbytes in sizes:
+                placed = ring.write(
+                    seq, dst, nbytes, force=self.faults.force_place, writer_rank=dst
+                )
+                entries.append(("inline", nbytes) if placed is None else ("ring", placed[0]))
+            self.open_batch[dst] = (seq, items + ((kind, tuple(entries)),))
+            return (
+                f"parent stages {kind} seq {seq} into worker {dst}'s batch "
+                f"({len(sizes)} record(s))"
+            )
+        if op == "flag":
+            _, dst, batch_index = instr
+            seq, items = self.open_batch.pop(dst)
+            flag_seq = seq
+            if (dst, batch_index) in self.faults.stale_flag:
+                flag_seq = max(0, seq - 1)  # the flag word was never bumped
+            self.door_flag[dst] = (flag_seq, items)
+            self.outstanding[dst].append((seq, "batch"))
+            self.flagged[dst] = len(items)
+            stale = " with a stale seq" if flag_seq != seq else ""
+            return (
+                f"parent rings worker {dst}'s doorbell flag word for batch "
+                f"seq {seq}{stale} ({len(items)} item(s))"
+            )
+        if op == "flagwait":
+            dst = instr[1]
+            seq, executed, entries = self.ack_flag[dst]
+            self.ack_flag[dst] = None
+            if not self.outstanding[dst]:
+                raise Violation(
+                    _finding(
+                        RULE_SEQ,
+                        f"parent observed ack flag seq {seq} from worker {dst} with "
+                        "no outstanding batch: duplicated or unsolicited ack",
+                        rank=dst,
+                        seq=seq,
+                    )
+                )
+            expected, kind = self.outstanding[dst].pop(0)
+            if seq != expected:
+                raise Violation(
+                    _finding(
+                        RULE_SEQ,
+                        f"worker {dst}'s ack flag carries seq {seq}, parent expected "
+                        f"seq {expected} ({kind}): ack/seq mismatch",
+                        rank=dst,
+                        seq=expected,
+                    )
+                )
+            want = self.flagged.pop(dst, 0)
+            if executed != want:
+                raise Violation(
+                    _finding(
+                        RULE_PROGRAM,
+                        f"worker {dst} set its ack flag for batch seq {seq} after "
+                        f"executing {executed} of {want} staged program item(s): "
+                        "ack-before-program-end",
+                        rank=dst,
+                        seq=seq,
+                    )
+                )
+            out = self.out_ring[dst]
+            for entry in entries:
+                if entry[0] == "ring":
+                    out.read(entry[1], seq, PARENT, reader=dst)
+            return f"parent observes worker {dst}'s ack flag for batch seq {seq}"
         if op == "pool":
             _, rank, _n_bytes = instr
             self._check_worker_alive(rank, "pool doorbell")
@@ -566,6 +708,29 @@ class ModelState:
 
     def _step_worker(self, rank: int) -> str:
         worker = self.workers[rank]
+        if worker.phase == _RECV and not self.door[rank]:
+            # Flag-word doorbell (batched steady state).  Enabledness already
+            # required flag seq == expected, so no seq violation can fire
+            # here; a stale flag simply never wakes the worker and is
+            # classified at quiescence.
+            seq, items = self.door_flag[rank]
+            self.door_flag[rank] = None
+            worker.expected += 1
+            worker.cur_op, worker.cur_seq = "batch", seq
+            worker.cur_data = items
+            if rank in self.faults.ack_early:
+                worker.executed = 0
+                worker.echo_entries = ()
+                worker.phase = _ACK
+                return (
+                    f"worker {rank} consumes flag-word seq {seq} but jumps straight "
+                    "to the ack (seeded: ack before program end)"
+                )
+            worker.phase = _READ
+            return (
+                f"worker {rank} observes doorbell flag seq {seq} "
+                f"({len(items)} program item(s))"
+            )
         if worker.phase == _RECV:
             op, seq, data = self.door[rank].pop(0)
             if seq != worker.expected:
@@ -584,6 +749,25 @@ class ModelState:
             worker.cur_data = data if isinstance(data, tuple) else (data,)
             worker.phase = _READ if op in ("round", "task") else _ACK
             return f"worker {rank} receives {op} doorbell seq {seq}"
+        if worker.phase == _READ and worker.cur_op == "batch":
+            ring = self.in_ring[rank]
+            done: list[tuple[str, tuple[int, ...]]] = []
+            for kind, item_entries in worker.cur_data:
+                sizes = []
+                for entry in item_entries:
+                    if entry[0] == "ring":
+                        ring.read(entry[1], worker.cur_seq, rank, reader=rank)
+                        record = next(r for r in ring.records if r.off == entry[1])
+                        sizes.append(record.nbytes - STAMP_BYTES)
+                    else:
+                        sizes.append(entry[1])
+                done.append((kind, tuple(sizes)))
+            worker.cur_data = tuple(done)
+            worker.phase = _ECHO
+            return (
+                f"worker {rank} reads its staged program for batch seq "
+                f"{worker.cur_seq} ({len(done)} item(s)) from its inbound ring"
+            )
         if worker.phase == _READ:
             ring = self.in_ring[rank]
             sizes = []
@@ -600,6 +784,23 @@ class ModelState:
                 f"worker {rank} reads {len(sizes)} record(s) for seq {worker.cur_seq} "
                 "from its inbound ring"
             )
+        if worker.phase == _ECHO and worker.cur_op == "batch":
+            out = self.out_ring[rank]
+            out.begin_round()
+            flat: list[_EntryT] = []
+            for _kind, sizes in worker.cur_data:
+                for nbytes in sizes:
+                    placed = out.write(
+                        worker.cur_seq, PARENT, nbytes, force=False, writer_rank=rank
+                    )
+                    flat.append(("inline", nbytes) if placed is None else ("ring", placed[0]))
+            worker.echo_entries = tuple(flat)
+            worker.executed = len(worker.cur_data)
+            worker.phase = _ACK
+            return (
+                f"worker {rank} echoes batch seq {worker.cur_seq} "
+                f"({worker.executed} item(s)) into its outbound ring"
+            )
         if worker.phase == _ECHO:
             out = self.out_ring[rank]
             out.begin_round()
@@ -610,6 +811,17 @@ class ModelState:
             worker.echo_entries = tuple(entries)
             worker.phase = _ACK
             return f"worker {rank} echoes seq {worker.cur_seq} into its outbound ring"
+        if worker.phase == _ACK and worker.cur_op == "batch":
+            seq, executed = worker.cur_seq, worker.executed
+            self.ack_flag[rank] = (seq, executed, worker.echo_entries)
+            worker.echo_entries = ()
+            worker.cur_data = ()
+            worker.executed = 0
+            worker.phase = _RECV
+            return (
+                f"worker {rank} sets its ack flag word for batch seq {seq} "
+                f"({executed} item(s) executed)"
+            )
         if worker.phase == _ACK:
             op, seq = worker.cur_op, worker.cur_seq
             if op == "pool":
@@ -725,6 +937,34 @@ class ModelState:
                 "current round was never sent",
                 rank=dst,
             )
+        if instr[0] == "flagwait":
+            dst = instr[1]
+            worker = self.workers[dst]
+            if not worker.alive:
+                return _finding(
+                    RULE_LOST_WAKEUP,
+                    f"parent is blocked awaiting worker {dst}'s ack flag word, but "
+                    "the worker already exited: the flag will never be set",
+                    rank=dst,
+                )
+            flag = self.door_flag.get(dst)
+            if flag is not None and flag[0] < worker.expected:
+                return _finding(
+                    RULE_LOST_WAKEUP,
+                    f"worker {dst}'s doorbell flag word holds stale seq {flag[0]} "
+                    f"while the spinning worker expects seq {worker.expected}: the "
+                    "flag was rung without bumping its seq, so the wakeup is lost "
+                    "and the parent waits forever on the ack flag",
+                    rank=dst,
+                    seq=flag[0],
+                )
+            return _finding(
+                RULE_DEADLOCK,
+                f"wait cycle: parent is blocked on worker {dst}'s ack flag word "
+                f"while worker {dst} spins on its doorbell flag — the batch ack "
+                "was never set",
+                rank=dst,
+            )
         if instr[0] == "join":
             rank = instr[1]
             return _finding(
@@ -751,6 +991,12 @@ class Workload:
     round ``r`` (every rank participates in every round, matching
     ``Transport.exchange``'s all-rank barrier).  ``oversize`` appends one
     record larger than the ring to exercise the inline-overflow fallback.
+
+    ``batched`` switches rounds and tasks to the flag-word protocol: rounds
+    are staged into per-destination programs of ``batch_rounds`` rounds each
+    (``0`` = the whole workload in one batch), flagged once, and barriered
+    on the ack flag word; ``pool``/``close`` stay on the pipe, as in the
+    real backend.
     """
 
     world: int = 2
@@ -760,6 +1006,8 @@ class Workload:
     pool: bool = True
     task: bool = True
     oversize: bool = False
+    batched: bool = False
+    batch_rounds: int = 0
 
 
 def build_model(workload: Workload, faults: Faults | None = None) -> ModelState:
@@ -770,32 +1018,64 @@ def build_model(workload: Workload, faults: Faults | None = None) -> ModelState:
     sizes = list(workload.record_sizes)
     if workload.oversize:
         sizes = sizes + [workload.ring_bytes + 32]
-    for r in range(workload.rounds):
-        for dst in range(world):
-            program.append(("post", dst, "round", tuple(sizes), r))
-        if r in faults.skip_barrier:
-            continue
-        if faults.pipeline_rounds and r < workload.rounds - 1:
-            continue  # post the next round before barriering this one
-        for dst in range(world):
-            program.append(("await", dst))
-    if faults.pipeline_rounds:
-        # Drain every ack that was pipelined past its round.
-        for r in range(workload.rounds - 1 if workload.rounds else 0):
+    if workload.batched:
+        # Flag-word steady state: stage each group of rounds as one program
+        # per destination, ring one flag, barrier one ack flag.  Pool stays
+        # on the pipe; the task runs as its own trailing batch, matching
+        # run_rank_tasks' stage-then-flush.
+        per = workload.batch_rounds or max(workload.rounds, 1)
+        batch_index = 0
+        r = 0
+        while r < workload.rounds:
+            chunk = min(per, workload.rounds - r)
+            for dst in range(world):
+                for _ in range(chunk):
+                    program.append(("stage", dst, "round", tuple(sizes), batch_index))
+            for dst in range(world):
+                program.append(("flag", dst, batch_index))
+            for dst in range(world):
+                program.append(("flagwait", dst))
+            r += chunk
+            batch_index += 1
+        if workload.pool:
+            for rank in range(world):
+                program.append(("pool", rank, 512))
+            for rank in range(world):
+                program.append(("await", rank))
+        if workload.task:
+            for rank in range(world):
+                program.append(("stage", rank, "task", (32,), batch_index))
+            for rank in range(world):
+                program.append(("flag", rank, batch_index))
+            for rank in range(world):
+                program.append(("flagwait", rank))
+    else:
+        for r in range(workload.rounds):
+            for dst in range(world):
+                program.append(("post", dst, "round", tuple(sizes), r))
             if r in faults.skip_barrier:
                 continue
+            if faults.pipeline_rounds and r < workload.rounds - 1:
+                continue  # post the next round before barriering this one
             for dst in range(world):
                 program.append(("await", dst))
-    if workload.pool:
-        for rank in range(world):
-            program.append(("pool", rank, 512))
-        for rank in range(world):
-            program.append(("await", rank))
-    if workload.task:
-        for rank in range(world):
-            program.append(("post", rank, "task", (32,), None))
-        for rank in range(world):
-            program.append(("await", rank))
+        if faults.pipeline_rounds:
+            # Drain every ack that was pipelined past its round.
+            for r in range(workload.rounds - 1 if workload.rounds else 0):
+                if r in faults.skip_barrier:
+                    continue
+                for dst in range(world):
+                    program.append(("await", dst))
+        if workload.pool:
+            for rank in range(world):
+                program.append(("pool", rank, 512))
+            for rank in range(world):
+                program.append(("await", rank))
+        if workload.task:
+            for rank in range(world):
+                program.append(("post", rank, "task", (32,), None))
+            for rank in range(world):
+                program.append(("await", rank))
     for rank in range(world):
         if rank in faults.orphan:
             continue
@@ -822,6 +1102,8 @@ def build_model(workload: Workload, faults: Faults | None = None) -> ModelState:
         state.outstanding[rank] = []
         state.door[rank] = []
         state.ack[rank] = []
+        state.door_flag[rank] = None
+        state.ack_flag[rank] = None
         state.in_ring[rank] = _Ring(capacity=workload.ring_bytes)
         state.out_ring[rank] = _Ring(capacity=workload.ring_bytes)
         state.workers[rank] = _Worker(rank=rank)

@@ -31,6 +31,7 @@ from .model import (
     RULE_LIFECYCLE,
     RULE_LOST_WAKEUP,
     RULE_ORPHAN,
+    RULE_PROGRAM,
     RULE_RING_OVERLAP,
     RULE_SEQ,
     Faults,
@@ -47,6 +48,14 @@ _WRAP_WORKLOAD = Workload(
     world=1, rounds=3, record_sizes=(64, 24), ring_bytes=256, pool=False, task=False
 )
 
+#: The default workload spoken over the PR 9 flag-word protocol: both
+#: rounds staged as one batch program per destination, plus the task batch.
+_BATCHED_WORKLOAD = Workload(batched=True)
+
+#: Two single-round batches, rounds only — the minimal shape where batch
+#: 1's flag word can be rung without bumping its seq past batch 0's.
+_STALE_FLAG_WORKLOAD = Workload(batched=True, batch_rounds=1, pool=False, task=False)
+
 
 @dataclass(frozen=True)
 class Mutation:
@@ -61,7 +70,9 @@ class Mutation:
 
 #: The seeded-bug suite (ISSUE 8's eight protocol bugs + three extras the
 #: fault model supports: a leaked segment, pipelined ring overlap, and a
-#: doorbell posted behind a close).
+#: doorbell posted behind a close — plus two batched flag-word bugs from
+#: PR 9: an ack set before the staged program ran, and a flag word rung
+#: without bumping its seq).
 MUTATIONS: tuple[Mutation, ...] = (
     Mutation(
         name="dropped-ack",
@@ -136,6 +147,22 @@ MUTATIONS: tuple[Mutation, ...] = (
         workload=_WRAP_WORKLOAD,
         description="rounds are posted without barriering, so a wrapped write "
         "lands on a slot the worker has not read yet",
+    ),
+    Mutation(
+        name="ack-before-program-end",
+        faults=Faults(ack_early=(0,)),
+        expected_rule=RULE_PROGRAM,
+        workload=_BATCHED_WORKLOAD,
+        description="worker 0 sets its batch ack flag before executing the "
+        "staged program: the parent would read echoes that were never written",
+    ),
+    Mutation(
+        name="stale-flag-seq",
+        faults=Faults(stale_flag=((0, 1),)),
+        expected_rule=RULE_LOST_WAKEUP,
+        workload=_STALE_FLAG_WORKLOAD,
+        description="batch 1's doorbell flag word for rank 0 reuses batch 0's "
+        "seq, so the spinning worker never observes the new program",
     ),
 )
 

@@ -21,6 +21,14 @@ assign every event a clock and then check the happens-before rules —
 ``unlink`` after the worker's ``exit``, no doorbell posted to an exited
 worker — exactly as the model checker does, but against a real execution.
 
+Batched-mode streams add two shapes on top: ``stage`` events record
+rounds/tasks the parent appended to a not-yet-flushed per-worker program,
+and a ``post`` with op ``batch`` is the program's single (flag-word)
+doorbell — it participates in the same post → recv → ack exchange, with
+every worker-side event stamped with the batch seq.  The sanitizer checks
+additionally that every staged ``(rank, seq)`` is eventually covered by
+its ``batch`` post: rounds staged but never flushed are a barrier bug.
+
 Matching rules (per doorbell exchange) are checked exclusively and each
 rank short-circuits after its first finding, so a single seeded bug yields
 a single root-cause finding.
@@ -47,8 +55,9 @@ from .model import (
 if TYPE_CHECKING:
     from ...cluster.backends.base import ProtocolEvent
 
-#: Doorbell kinds that participate in the post → recv → ack exchange.
-_DOORBELL_OPS = ("round", "task", "pool", "close")
+#: Doorbell kinds that participate in the post → recv → ack exchange
+#: ("batch" is a staged program's single flag-word doorbell).
+_DOORBELL_OPS = ("round", "task", "pool", "close", "batch")
 
 VectorClock = dict[str, int]
 
@@ -89,6 +98,8 @@ class _Replay:
         self.spawned: set[int] = set()
         self.exits: dict[int, int] = {}  # rank -> event index of worker exit
         self.last_recv_seq: dict[str, int] = {}
+        #: rounds/tasks staged into a pending batch, awaiting a "batch" post.
+        self.staged: list[ProtocolEvent] = []
         self.events: list[ProtocolEvent] = []
 
     # -- clock assignment ---------------------------------------------
@@ -124,6 +135,8 @@ class _Replay:
             self.world, self.capacity = int(ev.detail[0]), int(ev.detail[1])
         elif ev.kind == "spawn":
             self.spawned.add(ev.rank)
+        elif ev.kind == "stage":
+            self.staged.append(ev)
         elif ev.kind == "post":
             self._check_post(ev)
         elif ev.kind == "exit" and worker_rank is not None:
@@ -162,7 +175,7 @@ class _Replay:
                     ).with_witness(_witness(ev))
                 )
         if (
-            ev.op in ("round", "task")
+            ev.op in ("round", "task", "batch")
             and self.capacity is not None
             and len(ev.detail) >= 2
             and int(ev.detail[1]) > self.capacity
@@ -284,6 +297,21 @@ class _Replay:
                         rank=rank,
                         seq=seq,
                     ).with_witness(_witness(post, exchange["ack_send"]))
+                )
+        for ev in self.staged:
+            if ev.rank in self.bad:
+                continue
+            exchange = self.exchanges.get((ev.rank, ev.seq), {})
+            post = exchange.get("post")
+            if post is None or post.op != "batch":
+                self._report(
+                    _finding(
+                        RULE_BARRIER,
+                        f"{ev.op or 'work'} staged for rank {ev.rank}'s batch seq "
+                        f"{ev.seq} was never flushed (no batch doorbell posted)",
+                        rank=ev.rank,
+                        seq=ev.seq,
+                    ).with_witness(_witness(ev))
                 )
         for key, exchange in self.exchanges.items():
             rank, seq = key

@@ -67,11 +67,14 @@ class ProtocolEvent:
 
     ``proc`` is ``"parent"`` or ``"worker:<rank>"``; ``rank`` is the worker
     the event concerns (``-1`` for backend-wide events).  ``kind`` is one of
-    ``config, spawn, post, recv, ring_read, ring_write, ack_send, ack_recv,
-    pool_map, exit, unlink, closed``; ``op`` carries the doorbell kind
-    (``round``/``task``/``pool``/``close``) where one applies; ``detail``
-    is per-kind metadata (e.g. ``(records, ring_bytes, inline)`` for a
-    round post).
+    ``config, spawn, stage, post, recv, ring_read, ring_write, ack_send,
+    ack_recv, pool_map, exit, unlink, closed``; ``op`` carries the doorbell
+    kind (``round``/``task``/``pool``/``close``, or ``batch`` for a staged
+    program's single flag-word doorbell) where one applies; ``detail`` is
+    per-kind metadata (e.g. ``(records, ring_bytes, inline)`` for a round
+    post).  ``stage`` events record rounds/tasks added to a not-yet-flushed
+    batch; every staged ``(rank, seq)`` must later be covered by a
+    ``batch`` post.
     """
 
     proc: str
@@ -128,6 +131,15 @@ class TransportBackend:
 
     def close(self) -> None:  # noqa: B027 (hook)
         """Release backend resources (processes, shared memory).  Idempotent."""
+
+    def flush(self) -> None:  # noqa: B027 (hook)
+        """Drain any deferred transport work (batched rounds).
+
+        The engine calls this at each iteration boundary; synchronous
+        backends keep the no-op default.  After ``flush`` returns, every
+        previously routed round has fully executed on its worker and its
+        cross-process echoes have been verified.
+        """
 
     def __enter__(self) -> TransportBackend:
         return self

@@ -67,6 +67,9 @@ class LocalBackend(TransportBackend):
                 self._emit_exchange("round", dst, len(batch))
         return inbox
 
+    def flush(self) -> None:
+        """Delivery is synchronous in-process; there is nothing staged."""
+
     def allocate_pool(self, rank: int, n_elements: int) -> np.ndarray:
         pool = np.empty(n_elements, dtype=np.float64)
         self._pools[rank] = pool

@@ -2,31 +2,59 @@
 
 The data plane is a pair of ``multiprocessing.shared_memory`` ring buffers
 per worker (parent→worker and worker→parent).  Every record is stamped with
-the round's sequence number, offsets advance modulo the ring capacity
-(8-byte aligned), and a record that cannot fit the ring falls back to the
-control pipe inline.  The control plane is one OS pipe per worker carrying
-doorbells — ``round`` / ``task`` / ``pool`` / ``close`` — and their acks;
-idle workers block in the kernel instead of spinning.
+a sequence number, offsets advance modulo the ring capacity (8-byte
+aligned), and a record that cannot fit the ring falls back to the control
+pipe inline.  The first 64 bytes of each ring are a header of u64 flag
+words (see below); record data starts at ``_HEADER_BYTES``.
 
-Round semantics match :meth:`repro.cluster.transport.Transport.exchange`
-exactly: the parent writes all of a round's payloads into the destination
-workers' rings, rings the doorbells, then **barriers** on every
-participating worker's ack (validating the per-round sequence number)
-before the round returns.  Each worker decodes the payloads in its own
-address space and re-encodes them into its outbound ring, so delivered
-bytes really cross process boundaries twice — and must still come back
-bit-identical (``tests/test_backend_identity.py``).
+Two steady-state modes:
+
+* **Batched (default, ``batch_rounds=True``)** — the parent *stages* each
+  round's records into the destination rings and returns the delivered
+  payloads immediately (decode∘encode is the identity, so the staged bytes
+  already determine them).  Staged rounds — and ``run_rank_tasks`` work —
+  accumulate into one *program* per worker.  At a flush boundary (an
+  explicit :meth:`flush`, a control-plane op, ring-budget pressure, or
+  close) the parent writes the program as one codec-encoded ring record,
+  publishes its offset/length in the header, and rings a single
+  **flag-word doorbell**: doorbell/ack traffic drops from O(rounds×ranks)
+  pipe messages to O(ranks) flag writes per iteration.  The worker executes
+  the whole program locally, echoes every record through its outbound ring,
+  and acks once per batch with a flag word; the parent byte-compares the
+  echoes against the staged originals.  Pipes are only touched for control
+  (``pool``/``close``) and overflow (a program or reply too large for its
+  ring travels as a ``batch`` pipe message — the oversize/irregular
+  fallback).
+* **Per-round (``batch_rounds=False``)** — the original protocol: every
+  round posts a pipe doorbell per destination and barriers on per-round
+  pipe acks before returning.  Kept as the conservative fallback and as
+  the baseline leg of the ``shm_round_latency`` microbenchmark.
+
+Header layout (u64 little-endian words):
+
+* parent→worker ring: ``[0]`` doorbell flag (``batch_seq + 1``; 0 = idle),
+  ``[8]`` program record offset, ``[16]`` program record nbytes;
+* worker→parent ring: ``[0]`` ack flag (``(batch_seq + 1) << 8 | status``
+  with status 1 = reply in ring, 2 = reply via pipe, 3 = error via pipe),
+  ``[8]`` reply record offset, ``[16]`` reply record nbytes.
+
+Waiters use a bounded spin then a short ``poll`` backoff on the control
+pipe, so flag words and pipe messages share one wait loop.  There are no
+atomics in pure Python: correctness relies on the GIL serializing each
+8-byte aligned store and on x86-TSO store ordering (data published before
+the flag); the program record's seq stamp is validated as a secondary
+check.
+
+Payload encodings: flat contiguous f64 arrays blit raw; everything the
+:mod:`.wire` codec covers (nested tuples/lists/dicts of ndarrays, scalars,
+``CompressedPayload``) uses the pickle-free binary format; only the
+remainder (e.g. task functions) falls back to :mod:`pickle`.
 
 Rank bucket pools (:meth:`allocate_pool`) are plain shared-memory segments
-mapped as float64 arrays in both the parent and the rank's worker: the
-engine's zero-copy bucket views work unchanged on either side, and
-:meth:`run_rank_tasks` runs per-rank compute on real cores against the same
-storage the parent sees.
-
-Teardown is graceful: ``close()`` (also the context-manager exit and an
-``atexit`` hook) sends shutdown doorbells, joins with a timeout, terminates
-stragglers, and unlinks every segment; a failure mid-startup unwinds the
-workers already spawned so no orphan processes or segments survive.
+mapped as float64 arrays in both the parent and the rank's worker; and
+teardown is graceful: ``close()`` flushes pending batches, sends shutdown
+doorbells, joins with a timeout, terminates stragglers, and unlinks every
+segment.
 """
 
 from __future__ import annotations
@@ -41,11 +69,13 @@ import time
 import traceback
 from collections.abc import Callable, Mapping, Sequence
 from dataclasses import dataclass, field
+from functools import lru_cache
 from multiprocessing import shared_memory
 from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
+from . import wire
 from .base import BackendError, ProtocolEvent, TransportBackend
 
 if TYPE_CHECKING:
@@ -62,9 +92,34 @@ DEFAULT_TIMEOUT_S = 120.0
 #: Record payload encodings.
 _RAW_F64 = 0
 _PICKLED = 1
+_CODEC = 2
 
 #: Per-record sequence stamp preceding the payload bytes in the ring.
 _SEQ = struct.Struct("<Q")
+#: Header flag words (u64, little-endian).
+_U64 = struct.Struct("<Q")
+
+#: Bytes reserved at the front of each ring for flag words.
+_HEADER_BYTES = 64
+_DOOR_FLAG_OFF = 0
+_PROG_OFF_OFF = 8
+_PROG_LEN_OFF = 16
+_ACK_FLAG_OFF = 0
+_REPLY_OFF_OFF = 8
+_REPLY_LEN_OFF = 16
+
+#: Ack-flag status byte.
+_ACK_RING = 1
+_ACK_PIPE = 2
+_ACK_ERR = 3
+
+#: Flag waiters busy-spin this many iterations before sleeping in poll().
+_SPIN_LIMIT = 512
+#: Poll backoff once the spin budget is exhausted.
+_POLL_BACKOFF_S = 0.002
+
+#: A batch flushes once its program reaches this many round/task items.
+_MAX_BATCH_ITEMS = 128
 
 #: A ring entry in a control message: (kind, offset, nbytes, inline_bytes).
 #: ``offset`` is -1 (and ``inline_bytes`` set) when the record overflowed
@@ -73,7 +128,11 @@ _Entry = tuple[int, int, int, bytes | None]
 
 
 def _encode(payload: Any) -> tuple[int, np.ndarray]:
-    """Payload → (kind, uint8 buffer).  Flat f64 arrays go raw, rest pickled."""
+    """Payload → (kind, uint8 buffer).
+
+    Flat f64 arrays go raw, wire-codec shapes go pickle-free, the rest
+    (task closures, exotic objects) falls back to pickle.
+    """
     if (
         isinstance(payload, np.ndarray)
         and payload.dtype == np.float64
@@ -81,31 +140,46 @@ def _encode(payload: Any) -> tuple[int, np.ndarray]:
         and payload.flags.c_contiguous
     ):
         return _RAW_F64, payload.view(np.uint8)
-    raw = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
-    return _PICKLED, np.frombuffer(raw, dtype=np.uint8)
+    try:
+        raw = wire.encode(payload)
+        return _CODEC, np.frombuffer(raw, dtype=np.uint8)
+    except wire.WireError:
+        raw = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        return _PICKLED, np.frombuffer(raw, dtype=np.uint8)
 
 
 def _decode(kind: int, data: np.ndarray) -> Any:
     """Inverse of :func:`_encode`; always returns freshly owned objects."""
     if kind == _RAW_F64:
         return data.view(np.float64).copy()
+    if kind == _CODEC:
+        return wire.decode(memoryview(data))
     return pickle.loads(data.tobytes())
+
+
+@lru_cache(maxsize=4096)
+def _record_span(nbytes: int) -> int:
+    """Aligned byte span of one stamped record (stamp + payload, 8-rounded)."""
+    return (_SEQ.size + nbytes + 7) & ~7
 
 
 class _RingWriter:
     """Sequential writer over one shared-memory ring.
 
-    Offsets are 8-byte aligned and wrap to 0 when a record would cross the
-    end.  ``begin_round`` resets the per-round budget: the records of one
-    round must all be resident simultaneously (the reader only drains at
-    the doorbell), so placement refuses — returning ``None``, which makes
-    the record travel inline — once a round has consumed the capacity.
+    Record spans are 8-byte multiples so offsets stay aligned; a record
+    that would cross the end wraps to ``base`` (the first byte past the
+    flag-word header).  ``begin_round`` resets the per-batch budget: the
+    records of one batch must all be resident simultaneously (the reader
+    only drains at the doorbell), so placement refuses — returning
+    ``None``, which makes the record travel inline — once a batch has
+    consumed the capacity.
     """
 
-    def __init__(self, buf: memoryview, capacity: int) -> None:
+    def __init__(self, buf: memoryview, capacity: int, base: int = _HEADER_BYTES) -> None:
         self.buf = buf
-        self.capacity = capacity
-        self._off = 0
+        self.base = base
+        self.capacity = capacity - base
+        self._off = base
         self._used = 0
 
     def begin_round(self) -> None:
@@ -113,12 +187,12 @@ class _RingWriter:
 
     def write(self, seq: int, data: np.ndarray) -> tuple[int, int] | None:
         """Stamp + blit one record; returns (offset, nbytes) or None if full."""
-        total = _SEQ.size + len(data)
-        off = (self._off + 7) & ~7
-        waste = off - self._off
-        if off + total > self.capacity:
-            waste += self.capacity - off
-            off = 0
+        total = _record_span(len(data))
+        off = self._off
+        waste = 0
+        if off + total > self.base + self.capacity:
+            waste = self.base + self.capacity - off
+            off = self.base
         if total > self.capacity or self._used + waste + total > self.capacity:
             return None
         _SEQ.pack_into(self.buf, off, seq)
@@ -156,6 +230,14 @@ def _read_record(buf: memoryview, seq: int, entry: _Entry) -> Any:
     return payload
 
 
+def _record_bytes(buf: memoryview, entry: _Entry) -> np.ndarray:
+    """Raw payload bytes of a staged/echoed entry (ring or inline)."""
+    kind, off, nbytes, inline = entry
+    if off < 0:
+        return np.frombuffer(inline if inline is not None else b"", dtype=np.uint8)
+    return np.frombuffer(buf, dtype=np.uint8, count=nbytes, offset=off + _SEQ.size)
+
+
 def _close_segment(shm: shared_memory.SharedMemory, unlink: bool) -> None:
     """Best-effort close (+ optional unlink) tolerating exported views.
 
@@ -191,14 +273,22 @@ def _worker_main(
 ) -> None:
     """Entry point of one rank server process.
 
+    One wait loop serves both doorbell channels: the in-ring flag word
+    (batched programs) is spun on briefly, then the worker sleeps in short
+    ``conn.poll`` slices so pipe doorbells (``round``/``task``/``pool``/
+    ``close`` and the oversize ``batch`` fallback) wake it too.
+
     With ``sanitize`` on, the worker records a :class:`ProtocolEvent` for
-    every protocol action and piggybacks the buffered events on each ack it
-    already sends — the parent's sanitizer sees both sides of the pipe
+    every protocol action and piggybacks the buffered events on each ack —
+    inside the codec-encoded reply record for ring acks, attached to the
+    pipe message otherwise — so the parent's sanitizer sees both sides
     without any extra channel.
     """
     in_shm = shared_memory.SharedMemory(name=in_name)
     out_shm = shared_memory.SharedMemory(name=out_name)
-    writer = _RingWriter(out_shm.buf, capacity)
+    in_buf = in_shm.buf
+    out_buf = out_shm.buf
+    writer = _RingWriter(out_buf, capacity)
     pool_shm: shared_memory.SharedMemory | None = None
     pool: np.ndarray | None = None
     expected = 0
@@ -219,12 +309,106 @@ def _worker_main(
         else:
             conn.send(payload)
 
+    def set_ack(seq: int, status: int) -> None:
+        _U64.pack_into(out_buf, _ACK_FLAG_OFF, ((seq + 1) << 8) | status)
+
+    def run_program(seq: int, program: Sequence[tuple[str, Any]], via_pipe: bool) -> None:
+        """Execute one batched program and ack it (ring flag or pipe)."""
+        writer.begin_round()
+        reply_items: list[Any] = []
+        n_read = 0
+        for op, data in program:
+            if op == "round":
+                payloads = [_read_record(in_buf, seq, tuple(e)) for e in data]
+                n_read += len(payloads)
+                reply_items.append(tuple(_write_record(writer, seq, p) for p in payloads))
+            elif op == "task":
+                fn, args = _read_record(in_buf, seq, tuple(data))
+                n_read += 1
+                reply_items.append(_write_record(writer, seq, fn(pool, *args)))
+            else:
+                raise BackendError(f"worker {rank}: unknown program op {op!r}")
+        emit("ring_read", seq=seq, detail=(n_read,))
+        emit("ring_write", seq=seq, detail=(len(reply_items),))
+        emit("ack_send", seq=seq, op="batch")
+        if not via_pipe:
+            batch_events = tuple(
+                (e.kind, e.seq, e.op, e.detail) for e in events
+            ) if sanitize else None
+            try:
+                raw = wire.encode((tuple(reply_items), batch_events))
+            except wire.WireError:  # pragma: no cover - reply shapes are closed
+                raw = None
+            if raw is not None:
+                placed = writer.write(seq, np.frombuffer(raw, dtype=np.uint8))
+                if placed is not None:
+                    _U64.pack_into(out_buf, _REPLY_OFF_OFF, placed[0])
+                    _U64.pack_into(out_buf, _REPLY_LEN_OFF, placed[1])
+                    set_ack(seq, _ACK_RING)
+                    events.clear()
+                    return
+        # Reply too large for the ring (or the program itself arrived by
+        # pipe): ack over the pipe, then publish the flag so both waiters
+        # converge.
+        send("ok", seq, tuple(reply_items))
+        set_ack(seq, _ACK_PIPE)
+
     try:
         while True:
-            try:
-                request = conn.recv()
-            except EOFError:
+            # Wait for either doorbell channel: flag word first (hot path),
+            # then the pipe with a short escalating backoff.
+            request: tuple | None = None
+            flag_seq = -1
+            want = expected + 1
+            spins = 0
+            while True:
+                flag = _U64.unpack_from(in_buf, _DOOR_FLAG_OFF)[0]
+                if flag >= want:
+                    flag_seq = flag - 1
+                    break
+                try:
+                    ready = conn.poll(0.0 if spins < _SPIN_LIMIT else _POLL_BACKOFF_S)
+                except OSError:
+                    request = ("_eof",)
+                    break
+                if ready:
+                    try:
+                        request = conn.recv()
+                    except EOFError:
+                        request = ("_eof",)
+                    break
+                spins += 1
+            if request is not None and request[0] == "_eof":
                 break
+            if request is None:
+                # Flag-word doorbell: the program record's offset/length are
+                # published in the header; its seq stamp is the secondary
+                # check that the data was visible before the flag.
+                seq = flag_seq
+                emit("recv", seq=seq, op="batch")
+                try:
+                    if seq != expected:
+                        raise BackendError(
+                            f"worker {rank}: expected doorbell seq {expected}, "
+                            f"got flag seq {seq}"
+                        )
+                    expected = seq + 1
+                    prog_off = _U64.unpack_from(in_buf, _PROG_OFF_OFF)[0]
+                    prog_len = _U64.unpack_from(in_buf, _PROG_LEN_OFF)[0]
+                    stamp = _SEQ.unpack_from(in_buf, prog_off)[0]
+                    if stamp != seq:
+                        raise BackendError(
+                            f"worker {rank}: program record stamped seq {stamp}, "
+                            f"expected {seq}"
+                        )
+                    program = wire.decode(
+                        in_buf[prog_off + _SEQ.size : prog_off + _SEQ.size + prog_len]
+                    )
+                    run_program(seq, program, via_pipe=False)
+                except BaseException:
+                    send("err", seq, traceback.format_exc())
+                    set_ack(seq, _ACK_ERR)
+                continue
             op, seq = request[0], request[1]
             emit("recv", seq=seq, op=op)
             try:
@@ -233,8 +417,13 @@ def _worker_main(
                         f"worker {rank}: expected doorbell seq {expected}, got {seq}"
                     )
                 expected += 1
-                if op == "round":
-                    payloads = [_read_record(in_shm.buf, seq, e) for e in request[2]]
+                if op == "batch":
+                    # Oversize fallback: the program (entries included)
+                    # travelled over the pipe; payload records may still
+                    # live in the ring.
+                    run_program(seq, request[2], via_pipe=True)
+                elif op == "round":
+                    payloads = [_read_record(in_buf, seq, e) for e in request[2]]
                     emit("ring_read", seq=seq, detail=(len(payloads),))
                     writer.begin_round()
                     entries = [_write_record(writer, seq, p) for p in payloads]
@@ -242,7 +431,7 @@ def _worker_main(
                     emit("ack_send", seq=seq, op=op)
                     send("ok", seq, entries)
                 elif op == "task":
-                    fn, args = _read_record(in_shm.buf, seq, request[2])
+                    fn, args = _read_record(in_buf, seq, request[2])
                     emit("ring_read", seq=seq, detail=(1,))
                     result = fn(pool, *args)
                     writer.begin_round()
@@ -273,9 +462,20 @@ def _worker_main(
         if pool_shm is not None:
             _close_segment(pool_shm, unlink=False)
         del writer  # releases the ring view so the segment can close
+        del in_buf, out_buf
         _close_segment(in_shm, unlink=False)
         _close_segment(out_shm, unlink=False)
         conn.close()
+
+
+@dataclass
+class _PendingBatch:
+    """One un-flushed program staged into a worker's inbound ring."""
+
+    seq: int
+    program: list[tuple[str, Any]] = field(default_factory=list)
+    placed_bytes: int = 0
+    inline_count: int = 0
 
 
 @dataclass
@@ -312,6 +512,7 @@ class SharedMemoryBackend(TransportBackend):
         timeout_s: float = DEFAULT_TIMEOUT_S,
         start_method: str | None = None,
         sanitize: bool | None = None,
+        batch_rounds: bool = True,
     ) -> None:
         super().__init__()
         if sanitize is not None:
@@ -321,16 +522,26 @@ class SharedMemoryBackend(TransportBackend):
         self.world_size = world_size
         self.ring_bytes = int(ring_bytes)
         self.timeout_s = float(timeout_s)
+        self.batch_rounds = bool(batch_rounds)
         if start_method is None:
             start_method = "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
         self._ctx = multiprocessing.get_context(start_method)
         self.start_method = start_method
         self._workers: dict[int, _WorkerHandle] = {}
+        self._batches: dict[int, _PendingBatch] = {}
         self._pools: dict[int, tuple[shared_memory.SharedMemory, np.ndarray]] = {}
         self._started = False
         self._closed = False
         self._atexit_hook: Callable[[], None] | None = None
-        self.shm_stats = {"rounds": 0, "payload_bytes": 0, "tasks": 0, "inline_fallbacks": 0}
+        self.shm_stats = {
+            "rounds": 0,
+            "payload_bytes": 0,
+            "tasks": 0,
+            "inline_fallbacks": 0,
+            "batches": 0,
+            "flag_doorbells": 0,
+            "pipe_batch_fallbacks": 0,
+        }
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -403,6 +614,15 @@ class SharedMemoryBackend(TransportBackend):
             self._atexit_hook = None
 
     def _teardown(self, graceful: bool) -> None:
+        if graceful:
+            # Drain staged batches so close doorbells never overtake a
+            # flag doorbell; failures must not block teardown.
+            for rank in list(self._batches):
+                try:
+                    self._flush_rank(rank, closing=True)
+                except Exception:
+                    pass
+        self._batches.clear()
         for handle in self._workers.values():
             if graceful and handle.process.is_alive():
                 try:
@@ -452,6 +672,14 @@ class SharedMemoryBackend(TransportBackend):
     # ------------------------------------------------------------------
     # Control plane
     # ------------------------------------------------------------------
+    def _check_alive(self, handle: _WorkerHandle) -> None:
+        if not handle.process.is_alive():
+            code = handle.process.exitcode
+            self.close()
+            raise BackendError(
+                f"shm worker {handle.rank} died (exit code {code}); backend closed"
+            )
+
     def _await_ack(self, handle: _WorkerHandle, seq: int) -> Any:
         deadline = time.monotonic() + self.timeout_s
         while not handle.conn.poll(0.05):
@@ -483,6 +711,10 @@ class SharedMemoryBackend(TransportBackend):
         return payload
 
     def _post(self, handle: _WorkerHandle, op: str, *payload: Any) -> int:
+        # Control-plane pipe ops must never overtake a staged batch: drain
+        # the rank's pending program first so pipe and flag doorbells stay
+        # strictly ordered per worker.
+        self._flush_rank(handle.rank)
         seq = handle.next_seq()
         try:
             handle.conn.send((op, seq, *payload))
@@ -495,12 +727,308 @@ class SharedMemoryBackend(TransportBackend):
         return seq
 
     # ------------------------------------------------------------------
+    # Batched fast path
+    # ------------------------------------------------------------------
+    def _batch(self, handle: _WorkerHandle) -> _PendingBatch:
+        """The rank's open batch, flushing first when the program is full."""
+        pending = self._batches.get(handle.rank)
+        if pending is not None and len(pending.program) >= _MAX_BATCH_ITEMS:
+            self._flush_rank(handle.rank)
+            pending = None
+        if pending is None:
+            pending = _PendingBatch(seq=handle.next_seq())
+            handle.writer.begin_round()
+            self._batches[handle.rank] = pending
+        return pending
+
+    def _try_stage(
+        self,
+        handle: _WorkerHandle,
+        pending: _PendingBatch,
+        encoded: Sequence[tuple[int, np.ndarray]],
+        force_inline: bool,
+    ) -> list[_Entry] | None:
+        """Place one round's records; None = batch full, flush and retry."""
+        entries: list[_Entry] = []
+        for kind, data in encoded:
+            placed = handle.writer.write(pending.seq, data)
+            if placed is None:
+                if not force_inline and (pending.program or entries):
+                    return None
+                entries.append((kind, -1, len(data), data.tobytes()))
+            else:
+                entries.append((kind, placed[0], placed[1], None))
+        return entries
+
+    def _stage_item(
+        self,
+        handle: _WorkerHandle,
+        op: str,
+        encoded: Sequence[tuple[int, np.ndarray]],
+    ) -> tuple[_PendingBatch, list[_Entry]]:
+        """Append one round/task item to the rank's open batch.
+
+        A round whose records no longer fit the open batch flushes it and
+        restages into a fresh one; a record larger than the ring itself
+        travels inline in the program (the per-record fallback).
+        """
+        pending = self._batch(handle)
+        entries = self._try_stage(handle, pending, encoded, force_inline=False)
+        if entries is None:
+            self._flush_rank(handle.rank)
+            pending = self._batch(handle)
+            entries = self._try_stage(handle, pending, encoded, force_inline=True)
+            assert entries is not None
+        pending.program.append((op, entries if op == "round" else entries[0]))
+        for entry in entries:
+            if entry[1] < 0:
+                pending.inline_count += 1
+                self.shm_stats["inline_fallbacks"] += 1
+            else:
+                pending.placed_bytes += entry[2]
+            self.shm_stats["payload_bytes"] += entry[2]
+        self.emit_protocol_event(
+            "stage",
+            rank=handle.rank,
+            seq=pending.seq,
+            op=op,
+            detail=(
+                len(entries),
+                sum(e[2] for e in entries if e[1] >= 0),
+                sum(1 for e in entries if e[1] < 0),
+            ),
+        )
+        return pending, entries
+
+    def flush(self) -> None:
+        """Drain every staged batch (the iteration boundary)."""
+        for rank in list(self._batches):
+            self._flush_rank(rank)
+
+    def _flush_rank(self, rank: int, closing: bool = False) -> list[Any]:
+        """Ship rank's program, await its single ack, verify the echoes.
+
+        Returns one result slot per program item: ``None`` for rounds
+        (their payloads were already delivered at stage time), the decoded
+        result for tasks.
+        """
+        pending = self._batches.pop(rank, None)
+        if pending is None or not pending.program:
+            return []
+        handle = self._workers[rank]
+        seq = pending.seq
+        program_obj = tuple(
+            (op, tuple(tuple(e) for e in data) if op == "round" else tuple(data))
+            for op, data in pending.program
+        )
+        raw = np.frombuffer(wire.encode(program_obj), dtype=np.uint8)
+        placed = handle.writer.write(seq, raw)
+        if placed is not None:
+            in_buf = handle.in_shm.buf
+            _U64.pack_into(in_buf, _PROG_OFF_OFF, placed[0])
+            _U64.pack_into(in_buf, _PROG_LEN_OFF, placed[1])
+            # Publish the data, then the flag: CPython executes the stores
+            # in order and x86-TSO keeps them ordered for the worker; the
+            # program record's seq stamp is the secondary check.
+            _U64.pack_into(in_buf, _DOOR_FLAG_OFF, seq + 1)
+            self.shm_stats["flag_doorbells"] += 1
+        else:
+            try:
+                handle.conn.send(("batch", seq, program_obj))
+            except (BrokenPipeError, OSError) as exc:
+                if closing:
+                    raise BackendError(f"shm worker {rank} pipe is gone ({exc})") from exc
+                self.close()
+                raise BackendError(
+                    f"shm worker {rank} pipe is gone ({exc}); backend closed"
+                ) from exc
+            self.shm_stats["pipe_batch_fallbacks"] += 1
+        self.shm_stats["batches"] += 1
+        self.emit_protocol_event(
+            "post",
+            rank=rank,
+            seq=seq,
+            op="batch",
+            detail=(len(pending.program), pending.placed_bytes, pending.inline_count),
+        )
+        reply_items = self._await_batch_ack(handle, seq, closing)
+        if len(reply_items) != len(pending.program):
+            message = (
+                f"shm worker {rank} executed {len(reply_items)} program item(s) "
+                f"of {len(pending.program)}"
+            )
+            if closing:
+                raise BackendError(message)
+            self.close()
+            raise BackendError(message + "; backend closed")
+        results: list[Any] = []
+        out_buf = handle.out_shm.buf
+        in_buf = handle.in_shm.buf
+        for (op, data), reply in zip(pending.program, reply_items):
+            if op == "round":
+                for staged, echo in zip(data, reply):
+                    self._verify_echo(handle, seq, staged, tuple(echo), closing)
+                results.append(None)
+            else:
+                results.append(_read_record(out_buf, seq, tuple(reply)))
+        del out_buf, in_buf
+        return results
+
+    def _verify_echo(
+        self,
+        handle: _WorkerHandle,
+        seq: int,
+        staged: _Entry,
+        echo: _Entry,
+        closing: bool,
+    ) -> None:
+        """Byte-compare a worker echo against the staged original.
+
+        Pickled records are exempt: re-pickling in the worker is value- but
+        not guaranteed byte-stable.  Raw and codec encodings are canonical,
+        so any divergence is a real transport fault.
+        """
+        if staged[0] == _PICKLED:
+            return
+        if echo[1] >= 0:
+            stamp = _SEQ.unpack_from(handle.out_shm.buf, echo[1])[0]
+            if stamp != seq:
+                self._echo_fail(handle, f"echo record stamped seq {stamp}", closing)
+        if echo[0] != staged[0] or echo[2] != staged[2] or not np.array_equal(
+            _record_bytes(handle.in_shm.buf, staged),
+            _record_bytes(handle.out_shm.buf, echo),
+        ):
+            self._echo_fail(handle, "echoed bytes diverge from the staged record", closing)
+
+    def _echo_fail(self, handle: _WorkerHandle, reason: str, closing: bool) -> None:
+        message = f"shm worker {handle.rank} echo verification failed: {reason}"
+        if closing:
+            raise BackendError(message)
+        self.close()
+        raise BackendError(message + "; backend closed")
+
+    def _await_batch_ack(
+        self, handle: _WorkerHandle, seq: int, closing: bool
+    ) -> tuple:
+        """Wait on the ack flag word (or a pipe ack/err that beats it)."""
+
+        def fail(reason: str) -> None:
+            if closing:
+                raise BackendError(f"shm worker {handle.rank} {reason}")
+            self.close()
+            raise BackendError(f"shm worker {handle.rank} {reason}; backend closed")
+
+        out_buf = handle.out_shm.buf
+        deadline = time.monotonic() + self.timeout_s
+        want = seq + 1
+        spins = 0
+        status = 0
+        message: tuple | None = None
+        while True:
+            flag = _U64.unpack_from(out_buf, _ACK_FLAG_OFF)[0]
+            acked = flag >> 8
+            if acked == want:
+                status = flag & 0xFF
+                break
+            if acked > want:
+                fail(f"acked batch seq {acked - 1}, expected {seq}")
+            try:
+                ready = handle.conn.poll(0.0 if spins < _SPIN_LIMIT else _POLL_BACKOFF_S)
+            except OSError:
+                ready = False
+            if ready:
+                try:
+                    message = handle.conn.recv()
+                except EOFError:
+                    fail("pipe is gone mid-batch")
+                break
+            spins += 1
+            if spins % 128 == 0:
+                if not handle.process.is_alive():
+                    fail(f"died (exit code {handle.process.exitcode})")
+                if time.monotonic() > deadline:
+                    fail(f"did not ack batch seq {seq} within {self.timeout_s:.0f}s")
+        if message is None and status in (_ACK_PIPE, _ACK_ERR):
+            # The flag landed first but the payload travels by pipe.
+            if not handle.conn.poll(self.timeout_s):
+                fail(f"flagged a pipe ack for seq {seq} but sent nothing")
+            message = handle.conn.recv()
+        if message is not None:
+            op, ack_seq, payload = message[0], message[1], message[2]
+            if self._protocol_sanitize and len(message) > 3:
+                self.protocol_events.extend(message[3])
+            self.emit_protocol_event("ack_recv", rank=handle.rank, seq=ack_seq)
+            if op == "err":
+                raise BackendError(f"shm worker {handle.rank} failed:\n{payload}")
+            if ack_seq != seq:
+                fail(f"acked seq {ack_seq}, expected {seq}")
+            return payload
+        # Ring ack: the reply record carries the echo entries (and, in
+        # sanitize mode, the worker's buffered events).
+        reply_off = _U64.unpack_from(out_buf, _REPLY_OFF_OFF)[0]
+        reply_len = _U64.unpack_from(out_buf, _REPLY_LEN_OFF)[0]
+        stamp = _SEQ.unpack_from(out_buf, reply_off)[0]
+        if stamp != seq:
+            fail(f"reply record stamped seq {stamp}, expected {seq}")
+        reply_items, batch_events = wire.decode(
+            out_buf[reply_off + _SEQ.size : reply_off + _SEQ.size + reply_len]
+        )
+        if self._protocol_sanitize and batch_events:
+            me = f"worker:{handle.rank}"
+            self.protocol_events.extend(
+                ProtocolEvent(
+                    proc=me, kind=kind, rank=handle.rank, seq=ev_seq, op=op, detail=detail
+                )
+                for kind, ev_seq, op, detail in batch_events
+            )
+        self.emit_protocol_event("ack_recv", rank=handle.rank, seq=seq)
+        return reply_items
+
+    # ------------------------------------------------------------------
     # Backend contract
     # ------------------------------------------------------------------
     def route_round(self, messages: Sequence[Message]) -> dict[int, list[Message]]:
+        self.ensure_started()
+        if self.batch_rounds:
+            return self._route_round_batched(messages)
+        return self._route_round_pipe(messages)
+
+    def _route_round_batched(self, messages: Sequence[Message]) -> dict[int, list[Message]]:
+        """Stage the round into per-rank programs; deliver immediately.
+
+        Decode∘encode is the identity and the worker's re-encode is
+        deterministic, so the staged bytes already determine the delivered
+        payloads; the cross-process echo is verified byte-wise when the
+        batch flushes.
+        """
         from ..transport import Message as MessageCls
 
-        self.ensure_started()
+        by_dst: dict[int, list[Message]] = {}
+        for message in messages:
+            by_dst.setdefault(message.dst, []).append(message)
+        inbox: dict[int, list[Message]] = {}
+        for dst, batch in by_dst.items():
+            handle = self._workers[dst]
+            self._check_alive(handle)
+            encoded = [_encode(message.payload) for message in batch]
+            self._stage_item(handle, "round", encoded)
+            inbox[dst] = [
+                MessageCls(
+                    src=message.src,
+                    dst=message.dst,
+                    payload=_decode(kind, data),
+                    nbytes=message.nbytes,
+                    match_id=message.match_id,
+                )
+                for message, (kind, data) in zip(batch, encoded)
+            ]
+        self.shm_stats["rounds"] += 1
+        return inbox
+
+    def _route_round_pipe(self, messages: Sequence[Message]) -> dict[int, list[Message]]:
+        """The per-round pipe protocol (``batch_rounds=False`` fallback)."""
+        from ..transport import Message as MessageCls
+
         by_dst: dict[int, list[Message]] = {}
         for message in messages:
             by_dst.setdefault(message.dst, []).append(message)
@@ -585,7 +1113,20 @@ class SharedMemoryBackend(TransportBackend):
     ) -> dict[int, Any]:
         self.ensure_started()
         ranks = sorted(args_by_rank)
-        pending: list[tuple[_WorkerHandle, int]] = []
+        if self.batch_rounds:
+            # Tasks join the rank's open program (so an iteration's rounds
+            # and its per-rank compute ship as one doorbell) and force a
+            # flush: the caller needs the results synchronously.
+            slots: dict[int, int] = {}
+            for rank in ranks:
+                handle = self._workers[rank]
+                self._check_alive(handle)
+                encoded = [_encode((fn, tuple(args_by_rank[rank])))]
+                pending, _entries = self._stage_item(handle, "task", encoded)
+                slots[rank] = len(pending.program) - 1
+            self.shm_stats["tasks"] += len(ranks)
+            return {rank: self._flush_rank(rank)[slots[rank]] for rank in ranks}
+        pending_acks: list[tuple[_WorkerHandle, int]] = []
         for rank in ranks:
             handle = self._workers[rank]
             seq = handle.next_seq()
@@ -601,10 +1142,10 @@ class SharedMemoryBackend(TransportBackend):
             self.emit_protocol_event(
                 "post", rank=rank, seq=seq, op="task", detail=(1, entry[2], int(entry[1] < 0))
             )
-            pending.append((handle, seq))
+            pending_acks.append((handle, seq))
         self.shm_stats["tasks"] += len(ranks)
         results: dict[int, Any] = {}
-        for handle, seq in pending:
+        for handle, seq in pending_acks:
             entry = self._await_ack(handle, seq)
             results[handle.rank] = _read_record(handle.out_shm.buf, seq, entry)
         return results
@@ -619,6 +1160,7 @@ class SharedMemoryBackend(TransportBackend):
             started=self._started,
             start_method=self.start_method,
             ring_bytes=self.ring_bytes,
+            batch_rounds=self.batch_rounds,
             cpu_count=os.cpu_count(),
             **self.shm_stats,
         )

@@ -1,0 +1,263 @@
+"""Pickle-free wire codec for the payload shapes the algorithms send.
+
+The shm backend historically serialized every non-flat-f64 payload with
+:mod:`pickle`.  That made the *compressed* algorithms — qsgd8, 1bit, topk,
+exactly the ones the BAGUA relaxations say should be cheapest on the wire —
+the slowest through the multiprocess path: each
+:class:`~repro.compression.base.CompressedPayload` round-tripped through
+the pickle machinery instead of blitting its packed ``uint8`` buffers.
+
+This module is a small, deterministic, self-describing binary format for
+the closed set of shapes collectives actually exchange: nested tuples /
+lists / dicts of C-contiguous native-endian ndarrays, numpy scalars,
+Python scalars, ``bytes``/``str``, and ``CompressedPayload``.  Anything
+outside that set raises :class:`WireError` and the caller falls back to
+pickle — the codec never guesses.
+
+Determinism matters beyond speed: the shm backend byte-compares worker
+echo records against the staged originals, so ``encode`` must be a pure
+function of the value.  ``decode(encode(x))`` reproduces ``x`` with exact
+types, dtypes, shapes and bit patterns (including ``-0.0`` and NaN
+payload bits), so observational bit-identity across backends is preserved.
+
+Format: one tag byte per node, little-endian fixed-width lengths.
+
+====  ======================  =======================================
+tag   value                   body
+====  ======================  =======================================
+0x00  ``None``                (empty)
+0x01  ``False``               (empty)
+0x02  ``True``                (empty)
+0x03  ``int``                 int64 (range-checked at encode)
+0x04  ``float``               float64
+0x05  ``str``                 u32 length + utf-8 bytes
+0x06  ``bytes``               u32 length + raw bytes
+0x07  ``tuple``               u32 count + encoded items
+0x08  ``list``                u32 count + encoded items
+0x09  ``dict``                u32 count + encoded key/value pairs
+0x0A  ``ndarray``             u8 dtype code + u8 ndim + ndim*u32 shape
+                              + raw C-order data
+0x0B  numpy scalar            u8 dtype code + itemsize raw bytes
+0x0C  ``CompressedPayload``   codec str + n int64 + wire_bytes float64
+                              + fields dict
+====  ======================  =======================================
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any
+
+import numpy as np
+
+__all__ = ["WireError", "encodable", "encode", "decode"]
+
+
+class WireError(Exception):
+    """Value outside the codec's closed shape set; caller must fall back."""
+
+
+_T_NONE = 0x00
+_T_FALSE = 0x01
+_T_TRUE = 0x02
+_T_INT = 0x03
+_T_FLOAT = 0x04
+_T_STR = 0x05
+_T_BYTES = 0x06
+_T_TUPLE = 0x07
+_T_LIST = 0x08
+_T_DICT = 0x09
+_T_NDARRAY = 0x0A
+_T_SCALAR = 0x0B
+_T_PAYLOAD = 0x0C
+
+_U8 = struct.Struct("<B")
+_U32 = struct.Struct("<I")
+_I64 = struct.Struct("<q")
+_F64 = struct.Struct("<d")
+_ARR_HEAD = struct.Struct("<BB")  # dtype code + ndim
+
+_INT64_MIN = -(1 << 63)
+_INT64_MAX = (1 << 63) - 1
+
+#: dtype → wire code.  Keys are *normalized* dtype strings (see
+#: :func:`_dtype_code`); the inverse table drives decode.
+_DTYPE_CODES: dict[str, int] = {
+    "<f8": 0,
+    "<f4": 1,
+    "<f2": 2,
+    "|u1": 3,
+    "|i1": 4,
+    "<i2": 5,
+    "<i4": 6,
+    "<i8": 7,
+    "<u2": 8,
+    "<u4": 9,
+    "<u8": 10,
+    "|b1": 11,
+}
+_CODE_DTYPES: dict[int, np.dtype] = {
+    code: np.dtype(spec) for spec, code in _DTYPE_CODES.items()
+}
+
+
+def _dtype_code(dtype: np.dtype) -> int:
+    """Wire code for ``dtype``, or :class:`WireError` if unsupported."""
+    # np.dtype.str uses '=' / '<' / '|' depending on itemsize & platform;
+    # normalize single-byte dtypes to '|' and multi-byte little-endian to '<'.
+    spec = dtype.str
+    if spec.startswith("="):
+        spec = ("|" if dtype.itemsize == 1 else "<") + spec[1:]
+    code = _DTYPE_CODES.get(spec)
+    if code is None:
+        raise WireError(f"unsupported dtype {dtype!r}")
+    return code
+
+
+def _compressed_payload_cls():
+    """Lazy import so the cluster layer does not hard-depend on compression."""
+    from ...compression.base import CompressedPayload
+
+    return CompressedPayload
+
+
+def _encode_into(value: Any, out: list[bytes]) -> None:
+    kind = type(value)
+    if value is None:
+        out.append(b"\x00")
+    elif kind is bool:
+        out.append(b"\x02" if value else b"\x01")
+    elif kind is int:
+        if not _INT64_MIN <= value <= _INT64_MAX:
+            raise WireError(f"int out of int64 range: {value}")
+        out.append(_U8.pack(_T_INT) + _I64.pack(value))
+    elif kind is float:
+        out.append(_U8.pack(_T_FLOAT) + _F64.pack(value))
+    elif kind is str:
+        raw = value.encode("utf-8")
+        out.append(_U8.pack(_T_STR) + _U32.pack(len(raw)) + raw)
+    elif kind is bytes:
+        out.append(_U8.pack(_T_BYTES) + _U32.pack(len(value)) + value)
+    elif kind is tuple or kind is list:
+        tag = _T_TUPLE if kind is tuple else _T_LIST
+        out.append(_U8.pack(tag) + _U32.pack(len(value)))
+        for item in value:
+            _encode_into(item, out)
+    elif kind is dict:
+        out.append(_U8.pack(_T_DICT) + _U32.pack(len(value)))
+        for key, item in value.items():
+            _encode_into(key, out)
+            _encode_into(item, out)
+    elif kind is np.ndarray:
+        if not value.flags.c_contiguous:
+            raise WireError("ndarray is not C-contiguous")
+        code = _dtype_code(value.dtype)
+        if value.ndim > 255:
+            raise WireError("ndarray has too many dimensions")
+        head = _U8.pack(_T_NDARRAY) + _ARR_HEAD.pack(code, value.ndim)
+        shape = b"".join(_U32.pack(dim) for dim in value.shape)
+        out.append(head + shape)
+        out.append(value.tobytes())
+    elif isinstance(value, np.generic):
+        code = _dtype_code(value.dtype)
+        out.append(_U8.pack(_T_SCALAR) + _U8.pack(code) + value.tobytes())
+    elif kind is _compressed_payload_cls():
+        out.append(_U8.pack(_T_PAYLOAD))
+        _encode_into(value.codec, out)
+        _encode_into(value.n, out)
+        _encode_into(value.wire_bytes, out)
+        _encode_into(value.fields, out)
+    else:
+        raise WireError(f"unsupported wire type {kind.__name__}")
+
+
+def encode(value: Any) -> bytes:
+    """Serialize ``value``; raises :class:`WireError` outside the shape set."""
+    out: list[bytes] = []
+    _encode_into(value, out)
+    return b"".join(out)
+
+
+def encodable(value: Any) -> bool:
+    """True when :func:`encode` would succeed (no pickle fallback needed)."""
+    try:
+        encode(value)
+    except WireError:
+        return False
+    return True
+
+
+def _decode_from(buf: memoryview, off: int) -> tuple[Any, int]:
+    tag = buf[off]
+    off += 1
+    if tag == _T_NONE:
+        return None, off
+    if tag == _T_FALSE:
+        return False, off
+    if tag == _T_TRUE:
+        return True, off
+    if tag == _T_INT:
+        return _I64.unpack_from(buf, off)[0], off + 8
+    if tag == _T_FLOAT:
+        return _F64.unpack_from(buf, off)[0], off + 8
+    if tag == _T_STR:
+        (length,) = _U32.unpack_from(buf, off)
+        off += 4
+        return bytes(buf[off : off + length]).decode("utf-8"), off + length
+    if tag == _T_BYTES:
+        (length,) = _U32.unpack_from(buf, off)
+        off += 4
+        return bytes(buf[off : off + length]), off + length
+    if tag in (_T_TUPLE, _T_LIST):
+        (count,) = _U32.unpack_from(buf, off)
+        off += 4
+        items = []
+        for _ in range(count):
+            item, off = _decode_from(buf, off)
+            items.append(item)
+        return (tuple(items) if tag == _T_TUPLE else items), off
+    if tag == _T_DICT:
+        (count,) = _U32.unpack_from(buf, off)
+        off += 4
+        mapping = {}
+        for _ in range(count):
+            key, off = _decode_from(buf, off)
+            value, off = _decode_from(buf, off)
+            mapping[key] = value
+        return mapping, off
+    if tag == _T_NDARRAY:
+        code, ndim = _ARR_HEAD.unpack_from(buf, off)
+        off += _ARR_HEAD.size
+        shape = tuple(_U32.unpack_from(buf, off + 4 * axis)[0] for axis in range(ndim))
+        off += 4 * ndim
+        dtype = _CODE_DTYPES[code]
+        count = 1
+        for dim in shape:
+            count *= dim
+        nbytes = count * dtype.itemsize
+        array = np.frombuffer(buf, dtype=dtype, count=count, offset=off)
+        # copy(): the source may be ring memory about to be reclaimed.
+        return array.reshape(shape).copy(), off + nbytes
+    if tag == _T_SCALAR:
+        code = buf[off]
+        off += 1
+        dtype = _CODE_DTYPES[code]
+        scalar = np.frombuffer(buf, dtype=dtype, count=1, offset=off)[0]
+        return scalar, off + dtype.itemsize
+    if tag == _T_PAYLOAD:
+        codec, off = _decode_from(buf, off)
+        n, off = _decode_from(buf, off)
+        wire_bytes, off = _decode_from(buf, off)
+        fields, off = _decode_from(buf, off)
+        payload_cls = _compressed_payload_cls()
+        return payload_cls(codec=codec, n=n, wire_bytes=wire_bytes, fields=fields), off
+    raise WireError(f"corrupt wire data: unknown tag 0x{tag:02x}")
+
+
+def decode(data: bytes | bytearray | memoryview) -> Any:
+    """Inverse of :func:`encode`; returns owned objects (buffers are copied)."""
+    buf = memoryview(data)
+    value, off = _decode_from(buf, 0)
+    if off != len(buf):
+        raise WireError(f"trailing wire data: {len(buf) - off} byte(s)")
+    return value

@@ -197,6 +197,15 @@ class Transport:
             clock.reset()
         self.stats.reset()
 
+    def flush(self) -> None:
+        """Drain backend-deferred work at an iteration boundary.
+
+        Batched backends (the shm fast path) accumulate routed rounds into
+        per-worker programs; this forces them to execute and verifies their
+        cross-process echoes.  Synchronous backends no-op.
+        """
+        self.backend.flush()
+
     def close(self) -> None:
         """Release the backend's resources (idempotent)."""
         self.backend.close()

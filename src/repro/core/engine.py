@@ -239,6 +239,10 @@ class BaguaEngine:
                     stacklevel=2,
                 )
             self.algorithm.on_backward_done(self, self._step_index)
+        # Iteration boundary: batched backends (shm fast path) drain their
+        # staged per-worker programs here, so doorbell traffic is O(ranks)
+        # per step and any deferred transport fault surfaces this iteration.
+        self.group.transport.flush()
         self._step_index += 1
         return float(np.mean(losses))
 

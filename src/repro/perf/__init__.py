@@ -2,10 +2,12 @@
 
 ``python -m repro perf`` times the hot collective and compression kernels
 with the loop reference vs the batched fast path, runs one functional-mode
-epoch per world size, writes ``BENCH_PR5.json``, and — with ``--check`` —
-gates against the committed baseline (``benchmarks/perf/baseline.json``):
-a kernel whose geometric-mean loop/fast speedup falls more than 20 % below
-the baseline's fails, as does missing a hard minimum-speedup floor.
+epoch per world size plus the shm round-latency and wire-codec
+microbenches, writes ``BENCH.json`` (``--out``; CI suffixes it per
+backend), and — with ``--check`` — gates against the committed baseline
+(``benchmarks/perf/baseline.json``): a kernel whose geometric-mean
+loop/fast speedup falls more than 20 % below the baseline's fails, as does
+missing a hard minimum-speedup floor.
 """
 
 from .harness import (

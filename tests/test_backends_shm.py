@@ -208,6 +208,70 @@ class TestShmPayloads:
         assert [m.payload[0] for m in inbox[1]] == ["first", "second"]
 
 
+class TestBatchedRounds:
+    def test_default_batches_rounds_behind_flag_doorbells(self):
+        with Transport(_spec(2), backend="shm") as transport:
+            backend = transport.backend
+            assert backend.batch_rounds is True
+            for i in range(3):
+                got = transport.exchange([Message(0, 1, np.full(16, float(i)))])
+                assert got[1][0].payload[0] == float(i)
+            backend.flush()
+            stats = backend.shm_stats
+            assert stats["batches"] >= 1
+            assert stats["flag_doorbells"] >= 1
+
+    def test_flush_without_staged_work_is_a_noop(self):
+        with Transport(_spec(2), backend="shm") as transport:
+            backend = transport.backend
+            transport.exchange([Message(0, 1, np.arange(4.0))])
+            backend.flush()
+            batches = backend.shm_stats["batches"]
+            backend.flush()
+            backend.flush()
+            assert backend.shm_stats["batches"] == batches
+
+    def test_legacy_mode_stays_on_per_round_pipes(self):
+        backend = SharedMemoryBackend(2, batch_rounds=False)
+        with Transport(_spec(2), backend=backend) as transport:
+            got = transport.exchange([Message(0, 1, np.arange(8.0))])[1][0].payload
+            assert np.array_equal(got, np.arange(8.0))
+            backend.flush()
+            stats = backend.shm_stats
+            assert stats["batches"] == 0
+            assert stats["flag_doorbells"] == 0
+
+    def test_batched_and_legacy_deliver_identical_bytes(self):
+        import pickle
+
+        payloads = [
+            np.arange(32.0),
+            {"k": (1, np.arange(3, dtype=np.float32))},
+            b"blob",
+        ]
+        delivered = {}
+        for batched in (False, True):
+            backend = SharedMemoryBackend(2, batch_rounds=batched)
+            with Transport(_spec(2), backend=backend) as transport:
+                inbox = transport.exchange([Message(0, 1, p) for p in payloads])
+                delivered[batched] = [m.payload for m in inbox[1]]
+        assert pickle.dumps(delivered[False]) == pickle.dumps(delivered[True])
+
+    def test_tasks_flush_pending_rounds_first(self):
+        with Transport(_spec(2), backend="shm") as transport:
+            backend = transport.backend
+            pool = backend.allocate_pool(1, 4)
+            pool[:] = 1.0
+            transport.exchange([Message(0, 1, np.arange(4.0))])
+            # The staged round must drain before the task executes.
+            assert backend.run_rank_tasks(scale_task, {1: (3.0,)}) == {1: 12.0}
+            assert backend.shm_stats["batches"] >= 1
+
+    def test_describe_reports_batch_mode(self):
+        with Transport(_spec(2), backend="shm") as transport:
+            assert transport.backend.describe()["batch_rounds"] is True
+
+
 class TestShmPoolsAndTasks:
     def test_pool_shared_with_worker(self):
         with Transport(_spec(2), backend="shm") as transport:

@@ -71,6 +71,20 @@ def test_oversize_record_falls_back_inline_cleanly():
     assert result.ok, result.describe()
 
 
+@pytest.mark.parametrize("world", [1, 2, 3])
+def test_clean_batched_model_explores_clean(world):
+    # The PR 9 flag-word steady state: whole-iteration programs staged into
+    # the ring, one doorbell flag per batch, one ack flag per batch.
+    result = explore(Workload(world=world, batched=True))
+    assert result.ok, result.describe()
+    assert result.finding is None
+
+
+def test_clean_batched_model_with_per_round_batches():
+    result = explore(Workload(batched=True, batch_rounds=1))
+    assert result.ok, result.describe()
+
+
 def test_exploration_result_to_dict_roundtrips():
     result = explore(Workload(world=2))
     data = result.to_dict()
@@ -127,6 +141,13 @@ _POR_SCENARIOS = [
     ("dropped-ack", Workload(), Faults(drop_ack=((0, 0),))),
     ("stale-seq", Workload(), Faults(stale_seq=((0, 1),))),
     ("leak", Workload(), Faults(skip_unlink=(0,))),
+    ("clean-batched", Workload(batched=True), Faults()),
+    ("ack-early-batched", Workload(batched=True), Faults(ack_early=(0,))),
+    (
+        "stale-flag-batched",
+        Workload(batched=True, batch_rounds=1, pool=False, task=False),
+        Faults(stale_flag=((0, 1),)),
+    ),
 ]
 
 
@@ -154,9 +175,9 @@ def test_por_actually_reduces_the_clean_state_space():
 # Randomized legal interleavings stay clean (Hypothesis scheduler).
 # ----------------------------------------------------------------------
 @settings(max_examples=60, deadline=None)
-@given(data=st.data(), world=st.integers(min_value=1, max_value=3))
-def test_random_legal_interleavings_are_clean(data, world):
-    state = build_model(Workload(world=world), Faults())
+@given(data=st.data(), world=st.integers(min_value=1, max_value=3), batched=st.booleans())
+def test_random_legal_interleavings_are_clean(data, world, batched):
+    state = build_model(Workload(world=world, batched=batched), Faults())
     steps = 0
     while True:
         procs = state.enabled_procs()

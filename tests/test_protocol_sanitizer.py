@@ -83,6 +83,17 @@ def _drive(backend) -> list[ProtocolEvent]:
 
 @pytest.fixture(scope="module")
 def shm_stream() -> list[ProtocolEvent]:
+    # Pinned to the legacy per-round pipe protocol: the doctored streams
+    # below edit per-round post/ack shapes that batching coalesces away.
+    return _drive(
+        SharedMemoryBackend(
+            world_size=2, ring_bytes=1 << 16, sanitize=True, batch_rounds=False
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def shm_batched_stream() -> list[ProtocolEvent]:
     return _drive(SharedMemoryBackend(world_size=2, ring_bytes=1 << 16, sanitize=True))
 
 
@@ -269,6 +280,44 @@ class TestDoctoredStreams:
         findings = check_events(_reuse_seq(list(shm_stream)))
         finding = the_one_finding(findings)
         assert any("observed:" in line for line in finding.witness), finding.explain()
+
+
+# ----------------------------------------------------------------------
+# Batched flag-word streams: clean replay + doctored divergences.
+# ----------------------------------------------------------------------
+class TestBatchedStreams:
+    def test_sanitized_batched_stream_is_clean(self, shm_batched_stream):
+        assert shm_batched_stream, "sanitize mode recorded no events"
+        assert check_events(shm_batched_stream) == []
+
+    def test_batched_stream_stages_then_flushes(self, shm_batched_stream):
+        stages = [e for e in shm_batched_stream if e.kind == "stage"]
+        batch_posts = [
+            e for e in shm_batched_stream if e.kind == "post" and e.op == "batch"
+        ]
+        assert stages, "batched run recorded no stage events"
+        assert batch_posts, "batched run recorded no batch doorbells"
+        covered = {(e.rank, e.seq) for e in batch_posts}
+        assert {(e.rank, e.seq) for e in stages} <= covered
+
+    def test_dropped_batch_post_is_a_barrier_bug(self, shm_batched_stream):
+        victim = next(
+            e for e in shm_batched_stream
+            if e.kind == "post" and e.op == "batch" and e.rank == 1
+        )
+        doctored = [e for e in shm_batched_stream if e is not victim]
+        finding = the_one_finding(check_events(doctored))
+        assert finding.rule == RULE_BARRIER, finding.render()
+        assert "never flushed" in finding.message
+
+    def test_dropped_batch_ack_is_a_lost_wakeup(self, shm_batched_stream):
+        victim = next(
+            e for e in shm_batched_stream
+            if e.kind == "ack_send" and e.op == "batch" and e.proc == "worker:1"
+        )
+        doctored = [e for e in shm_batched_stream if e is not victim]
+        finding = the_one_finding(check_events(doctored))
+        assert finding.rule == RULE_LOST_WAKEUP, finding.render()
 
 
 # ----------------------------------------------------------------------
