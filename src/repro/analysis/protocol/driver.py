@@ -6,14 +6,16 @@ end and aggregates them into a :class:`ProtocolReport`:
 1. **exhaustive exploration** — the clean protocol model at several world
    sizes (default 1/2/4), every interleaving, under DPOR + state dedup,
    over *both* wire protocols (legacy per-round pipe doorbells and the
-   PR 9 batched flag-word steady state); any finding or truncation fails
-   the gate;
+   PR 9 batched flag-word steady state), plus pool-ref reduce workloads
+   (PR 10: every pool mapped everywhere, one in-place reduce per rank) at
+   each multi-rank world; any finding or truncation fails the gate;
 2. **mutation testing** — the seeded-bug suite of :mod:`.mutations`; every
    bug must be caught with exactly its root-cause rule;
 3. **live conformance** (optional, default on) — a real
    :class:`~repro.cluster.backends.shm.SharedMemoryBackend` run under the
-   sanitizer: payload rounds, a pool mapping, per-rank tasks and a graceful
-   close, with the recorded cross-process event stream replayed through
+   sanitizer: payload rounds, a pool mapping, a pool-ref in-place reduce,
+   per-rank tasks and a graceful close, with the recorded cross-process
+   event stream replayed through
    :func:`~.sanitizer.check_events`.  Divergence fails the gate.
 """
 
@@ -36,8 +38,9 @@ def _sanitized_live_findings(world: int = 2) -> tuple[int, list[Finding]]:
     from .sanitizer import check_events
 
     with SharedMemoryBackend(world_size=world, ring_bytes=1 << 16, sanitize=True) as backend:
-        for rank in range(world):
-            backend.allocate_pool(rank, 16)
+        pools = [backend.allocate_pool(rank, 16) for rank in range(world)]
+        for rank, pool in enumerate(pools):
+            pool[:] = np.arange(16, dtype=np.float64) * (rank + 1)
         for round_index in range(2 if world > 1 else 0):
             messages = [
                 Message(
@@ -50,6 +53,12 @@ def _sanitized_live_findings(world: int = 2) -> tuple[int, list[Finding]]:
                 for src in range(world)
             ]
             backend.route_round(messages)
+        refs = backend.resolve_pool_refs(pools, list(range(world)))
+        if refs is not None:
+            order = tuple(range(world))
+            step = 16 // world
+            chunks = [(j * step, (j + 1) * step, order) for j in range(world)]
+            backend.pool_ref_reduce(refs, chunks, add_zero=True)
         backend.run_rank_tasks(_pool_sum, {rank: () for rank in range(world)})
         backend.close()
         events = backend.protocol_events
@@ -135,6 +144,12 @@ def analyze_protocol(
         report.explorations.append(explorer.explore(Workload(world=world)))
     for world in worlds:
         report.explorations.append(explorer.explore(Workload(world=world, batched=True)))
+    for world in worlds:
+        if world > 1:  # a 1-member collective never takes the pool-ref path
+            report.explorations.append(explorer.explore(Workload(world=world, reduce=True)))
+            report.explorations.append(
+                explorer.explore(Workload(world=world, batched=True, reduce=True))
+            )
     if mutations:
         report.mutation_report = run_mutations(explorer=explorer)
     if live:

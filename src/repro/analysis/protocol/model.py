@@ -28,6 +28,15 @@ cannot wake the worker — the model classifies that quiescent state as a
 lost wakeup — and an ack raised before the staged program finished
 executing violates :data:`RULE_PROGRAM`.
 
+The pool-ref collectives (PR 10) add a third item kind, ``reduce``: the
+parent ships a tiny descriptor and the worker folds its chunk *in place*
+across every rank's mapped pool segment, then broadcasts by writing the
+peers' segments directly.  Two invariants guard the fast path
+(:data:`RULE_POOLREF`): a descriptor may only dereference pool segments
+the executing worker actually mapped, and the batch ack may not be raised
+until every staged reduce completed its peer-segment writes — the parent
+reads the reduced slices right after the ack barrier.
+
 Transitions validate the protocol invariants as they fire (seq monotonicity,
 stamp matching, ring-slot overlap, budget handling, segment lifecycle); a
 quiescent state that is not a clean termination is classified as deadlock,
@@ -71,6 +80,7 @@ RULE_LEAK = "protocol-leak"
 RULE_ORPHAN = "protocol-orphan"
 RULE_CONFORMANCE = "protocol-conformance"
 RULE_PROGRAM = "protocol-program"
+RULE_POOLREF = "protocol-poolref"
 
 ALL_RULES = (
     RULE_DEADLOCK,
@@ -85,6 +95,7 @@ ALL_RULES = (
     RULE_ORPHAN,
     RULE_CONFORMANCE,
     RULE_PROGRAM,
+    RULE_POOLREF,
 )
 
 
@@ -142,6 +153,14 @@ class Faults:
     #: seq — the flag is "rung" but its value never changes, so the spinning
     #: worker cannot observe the new batch (batched mode only).
     stale_flag: tuple[tuple[int, int], ...] = ()
+    #: (dst, owner) pairs whose pool-mapping doorbell the parent skips: dst's
+    #: worker never maps owner's pool segment, so any reduce descriptor that
+    #: targets it resolves against an unmapped segment.
+    poolref_unmapped: tuple[tuple[int, int], ...] = ()
+    #: ranks whose workers ack a reduce-carrying batch before completing the
+    #: in-place peer-segment writes (reduce result published before the
+    #: broadcast-by-write phase ran; batched mode only).
+    skip_reduce_write: tuple[int, ...] = ()
 
 
 @dataclass
@@ -294,10 +313,15 @@ class _Worker:
     cur_seq: int = -1
     cur_data: tuple = ()
     echo_entries: tuple[_EntryT, ...] = ()
-    pool_seg: int | None = None
+    #: pool segment ids this worker has attached (cross-rank: every owner's
+    #: pool maps into every worker, the reduce executors' address space).
+    pool_segs: tuple[int, ...] = ()
     #: batch items actually executed before the ack flag was set (batched
     #: mode; the faithful worker always executes the whole staged program).
     executed: int = 0
+    #: reduce items whose in-place peer-segment writes completed before the
+    #: ack flag was set (the faithful worker completes all of them).
+    reduced: int = 0
 
     def clone(self) -> _Worker:
         return replace(self)
@@ -312,8 +336,9 @@ class _Worker:
             self.cur_seq,
             self.cur_data,
             self.echo_entries,
-            self.pool_seg,
+            self.pool_segs,
             self.executed,
+            self.reduced,
         )
 
 
@@ -334,12 +359,15 @@ class _Segment:
 
 
 # Parent program instructions (straight-line; guards block, never branch):
-#   ("post", dst, op, sizes, round_index)   op in {"round", "task"}
+#   ("post", dst, op, sizes, round_index[, needs])   op in {"round", "task",
+#       "reduce"}; ``needs`` (reduce only) lists the pool-owner ranks the
+#       staged descriptors dereference
 #   ("await", dst)
-#   ("stage", dst, kind, sizes, batch_index)  kind in {"round", "task"}
+#   ("stage", dst, kind, sizes, batch_index[, needs])  kind in {"round",
+#       "task", "reduce"}
 #   ("flag", dst, batch_index)
 #   ("flagwait", dst)
-#   ("pool", rank, n_bytes)
+#   ("pool", dst, owner)   map owner's pool segment into dst's worker
 #   ("close", rank)
 #   ("join", rank)
 #   ("unlink", rank)
@@ -364,12 +392,17 @@ class ModelState:
     #: per destination, the seq-stamped doorbell flag word — a single-slot
     #: OVERWRITE register (the shared-memory u64), not a FIFO: (seq, items)
     door_flag: dict[int, tuple | None] = field(default_factory=dict)
-    #: per destination, the ack flag word: (seq, executed, echo_entries)
+    #: per destination, the ack flag word: (seq, executed, echo_entries,
+    #: reduced)
     ack_flag: dict[int, tuple | None] = field(default_factory=dict)
     #: per destination, the staged-but-not-yet-flagged batch: (seq, items)
     open_batch: dict[int, tuple[int, tuple]] = field(default_factory=dict)
     #: per destination, how many items the last flagged program contained
     flagged: dict[int, int] = field(default_factory=dict)
+    #: per destination, how many of those items were reduces
+    flagged_reduces: dict[int, int] = field(default_factory=dict)
+    #: pool owner rank -> its (single) pool segment id
+    pool_seg_ids: dict[int, int] = field(default_factory=dict)
     in_ring: dict[int, _Ring] = field(default_factory=dict)
     out_ring: dict[int, _Ring] = field(default_factory=dict)
     workers: dict[int, _Worker] = field(default_factory=dict)
@@ -393,6 +426,8 @@ class ModelState:
             ack_flag=dict(self.ack_flag),
             open_batch=dict(self.open_batch),
             flagged=dict(self.flagged),
+            flagged_reduces=dict(self.flagged_reduces),
+            pool_seg_ids=dict(self.pool_seg_ids),
             in_ring={k: v.clone() for k, v in self.in_ring.items()},
             out_ring={k: v.clone() for k, v in self.out_ring.items()},
             workers={k: v.clone() for k, v in self.workers.items()},
@@ -411,6 +446,8 @@ class ModelState:
             tuple(sorted(self.ack_flag.items())),
             tuple(sorted(self.open_batch.items())),
             tuple(sorted(self.flagged.items())),
+            tuple(sorted(self.flagged_reduces.items())),
+            tuple(sorted(self.pool_seg_ids.items())),
             tuple((k, v.key()) for k, v in sorted(self.in_ring.items())),
             tuple((k, v.key()) for k, v in sorted(self.out_ring.items())),
             tuple((k, v.key()) for k, v in sorted(self.workers.items())),
@@ -475,7 +512,7 @@ class ModelState:
             if op == "flagwait":
                 return frozenset({("ack", instr[1]), ("outring", instr[1])})
             if op == "pool":
-                return frozenset({("door", instr[1]), ("seg", instr[1]), ("life", instr[1])})
+                return frozenset({("door", instr[1]), ("seg", instr[2]), ("life", instr[1])})
             if op == "close":
                 return frozenset({("door", instr[1]), ("life", instr[1])})
             if op == "join":
@@ -492,8 +529,13 @@ class ModelState:
         if worker.phase == _ECHO:
             return frozenset({("outring", rank)})
         # ack / pool-attach / close-finish: touches the ack pipe, possibly
-        # segments and liveness.
-        return frozenset({("ack", rank), ("seg", rank), ("life", rank)})
+        # segments and liveness.  A pool attach touches the *owner's*
+        # segment (cross-rank mapping), so include it in the footprint.
+        objects = {("ack", rank), ("seg", rank), ("life", rank)}
+        if worker.cur_op == "pool" and worker.cur_data:
+            seg = self.segments[worker.cur_data[0]]
+            objects.add(("seg", seg.rank))
+        return frozenset(objects)
 
     # ------------------------------------------------------------------
     # Transition semantics
@@ -518,6 +560,25 @@ class ModelState:
             return max(0, seq - 1)  # reuse the previous round's seq: stale
         return seq
 
+    def _check_pool_refs(self, rank: int, worker: _Worker, needs: tuple, seq: int) -> None:
+        """A reduce's descriptors must dereference only mapped, live segments."""
+        for owner in needs:
+            attached = any(
+                self.segments[seg_id].rank == owner and not self.segments[seg_id].unlinked
+                for seg_id in worker.pool_segs
+            )
+            if not attached:
+                raise Violation(
+                    _finding(
+                        RULE_POOLREF,
+                        f"worker {rank} executes a reduce whose descriptor targets "
+                        f"rank {owner}'s pool segment, which this worker never "
+                        "mapped: unmapped pool ref",
+                        rank=rank,
+                        seq=seq,
+                    )
+                )
+
     def _check_worker_alive(self, rank: int, what: str) -> None:
         if not self.workers[rank].alive:
             raise Violation(
@@ -534,7 +595,8 @@ class ModelState:
         self.pc += 1
         op = instr[0]
         if op == "post":
-            _, dst, kind, sizes, round_index = instr
+            _, dst, kind, sizes, round_index, *rest = instr
+            needs = rest[0] if rest else ()
             # No liveness check here: round/task doorbells ride a buffered
             # pipe, and the real backend's send to a worker that is mid-exit
             # succeeds and vanishes.  An undelivered doorbell surfaces at
@@ -553,7 +615,8 @@ class ModelState:
                     seq, stamp_dst, nbytes, force=self.faults.force_place, writer_rank=dst
                 )
                 entries.append(("inline", nbytes) if placed is None else ("ring", placed[0]))
-            self.door[dst].append((kind, seq, tuple(entries)))
+            data = (tuple(entries), needs) if kind == "reduce" else tuple(entries)
+            self.door[dst].append((kind, seq, data))
             self.outstanding[dst].append((seq, kind))
             return f"parent posts {kind} seq {seq} to worker {dst} ({len(sizes)} record(s))"
         if op == "await":
@@ -587,7 +650,8 @@ class ModelState:
                         out.read(entry[1], seq, PARENT, reader=dst)
             return f"parent barriers on worker {dst} ack seq {seq} ({kind})"
         if op == "stage":
-            _, dst, kind, sizes, _batch_index = instr
+            _, dst, kind, sizes, _batch_index, *rest = instr
+            needs = rest[0] if rest else ()
             opened = self.open_batch.get(dst)
             if opened is None:
                 # Opening a batch takes one seq for the whole program and
@@ -604,7 +668,7 @@ class ModelState:
                     seq, dst, nbytes, force=self.faults.force_place, writer_rank=dst
                 )
                 entries.append(("inline", nbytes) if placed is None else ("ring", placed[0]))
-            self.open_batch[dst] = (seq, items + ((kind, tuple(entries)),))
+            self.open_batch[dst] = (seq, items + ((kind, tuple(entries), needs),))
             return (
                 f"parent stages {kind} seq {seq} into worker {dst}'s batch "
                 f"({len(sizes)} record(s))"
@@ -618,6 +682,7 @@ class ModelState:
             self.door_flag[dst] = (flag_seq, items)
             self.outstanding[dst].append((seq, "batch"))
             self.flagged[dst] = len(items)
+            self.flagged_reduces[dst] = sum(1 for item in items if item[0] == "reduce")
             stale = " with a stale seq" if flag_seq != seq else ""
             return (
                 f"parent rings worker {dst}'s doorbell flag word for batch "
@@ -625,7 +690,7 @@ class ModelState:
             )
         if op == "flagwait":
             dst = instr[1]
-            seq, executed, entries = self.ack_flag[dst]
+            seq, executed, entries, reduced = self.ack_flag[dst]
             self.ack_flag[dst] = None
             if not self.outstanding[dst]:
                 raise Violation(
@@ -660,20 +725,43 @@ class ModelState:
                         seq=seq,
                     )
                 )
+            want_reduced = self.flagged_reduces.pop(dst, 0)
+            if reduced != want_reduced:
+                raise Violation(
+                    _finding(
+                        RULE_POOLREF,
+                        f"worker {dst} set its ack flag for batch seq {seq} after "
+                        f"completing {reduced} of {want_reduced} in-place reduce "
+                        "write(s): the parent would read pool slices peers never "
+                        "wrote (ack-before-peer-write)",
+                        rank=dst,
+                        seq=seq,
+                    )
+                )
             out = self.out_ring[dst]
             for entry in entries:
                 if entry[0] == "ring":
                     out.read(entry[1], seq, PARENT, reader=dst)
             return f"parent observes worker {dst}'s ack flag for batch seq {seq}"
         if op == "pool":
-            _, rank, _n_bytes = instr
-            self._check_worker_alive(rank, "pool doorbell")
-            seg = _Segment(seg_id=len(self.segments), kind="pool", rank=rank)
-            self.segments.append(seg)
-            seq = self._take_seq(rank, None)
-            self.door[rank].append(("pool", seq, seg.seg_id))
-            self.outstanding[rank].append((seq, "pool"))
-            return f"parent maps pool segment {seg.seg_id} into worker {rank} (seq {seq})"
+            _, dst, owner = instr
+            self._check_worker_alive(dst, "pool doorbell")
+            seg_id = self.pool_seg_ids.get(owner)
+            if seg_id is None:
+                # The owner's pool is allocated once; each worker then gets
+                # its own mapping doorbell (the all-rank cross-mapping the
+                # in-place reduce executors rely on).
+                seg = _Segment(seg_id=len(self.segments), kind="pool", rank=owner)
+                self.segments.append(seg)
+                seg_id = seg.seg_id
+                self.pool_seg_ids[owner] = seg_id
+            seq = self._take_seq(dst, None)
+            self.door[dst].append(("pool", seq, seg_id))
+            self.outstanding[dst].append((seq, "pool"))
+            return (
+                f"parent maps rank {owner}'s pool segment {seg_id} into "
+                f"worker {dst} (seq {seq})"
+            )
         if op == "close":
             rank = instr[1]
             if self.workers[rank].alive or rank in self.faults.double_close:
@@ -720,6 +808,7 @@ class ModelState:
             worker.cur_data = items
             if rank in self.faults.ack_early:
                 worker.executed = 0
+                worker.reduced = 0
                 worker.echo_entries = ()
                 worker.phase = _ACK
                 return (
@@ -747,12 +836,14 @@ class ModelState:
             worker.expected += 1
             worker.cur_op, worker.cur_seq = op, seq
             worker.cur_data = data if isinstance(data, tuple) else (data,)
-            worker.phase = _READ if op in ("round", "task") else _ACK
+            worker.phase = _READ if op in ("round", "task", "reduce") else _ACK
             return f"worker {rank} receives {op} doorbell seq {seq}"
         if worker.phase == _READ and worker.cur_op == "batch":
             ring = self.in_ring[rank]
             done: list[tuple[str, tuple[int, ...]]] = []
-            for kind, item_entries in worker.cur_data:
+            for kind, item_entries, needs in worker.cur_data:
+                if kind == "reduce":
+                    self._check_pool_refs(rank, worker, needs, worker.cur_seq)
                 sizes = []
                 for entry in item_entries:
                     if entry[0] == "ring":
@@ -767,6 +858,24 @@ class ModelState:
             return (
                 f"worker {rank} reads its staged program for batch seq "
                 f"{worker.cur_seq} ({len(done)} item(s)) from its inbound ring"
+            )
+        if worker.phase == _READ and worker.cur_op == "reduce":
+            entries, needs = worker.cur_data
+            self._check_pool_refs(rank, worker, needs, worker.cur_seq)
+            ring = self.in_ring[rank]
+            sizes = []
+            for entry in entries:
+                if entry[0] == "ring":
+                    ring.read(entry[1], worker.cur_seq, rank, reader=rank)
+                    record = next(r for r in ring.records if r.off == entry[1])
+                    sizes.append(record.nbytes - STAMP_BYTES)
+                else:
+                    sizes.append(entry[1])
+            worker.cur_data = tuple(sizes)
+            worker.phase = _ECHO
+            return (
+                f"worker {rank} reads the reduce spec for seq {worker.cur_seq} "
+                "and folds its chunk in place across the mapped pool segments"
             )
         if worker.phase == _READ:
             ring = self.in_ring[rank]
@@ -796,10 +905,14 @@ class ModelState:
                     flat.append(("inline", nbytes) if placed is None else ("ring", placed[0]))
             worker.echo_entries = tuple(flat)
             worker.executed = len(worker.cur_data)
+            n_reduces = sum(1 for kind, _ in worker.cur_data if kind == "reduce")
+            skipped = rank in self.faults.skip_reduce_write and n_reduces > 0
+            worker.reduced = 0 if skipped else n_reduces
             worker.phase = _ACK
+            note = " (seeded: peer-segment writes skipped)" if skipped else ""
             return (
                 f"worker {rank} echoes batch seq {worker.cur_seq} "
-                f"({worker.executed} item(s)) into its outbound ring"
+                f"({worker.executed} item(s)) into its outbound ring{note}"
             )
         if worker.phase == _ECHO:
             out = self.out_ring[rank]
@@ -813,10 +926,11 @@ class ModelState:
             return f"worker {rank} echoes seq {worker.cur_seq} into its outbound ring"
         if worker.phase == _ACK and worker.cur_op == "batch":
             seq, executed = worker.cur_seq, worker.executed
-            self.ack_flag[rank] = (seq, executed, worker.echo_entries)
+            self.ack_flag[rank] = (seq, executed, worker.echo_entries, worker.reduced)
             worker.echo_entries = ()
             worker.cur_data = ()
             worker.executed = 0
+            worker.reduced = 0
             worker.phase = _RECV
             return (
                 f"worker {rank} sets its ack flag word for batch seq {seq} "
@@ -836,8 +950,8 @@ class ModelState:
                             seq=seq,
                         )
                     )
-                worker.pool_seg = seg.seg_id
-            payload = worker.echo_entries if op in ("round", "task") else None
+                worker.pool_segs = worker.pool_segs + (seg.seg_id,)
+            payload = worker.echo_entries if op in ("round", "task", "reduce") else None
             dropped = (rank, seq) in self.faults.drop_ack
             if not dropped:
                 self.ack[rank].append(("ok", seq, payload))
@@ -997,6 +1111,12 @@ class Workload:
     (``0`` = the whole workload in one batch), flagged once, and barriered
     on the ack flag word; ``pool``/``close`` stay on the pipe, as in the
     real backend.
+
+    ``reduce`` appends one pool-ref reduce per rank after the pool mapping
+    (implying ``pool``): each worker folds its chunk in place across every
+    owner's mapped segment — staged/flagged in batched mode, posted over the
+    pipe otherwise — exercising the descriptor-resolution and
+    peer-write-before-ack invariants (:data:`RULE_POOLREF`).
     """
 
     world: int = 2
@@ -1008,6 +1128,7 @@ class Workload:
     oversize: bool = False
     batched: bool = False
     batch_rounds: int = 0
+    reduce: bool = False
 
 
 def build_model(workload: Workload, faults: Faults | None = None) -> ModelState:
@@ -1018,6 +1139,19 @@ def build_model(workload: Workload, faults: Faults | None = None) -> ModelState:
     sizes = list(workload.record_sizes)
     if workload.oversize:
         sizes = sizes + [workload.ring_bytes + 32]
+    use_pool = workload.pool or workload.reduce
+    reduce_needs = tuple(range(world))
+
+    def extend_pool() -> None:
+        # allocate_pool maps each owner's segment into *every* worker,
+        # serially (post + ack per worker), mirroring shm._map_pool's loop.
+        for owner in range(world):
+            for dst in range(world):
+                if (dst, owner) in faults.poolref_unmapped:
+                    continue
+                program.append(("pool", dst, owner))
+                program.append(("await", dst))
+
     if workload.batched:
         # Flag-word steady state: stage each group of rounds as one program
         # per destination, ring one flag, barrier one ack flag.  Pool stays
@@ -1037,11 +1171,16 @@ def build_model(workload: Workload, faults: Faults | None = None) -> ModelState:
                 program.append(("flagwait", dst))
             r += chunk
             batch_index += 1
-        if workload.pool:
-            for rank in range(world):
-                program.append(("pool", rank, 512))
-            for rank in range(world):
-                program.append(("await", rank))
+        if use_pool:
+            extend_pool()
+        if workload.reduce:
+            for dst in range(world):
+                program.append(("stage", dst, "reduce", (32,), batch_index, reduce_needs))
+            for dst in range(world):
+                program.append(("flag", dst, batch_index))
+            for dst in range(world):
+                program.append(("flagwait", dst))
+            batch_index += 1
         if workload.task:
             for rank in range(world):
                 program.append(("stage", rank, "task", (32,), batch_index))
@@ -1066,11 +1205,15 @@ def build_model(workload: Workload, faults: Faults | None = None) -> ModelState:
                     continue
                 for dst in range(world):
                     program.append(("await", dst))
-        if workload.pool:
-            for rank in range(world):
-                program.append(("pool", rank, 512))
-            for rank in range(world):
-                program.append(("await", rank))
+        if use_pool:
+            extend_pool()
+        if workload.reduce:
+            # Post-all-then-await-all, mirroring the pipe-mode
+            # pool_ref_reduce: the reduces overlap across workers.
+            for dst in range(world):
+                program.append(("post", dst, "reduce", (32,), None, reduce_needs))
+            for dst in range(world):
+                program.append(("await", dst))
         if workload.task:
             for rank in range(world):
                 program.append(("post", rank, "task", (32,), None))

@@ -31,6 +31,7 @@ from .model import (
     RULE_LIFECYCLE,
     RULE_LOST_WAKEUP,
     RULE_ORPHAN,
+    RULE_POOLREF,
     RULE_PROGRAM,
     RULE_RING_OVERLAP,
     RULE_SEQ,
@@ -56,6 +57,10 @@ _BATCHED_WORKLOAD = Workload(batched=True)
 #: 1's flag word can be rung without bumping its seq past batch 0's.
 _STALE_FLAG_WORKLOAD = Workload(batched=True, batch_rounds=1, pool=False, task=False)
 
+#: A pool-ref reduce over the batched flag-word protocol: every rank maps
+#: every pool, then executes one in-place reduce chunk (PR 10).
+_REDUCE_WORKLOAD = Workload(world=2, batched=True, reduce=True)
+
 
 @dataclass(frozen=True)
 class Mutation:
@@ -72,7 +77,9 @@ class Mutation:
 #: fault model supports: a leaked segment, pipelined ring overlap, and a
 #: doorbell posted behind a close — plus two batched flag-word bugs from
 #: PR 9: an ack set before the staged program ran, and a flag word rung
-#: without bumping its seq).
+#: without bumping its seq — plus two pool-ref bugs from PR 10: a reduce
+#: descriptor targeting a segment its executor never mapped, and a batch
+#: ack raised before the reduce's peer-segment writes completed).
 MUTATIONS: tuple[Mutation, ...] = (
     Mutation(
         name="dropped-ack",
@@ -163,6 +170,22 @@ MUTATIONS: tuple[Mutation, ...] = (
         workload=_STALE_FLAG_WORKLOAD,
         description="batch 1's doorbell flag word for rank 0 reuses batch 0's "
         "seq, so the spinning worker never observes the new program",
+    ),
+    Mutation(
+        name="unmapped-pool-ref",
+        faults=Faults(poolref_unmapped=((0, 1),)),
+        expected_rule=RULE_POOLREF,
+        workload=_REDUCE_WORKLOAD,
+        description="rank 1's pool segment is never mapped into worker 0, so "
+        "worker 0's staged reduce dereferences an unmapped descriptor",
+    ),
+    Mutation(
+        name="reduce-before-peer-write",
+        faults=Faults(skip_reduce_write=(0,)),
+        expected_rule=RULE_POOLREF,
+        workload=_REDUCE_WORKLOAD,
+        description="worker 0 acks its reduce batch before writing the peers' "
+        "pool segments; the parent reads slices that were never reduced",
     ),
 )
 

@@ -56,8 +56,9 @@ if TYPE_CHECKING:
     from ...cluster.backends.base import ProtocolEvent
 
 #: Doorbell kinds that participate in the post → recv → ack exchange
-#: ("batch" is a staged program's single flag-word doorbell).
-_DOORBELL_OPS = ("round", "task", "pool", "close", "batch")
+#: ("batch" is a staged program's single flag-word doorbell, "reduce" a
+#: pool-ref in-place reduction shipped by descriptor).
+_DOORBELL_OPS = ("round", "task", "reduce", "pool", "close", "batch")
 
 VectorClock = dict[str, int]
 
@@ -175,7 +176,7 @@ class _Replay:
                     ).with_witness(_witness(ev))
                 )
         if (
-            ev.op in ("round", "task", "batch")
+            ev.op in ("round", "task", "reduce", "batch")
             and self.capacity is not None
             and len(ev.detail) >= 2
             and int(ev.detail[1]) > self.capacity

@@ -12,7 +12,7 @@ from __future__ import annotations
 import os
 from typing import TYPE_CHECKING
 
-from .base import BackendError, TransportBackend
+from .base import BackendError, PoolRef, TransportBackend
 from .local import BatchedBackend, LocalBackend
 from .shm import SharedMemoryBackend
 
@@ -64,6 +64,7 @@ __all__ = [
     "BatchedBackend",
     "DEFAULT_BACKEND",
     "LocalBackend",
+    "PoolRef",
     "SharedMemoryBackend",
     "TransportBackend",
     "available_backends",

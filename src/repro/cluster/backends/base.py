@@ -58,6 +58,29 @@ def protocol_sanitize_enabled() -> bool:
 
 
 @dataclass(frozen=True)
+class PoolRef:
+    """Descriptor of a dense f64 view into one rank's flat bucket pool.
+
+    ``offset``/``length`` are in float64 *elements* from the start of rank
+    ``rank``'s pool (:meth:`TransportBackend.allocate_pool`).  A PoolRef is
+    the wire form of a pool-resident payload: 24 bytes of descriptor
+    instead of ``length * 8`` bytes of data, resolvable by any process the
+    pool segment is mapped into.  Descriptors travel through the shm rings
+    under their own wire tag (``wire._T_POOLREF``) and drive the in-place
+    worker-parallel reduction of :meth:`TransportBackend.pool_ref_reduce`.
+    """
+
+    rank: int
+    offset: int
+    length: int
+
+
+#: One owned chunk of a pool-ref reduction: ``(lo, hi, order)`` — the
+#: element range (relative to each member view) and the member fold order.
+PoolRefChunk = tuple[int, int, tuple[int, ...]]
+
+
+@dataclass(frozen=True)
 class ProtocolEvent:
     """One observed protocol action, emitted by a backend under sanitation.
 
@@ -111,12 +134,23 @@ class TransportBackend:
     #: kernel flavor collectives pick when no explicit fast-path override is
     #: active: the loop reference (False) or the world-batched kernels (True).
     prefers_fast_path: bool = True
+    #: whether pool-resident payloads should route as :class:`PoolRef`
+    #: descriptors by default (``repro.comm`` consults this the same way it
+    #: consults ``prefers_fast_path``).  Every backend *can* execute
+    #: :meth:`pool_ref_reduce` over its registered pools; only backends
+    #: where the descriptor path actually changes the execution substrate
+    #: (the shm worker processes) turn the preference on.
+    supports_pool_ref: bool = False
 
     def __init__(self) -> None:
         self._transport: Transport | None = None
         self._protocol_sanitize = protocol_sanitize_enabled()
         #: Observed protocol events (empty unless sanitize mode is on).
         self.protocol_events: list[ProtocolEvent] = []
+        #: rank → parent-side pool array, populated by ``allocate_pool``
+        #: implementations via :meth:`_register_pool`; drives PoolRef
+        #: resolution and the generic :meth:`pool_ref_reduce`.
+        self._pool_arrays: dict[int, np.ndarray] = {}
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -229,11 +263,119 @@ class TransportBackend:
         raise NotImplementedError
 
     # ------------------------------------------------------------------
+    # Pool-ref collectives (zero-copy descriptors over registered pools)
+    # ------------------------------------------------------------------
+    def _register_pool(self, rank: int, pool: np.ndarray) -> None:
+        """Remember rank's pool array so views into it resolve to PoolRefs.
+
+        ``allocate_pool`` implementations call this; a re-allocation
+        replaces the entry, so stale views of a dropped segment stop
+        resolving.
+        """
+        self._pool_arrays[rank] = pool
+
+    def pool_ref(self, array: Any) -> PoolRef | None:
+        """Resolve ``array`` to a :class:`PoolRef`, or None.
+
+        Only dense views qualify: 1-D C-contiguous float64, lying entirely
+        within one registered pool at an 8-byte-aligned offset.  Anything
+        else — other dtypes, strided views, arrays owning their own storage
+        — returns None and keeps the codec path.
+        """
+        if (
+            not isinstance(array, np.ndarray)
+            or array.dtype != np.float64
+            or array.ndim != 1
+            or not array.flags.c_contiguous
+            or array.size == 0
+        ):
+            return None
+        addr = array.__array_interface__["data"][0]
+        for rank, pool in self._pool_arrays.items():
+            delta = addr - pool.__array_interface__["data"][0]
+            if 0 <= delta and delta + array.nbytes <= pool.nbytes and delta % 8 == 0:
+                return PoolRef(rank=rank, offset=delta // 8, length=array.size)
+        return None
+
+    def resolve_pool_refs(
+        self, arrays: Sequence[Any], ranks: Sequence[int]
+    ) -> list[PoolRef] | None:
+        """PoolRefs for a whole collective, or None if any member fails.
+
+        Member ``i``'s array must live in rank ``ranks[i]``'s own pool —
+        the ownership assumption the worker-parallel reduction's chunk
+        assignment relies on.  All members must share one length.
+        """
+        if len(arrays) != len(ranks) or not arrays:
+            return None
+        refs: list[PoolRef] = []
+        length = None
+        for array, rank in zip(arrays, ranks):
+            ref = self.pool_ref(array)
+            if ref is None or ref.rank != rank:
+                return None
+            if length is None:
+                length = ref.length
+            elif ref.length != length:
+                return None
+            refs.append(ref)
+        return refs
+
+    def pool_ref_reduce(
+        self,
+        refs: Sequence[PoolRef],
+        chunks: Sequence[PoolRefChunk],
+        add_zero: bool,
+    ) -> None:
+        """Reduce the referenced pool regions in place, chunk-parallel.
+
+        ``refs[i]`` is collective member ``i``'s region; ``chunks[j] =
+        (lo, hi, order)`` assigns element range ``[lo, hi)`` (relative to
+        each region) to member ``j``'s executor, which folds the members'
+        slices *in exactly the order given* — ``acc = region[order[0]].copy();
+        acc += region[order[k]]`` — optionally appends the loop oracle's
+        trailing ``+ 0.0``, and writes the result into **every** member's
+        slice.  Chunk ranges must be pairwise disjoint, which is what makes
+        the per-chunk executors race-free without a barrier: chunk ``j``
+        reads and writes only ``[lo_j, hi_j)`` of each region.
+
+        The caller (``repro.comm``) picks fold orders that reproduce the
+        batched kernels' float operation order bit-for-bit, so in-place
+        results equal what the codec path would have returned.
+
+        This base implementation runs the chunks serially in the calling
+        process over the registered pool arrays; backends with real
+        per-rank executors (shm) override it to run chunks on their owning
+        workers concurrently.
+        """
+        views = []
+        for ref in refs:
+            pool = self._pool_arrays.get(ref.rank)
+            if pool is None or ref.offset + ref.length > pool.shape[0]:
+                raise BackendError(
+                    f"pool ref (rank {ref.rank}, offset {ref.offset}, "
+                    f"length {ref.length}) targets an unmapped pool segment"
+                )
+            views.append(pool[ref.offset : ref.offset + ref.length])
+        for lo, hi, order in chunks:
+            acc = views[order[0]][lo:hi].copy()
+            for member in order[1:]:
+                acc += views[member][lo:hi]
+            if add_zero:
+                acc += 0.0
+            for view in views:
+                view[lo:hi] = acc
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     def describe(self) -> dict[str, Any]:
         """Small diagnostic summary (used by the perf harness / docs)."""
-        return {"name": self.name, "prefers_fast_path": self.prefers_fast_path}
+        return {
+            "name": self.name,
+            "prefers_fast_path": self.prefers_fast_path,
+            "supports_pool_ref": self.supports_pool_ref,
+        }
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(name={self.name!r})"

@@ -73,6 +73,7 @@ class LocalBackend(TransportBackend):
     def allocate_pool(self, rank: int, n_elements: int) -> np.ndarray:
         pool = np.empty(n_elements, dtype=np.float64)
         self._pools[rank] = pool
+        self._register_pool(rank, pool)
         if self.sanitizing:
             self._emit_exchange("pool", rank, 0)
         return pool
@@ -91,6 +92,7 @@ class LocalBackend(TransportBackend):
 
     def close(self) -> None:
         self._pools.clear()
+        self._pool_arrays.clear()
         if self.sanitizing and self._seq:
             for rank in sorted(self._seq):
                 seq = self._next_seq(rank)

@@ -51,8 +51,20 @@ Payload encodings: flat contiguous f64 arrays blit raw; everything the
 remainder (e.g. task functions) falls back to :mod:`pickle`.
 
 Rank bucket pools (:meth:`allocate_pool`) are plain shared-memory segments
-mapped as float64 arrays in both the parent and the rank's worker; and
-teardown is graceful: ``close()`` flushes pending batches, sends shutdown
+mapped as float64 arrays in the parent and in **every** worker (keyed by
+owner rank), which enables the zero-copy **pool-ref fast path**: a payload
+that is a dense f64 view into a mapped pool ships as a 25-byte
+``PoolRef`` descriptor (wire tag ``0x0D``) instead of its bytes, and
+:meth:`pool_ref_reduce` stages per-chunk ``reduce`` items that each owning
+worker executes *in place on the shared pools, in parallel* — fold the
+members' chunk slices in the caller-given order, then broadcast by writing
+peers' segments directly.  Chunk element ranges are disjoint across
+workers, so the executors are race-free without a barrier; the parent
+posts all programs before awaiting any ack (`flush` is post-all-then-
+await-all), which is what lets the per-worker reductions overlap on real
+cores.  See docs/backends.md § "Pool-ref collectives".
+
+Teardown is graceful: ``close()`` flushes pending batches, sends shutdown
 doorbells, joins with a timeout, terminates stragglers, and unlinks every
 segment.
 """
@@ -76,7 +88,7 @@ from typing import TYPE_CHECKING, Any
 import numpy as np
 
 from . import wire
-from .base import BackendError, ProtocolEvent, TransportBackend
+from .base import BackendError, PoolRef, PoolRefChunk, ProtocolEvent, TransportBackend
 
 if TYPE_CHECKING:
     from multiprocessing.connection import Connection
@@ -204,13 +216,17 @@ class _RingWriter:
         return off, len(data)
 
 
-def _write_record(writer: _RingWriter, seq: int, payload: Any) -> _Entry:
-    kind, data = _encode(payload)
+def _write_encoded(writer: _RingWriter, seq: int, kind: int, data: np.ndarray) -> _Entry:
     placed = writer.write(seq, data)
     if placed is None:
         return (kind, -1, len(data), data.tobytes())
     off, nbytes = placed
     return (kind, off, nbytes, None)
+
+
+def _write_record(writer: _RingWriter, seq: int, payload: Any) -> _Entry:
+    kind, data = _encode(payload)
+    return _write_encoded(writer, seq, kind, data)
 
 
 def _read_record(buf: memoryview, seq: int, entry: _Entry) -> Any:
@@ -289,11 +305,44 @@ def _worker_main(
     in_buf = in_shm.buf
     out_buf = out_shm.buf
     writer = _RingWriter(out_buf, capacity)
-    pool_shm: shared_memory.SharedMemory | None = None
-    pool: np.ndarray | None = None
+    # Every rank's pool maps into every worker (keyed by owner rank) so
+    # PoolRef descriptors resolve locally; ``pools[rank]`` is this worker's
+    # own pool, the one rank tasks receive.
+    pool_shms: dict[int, shared_memory.SharedMemory] = {}
+    pools: dict[int, np.ndarray] = {}
     expected = 0
     me = f"worker:{rank}"
     events: list[ProtocolEvent] = []
+
+    def resolve_ref(ref: PoolRef) -> np.ndarray:
+        """PoolRef → local view of the mapped segment (or a hard fault)."""
+        pool = pools.get(ref.rank)
+        if pool is None or ref.offset < 0 or ref.offset + ref.length > pool.shape[0]:
+            raise BackendError(
+                f"worker {rank}: pool ref (rank {ref.rank}, offset {ref.offset}, "
+                f"length {ref.length}) targets an unmapped pool segment"
+            )
+        return pool[ref.offset : ref.offset + ref.length]
+
+    def run_reduce(spec: tuple) -> tuple[int, int]:
+        """Execute one owned chunk of an in-place pool reduction.
+
+        ``spec = (lo, hi, refs, order, add_zero)``: fold the members'
+        ``[lo, hi)`` slices in exactly ``order``, then write the result
+        into every member's slice — including peers' pool segments, which
+        is the broadcast phase.  Chunk ranges are disjoint across workers,
+        so concurrent chunk executors never touch the same elements.
+        """
+        lo, hi, refs, order, add_zero = spec
+        views = [resolve_ref(ref) for ref in refs]
+        acc = views[order[0]][lo:hi].copy()
+        for member in order[1:]:
+            acc += views[member][lo:hi]
+        if add_zero:
+            acc += 0.0
+        for view in views:
+            view[lo:hi] = acc
+        return (int(lo), int(hi))
 
     def emit(kind: str, seq: int = -1, op: str = "", detail: tuple = ()) -> None:
         if sanitize:
@@ -320,12 +369,19 @@ def _worker_main(
         for op, data in program:
             if op == "round":
                 payloads = [_read_record(in_buf, seq, tuple(e)) for e in data]
+                for payload in payloads:
+                    if type(payload) is PoolRef:
+                        resolve_ref(payload)  # descriptor must be resolvable here
                 n_read += len(payloads)
                 reply_items.append(tuple(_write_record(writer, seq, p) for p in payloads))
             elif op == "task":
                 fn, args = _read_record(in_buf, seq, tuple(data))
                 n_read += 1
-                reply_items.append(_write_record(writer, seq, fn(pool, *args)))
+                reply_items.append(_write_record(writer, seq, fn(pools.get(rank), *args)))
+            elif op == "reduce":
+                spec = _read_record(in_buf, seq, tuple(data))
+                n_read += 1
+                reply_items.append(_write_record(writer, seq, run_reduce(spec)))
             else:
                 raise BackendError(f"worker {rank}: unknown program op {op!r}")
         emit("ring_read", seq=seq, detail=(n_read,))
@@ -424,6 +480,9 @@ def _worker_main(
                     run_program(seq, request[2], via_pipe=True)
                 elif op == "round":
                     payloads = [_read_record(in_buf, seq, e) for e in request[2]]
+                    for payload in payloads:
+                        if type(payload) is PoolRef:
+                            resolve_ref(payload)
                     emit("ring_read", seq=seq, detail=(len(payloads),))
                     writer.begin_round()
                     entries = [_write_record(writer, seq, p) for p in payloads]
@@ -433,19 +492,31 @@ def _worker_main(
                 elif op == "task":
                     fn, args = _read_record(in_buf, seq, request[2])
                     emit("ring_read", seq=seq, detail=(1,))
-                    result = fn(pool, *args)
+                    result = fn(pools.get(rank), *args)
+                    writer.begin_round()
+                    entry = _write_record(writer, seq, result)
+                    emit("ring_write", seq=seq, detail=(1,))
+                    emit("ack_send", seq=seq, op=op)
+                    send("ok", seq, entry)
+                elif op == "reduce":
+                    spec = _read_record(in_buf, seq, request[2])
+                    emit("ring_read", seq=seq, detail=(1,))
+                    result = run_reduce(spec)
                     writer.begin_round()
                     entry = _write_record(writer, seq, result)
                     emit("ring_write", seq=seq, detail=(1,))
                     emit("ack_send", seq=seq, op=op)
                     send("ok", seq, entry)
                 elif op == "pool":
+                    owner = request[4]
                     new = shared_memory.SharedMemory(name=request[2])
-                    pool = np.frombuffer(new.buf, dtype=np.float64, count=request[3])
-                    if pool_shm is not None:
-                        _close_segment(pool_shm, unlink=False)
-                    pool_shm = new
-                    emit("pool_map", seq=seq)
+                    mapped = np.frombuffer(new.buf, dtype=np.float64, count=request[3])
+                    previous = pool_shms.get(owner)
+                    pools[owner] = mapped
+                    pool_shms[owner] = new
+                    if previous is not None:
+                        _close_segment(previous, unlink=False)
+                    emit("pool_map", seq=seq, detail=(owner,))
                     emit("ack_send", seq=seq, op=op)
                     send("ok", seq, None)
                 elif op == "close":
@@ -458,9 +529,10 @@ def _worker_main(
             except BaseException:
                 send("err", seq, traceback.format_exc())
     finally:
-        pool = None
-        if pool_shm is not None:
+        pools.clear()
+        for pool_shm in pool_shms.values():
             _close_segment(pool_shm, unlink=False)
+        pool_shms.clear()
         del writer  # releases the ring view so the segment can close
         del in_buf, out_buf
         _close_segment(in_shm, unlink=False)
@@ -504,6 +576,7 @@ class SharedMemoryBackend(TransportBackend):
 
     name = "shm"
     prefers_fast_path = True
+    supports_pool_ref = True
 
     def __init__(
         self,
@@ -541,6 +614,8 @@ class SharedMemoryBackend(TransportBackend):
             "batches": 0,
             "flag_doorbells": 0,
             "pipe_batch_fallbacks": 0,
+            "pool_ref_payloads": 0,
+            "reduces": 0,
         }
 
     # ------------------------------------------------------------------
@@ -668,6 +743,7 @@ class SharedMemoryBackend(TransportBackend):
             _close_segment(pool_shm, unlink=True)
             self.emit_protocol_event("unlink", rank=rank)
         self._pools.clear()
+        self._pool_arrays.clear()
 
     # ------------------------------------------------------------------
     # Control plane
@@ -783,10 +859,16 @@ class SharedMemoryBackend(TransportBackend):
         for entry in entries:
             if entry[1] < 0:
                 pending.inline_count += 1
-                self.shm_stats["inline_fallbacks"] += 1
             else:
                 pending.placed_bytes += entry[2]
-            self.shm_stats["payload_bytes"] += entry[2]
+            # payload_bytes / inline_fallbacks count *round* traffic only, in
+            # both modes: the per-round pipe path never counted task records,
+            # so the batched path must not either or describe() diverges
+            # between modes for the same workload.
+            if op == "round":
+                if entry[1] < 0:
+                    self.shm_stats["inline_fallbacks"] += 1
+                self.shm_stats["payload_bytes"] += entry[2]
         self.emit_protocol_event(
             "stage",
             rank=handle.rank,
@@ -801,20 +883,40 @@ class SharedMemoryBackend(TransportBackend):
         return pending, entries
 
     def flush(self) -> None:
-        """Drain every staged batch (the iteration boundary)."""
-        for rank in list(self._batches):
-            self._flush_rank(rank)
+        """Drain every staged batch (the iteration boundary).
+
+        Posts every rank's program first and ack-barriers second, so the
+        per-worker executions overlap on real cores — what turns staged
+        ``reduce`` items into a genuinely parallel collective instead of a
+        sequence of post-and-wait round trips.
+        """
+        self._flush_ranks(list(self._batches))
+
+    def _flush_ranks(
+        self, ranks: Sequence[int], closing: bool = False
+    ) -> dict[int, list[Any]]:
+        """Post all the named ranks' programs, then await/verify each ack."""
+        posted: list[tuple[_WorkerHandle, _PendingBatch]] = []
+        for rank in ranks:
+            post = self._post_batch(rank, closing)
+            if post is not None:
+                posted.append(post)
+        results: dict[int, list[Any]] = {}
+        for handle, pending in posted:
+            results[handle.rank] = self._complete_batch(handle, pending, closing)
+        return results
 
     def _flush_rank(self, rank: int, closing: bool = False) -> list[Any]:
-        """Ship rank's program, await its single ack, verify the echoes.
+        """Ship one rank's program and wait for it (post + complete fused)."""
+        return self._flush_ranks((rank,), closing).get(rank, [])
 
-        Returns one result slot per program item: ``None`` for rounds
-        (their payloads were already delivered at stage time), the decoded
-        result for tasks.
-        """
+    def _post_batch(
+        self, rank: int, closing: bool = False
+    ) -> tuple[_WorkerHandle, _PendingBatch] | None:
+        """Encode and doorbell rank's staged program without awaiting it."""
         pending = self._batches.pop(rank, None)
         if pending is None or not pending.program:
-            return []
+            return None
         handle = self._workers[rank]
         seq = pending.seq
         program_obj = tuple(
@@ -851,6 +953,19 @@ class SharedMemoryBackend(TransportBackend):
             op="batch",
             detail=(len(pending.program), pending.placed_bytes, pending.inline_count),
         )
+        return handle, pending
+
+    def _complete_batch(
+        self, handle: _WorkerHandle, pending: _PendingBatch, closing: bool = False
+    ) -> list[Any]:
+        """Await one posted program's ack and verify its echoes.
+
+        Returns one result slot per program item: ``None`` for rounds
+        (their payloads were already delivered at stage time), the decoded
+        result for tasks and reduces.
+        """
+        rank = handle.rank
+        seq = pending.seq
         reply_items = self._await_batch_ack(handle, seq, closing)
         if len(reply_items) != len(pending.program):
             message = (
@@ -863,7 +978,6 @@ class SharedMemoryBackend(TransportBackend):
             raise BackendError(message + "; backend closed")
         results: list[Any] = []
         out_buf = handle.out_shm.buf
-        in_buf = handle.in_shm.buf
         for (op, data), reply in zip(pending.program, reply_items):
             if op == "round":
                 for staged, echo in zip(data, reply):
@@ -871,7 +985,7 @@ class SharedMemoryBackend(TransportBackend):
                 results.append(None)
             else:
                 results.append(_read_record(out_buf, seq, tuple(reply)))
-        del out_buf, in_buf
+        del out_buf
         return results
 
     def _verify_echo(
@@ -993,37 +1107,41 @@ class SharedMemoryBackend(TransportBackend):
             return self._route_round_batched(messages)
         return self._route_round_pipe(messages)
 
+    def _encode_payload(self, payload: Any) -> tuple[int, np.ndarray]:
+        """Like :func:`_encode`, but pool-resident arrays ship as PoolRefs.
+
+        A dense f64 view into a mapped pool segment stages as its 25-byte
+        descriptor instead of its data — the receiving worker resolves the
+        descriptor against its own mapping of the same segment, so zero
+        payload bytes cross the ring.  Everything else keeps the codec
+        path.
+        """
+        ref = self.pool_ref(payload)
+        if ref is None:
+            return _encode(payload)
+        self.shm_stats["pool_ref_payloads"] += 1
+        return _CODEC, np.frombuffer(wire.encode(ref), dtype=np.uint8)
+
     def _route_round_batched(self, messages: Sequence[Message]) -> dict[int, list[Message]]:
         """Stage the round into per-rank programs; deliver immediately.
 
         Decode∘encode is the identity and the worker's re-encode is
         deterministic, so the staged bytes already determine the delivered
         payloads; the cross-process echo is verified byte-wise when the
-        batch flushes.
+        batch flushes.  Delivery therefore hands the *sender's* message
+        objects through, exactly like the in-process oracle — no
+        decode-what-we-just-encoded copy per dense bucket.
         """
-        from ..transport import Message as MessageCls
-
         by_dst: dict[int, list[Message]] = {}
         for message in messages:
             by_dst.setdefault(message.dst, []).append(message)
-        inbox: dict[int, list[Message]] = {}
         for dst, batch in by_dst.items():
             handle = self._workers[dst]
             self._check_alive(handle)
-            encoded = [_encode(message.payload) for message in batch]
+            encoded = [self._encode_payload(message.payload) for message in batch]
             self._stage_item(handle, "round", encoded)
-            inbox[dst] = [
-                MessageCls(
-                    src=message.src,
-                    dst=message.dst,
-                    payload=_decode(kind, data),
-                    nbytes=message.nbytes,
-                    match_id=message.match_id,
-                )
-                for message, (kind, data) in zip(batch, encoded)
-            ]
         self.shm_stats["rounds"] += 1
-        return inbox
+        return by_dst
 
     def _route_round_pipe(self, messages: Sequence[Message]) -> dict[int, list[Message]]:
         """The per-round pipe protocol (``batch_rounds=False`` fallback)."""
@@ -1041,7 +1159,8 @@ class SharedMemoryBackend(TransportBackend):
             handle.writer.begin_round()
             entries = []
             for message in batch:
-                entry = _write_record(handle.writer, seq, message.payload)
+                kind, data = self._encode_payload(message.payload)
+                entry = _write_encoded(handle.writer, seq, kind, data)
                 if entry[1] < 0:
                     self.shm_stats["inline_fallbacks"] += 1
                 self.shm_stats["payload_bytes"] += entry[2]
@@ -1075,6 +1194,10 @@ class SharedMemoryBackend(TransportBackend):
             delivered = []
             for message, entry in zip(batch, out_entries):
                 payload = _read_record(handle.out_shm.buf, seq, entry)
+                if type(payload) is PoolRef:
+                    # The echoed descriptor resolves to the same storage the
+                    # sender's view aliases — the oracle's hand-off semantics.
+                    payload = self._resolve_ref_view(payload)
                 delivered.append(
                     MessageCls(
                         src=message.src,
@@ -1095,16 +1218,113 @@ class SharedMemoryBackend(TransportBackend):
         pool = np.frombuffer(pool_shm.buf, dtype=np.float64, count=n_elements)
         previous = self._pools.get(rank)
         self._pools[rank] = (pool_shm, pool)
+        self._register_pool(rank, pool)
         if self._started:
             self._map_pool(rank, pool_shm, n_elements)
         if previous is not None:
             _close_segment(previous[0], unlink=True)
         return pool
 
-    def _map_pool(self, rank: int, pool_shm: shared_memory.SharedMemory, n: int) -> None:
-        handle = self._workers[rank]
-        seq = self._post(handle, "pool", pool_shm.name, n)
-        self._await_ack(handle, seq)
+    def _map_pool(self, owner: int, pool_shm: shared_memory.SharedMemory, n: int) -> None:
+        """Map owner's pool segment into **every** worker.
+
+        Cross-rank mapping is what lets any worker resolve any rank's
+        PoolRef descriptors — the substrate of the in-place pool-ref
+        collectives.  Pool allocation is cold-path (once per training run),
+        so the per-worker post+ack round trips stay serial.
+        """
+        for handle in self._workers.values():
+            seq = self._post(handle, "pool", pool_shm.name, n, owner)
+            self._await_ack(handle, seq)
+
+    def _resolve_ref_view(self, ref: PoolRef) -> np.ndarray:
+        """Parent-side view of the pool region a descriptor names."""
+        entry = self._pools.get(ref.rank)
+        if entry is None or ref.offset < 0 or ref.offset + ref.length > entry[1].shape[0]:
+            raise BackendError(
+                f"pool ref (rank {ref.rank}, offset {ref.offset}, length "
+                f"{ref.length}) targets an unmapped pool segment"
+            )
+        return entry[1][ref.offset : ref.offset + ref.length]
+
+    def pool_ref_reduce(
+        self,
+        refs: Sequence[PoolRef],
+        chunks: Sequence[PoolRefChunk],
+        add_zero: bool,
+    ) -> None:
+        """In-place reduction executed by the workers, chunk-parallel.
+
+        Chunk ``j`` ships to the worker owning ``refs[j]``'s pool as a
+        ``reduce`` program item (batched mode) or a ``reduce`` pipe
+        doorbell (per-round mode); every involved worker folds and
+        broadcasts its owned chunk concurrently with its peers — disjoint
+        element ranges, so no inter-worker barrier is needed.  The parent
+        posts all the work before awaiting any ack, and each worker's
+        ``(lo, hi)`` reply is checked against the chunk it was assigned.
+
+        Any round still staged for an involved worker flushes as part of
+        the same program, so program order keeps rounds and the reduction
+        correctly sequenced per worker.
+        """
+        self.ensure_started()
+        if len(chunks) != len(refs):
+            raise ValueError(
+                f"pool_ref_reduce got {len(chunks)} chunk(s) for {len(refs)} member(s)"
+            )
+        spec_refs = tuple(refs)
+        self.shm_stats["reduces"] += len(chunks)
+        if self.batch_rounds:
+            slots: list[tuple[int, int, int, int]] = []
+            for (lo, hi, order), ref in zip(chunks, refs):
+                handle = self._workers[ref.rank]
+                self._check_alive(handle)
+                spec = (int(lo), int(hi), spec_refs, tuple(order), bool(add_zero))
+                encoded = [_encode(spec)]
+                pending, _entries = self._stage_item(handle, "reduce", encoded)
+                slots.append((ref.rank, len(pending.program) - 1, lo, hi))
+            results = self._flush_ranks(sorted({ref.rank for ref in refs}))
+            for rank, slot, lo, hi in slots:
+                reply = results[rank][slot]
+                if reply != (lo, hi):
+                    self.close()
+                    raise BackendError(
+                        f"shm worker {rank} reduced chunk {reply}, expected "
+                        f"({lo}, {hi}); backend closed"
+                    )
+            return
+        pending_acks: list[tuple[_WorkerHandle, int, int, int]] = []
+        for (lo, hi, order), ref in zip(chunks, refs):
+            handle = self._workers[ref.rank]
+            self._check_alive(handle)
+            seq = handle.next_seq()
+            handle.writer.begin_round()
+            spec = (int(lo), int(hi), spec_refs, tuple(order), bool(add_zero))
+            entry = _write_record(handle.writer, seq, spec)
+            try:
+                handle.conn.send(("reduce", seq, entry))
+            except (BrokenPipeError, OSError) as exc:
+                self.close()
+                raise BackendError(
+                    f"shm worker {ref.rank} pipe is gone ({exc}); backend closed"
+                ) from exc
+            self.emit_protocol_event(
+                "post",
+                rank=ref.rank,
+                seq=seq,
+                op="reduce",
+                detail=(1, entry[2], int(entry[1] < 0)),
+            )
+            pending_acks.append((handle, seq, lo, hi))
+        for handle, seq, lo, hi in pending_acks:
+            entry = self._await_ack(handle, seq)
+            reply = _read_record(handle.out_shm.buf, seq, entry)
+            if reply != (lo, hi):
+                self.close()
+                raise BackendError(
+                    f"shm worker {handle.rank} reduced chunk {reply}, expected "
+                    f"({lo}, {hi}); backend closed"
+                )
 
     def run_rank_tasks(
         self,
@@ -1125,7 +1345,10 @@ class SharedMemoryBackend(TransportBackend):
                 pending, _entries = self._stage_item(handle, "task", encoded)
                 slots[rank] = len(pending.program) - 1
             self.shm_stats["tasks"] += len(ranks)
-            return {rank: self._flush_rank(rank)[slots[rank]] for rank in ranks}
+            # Post every rank's program before awaiting any ack so the
+            # tasks genuinely overlap across worker processes.
+            results = self._flush_ranks(ranks)
+            return {rank: results[rank][slots[rank]] for rank in ranks}
         pending_acks: list[tuple[_WorkerHandle, int]] = []
         for rank in ranks:
             handle = self._workers[rank]

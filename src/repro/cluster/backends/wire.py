@@ -40,7 +40,12 @@ tag   value                   body
 0x0B  numpy scalar            u8 dtype code + itemsize raw bytes
 0x0C  ``CompressedPayload``   codec str + n int64 + wire_bytes float64
                               + fields dict
+0x0D  ``PoolRef``             rank int64 + offset int64 + length int64
 ====  ======================  =======================================
+
+The ``PoolRef`` tag is the zero-copy descriptor form of a pool-resident
+payload (see :class:`~.base.PoolRef` and docs/backends.md): 25 bytes on
+the wire regardless of how large the referenced pool region is.
 """
 
 from __future__ import annotations
@@ -70,6 +75,7 @@ _T_DICT = 0x09
 _T_NDARRAY = 0x0A
 _T_SCALAR = 0x0B
 _T_PAYLOAD = 0x0C
+_T_POOLREF = 0x0D
 
 _U8 = struct.Struct("<B")
 _U32 = struct.Struct("<I")
@@ -121,6 +127,13 @@ def _compressed_payload_cls():
     return CompressedPayload
 
 
+def _pool_ref_cls():
+    """Lazy import: ``base`` imports nothing from here, but keep it uniform."""
+    from .base import PoolRef
+
+    return PoolRef
+
+
 def _encode_into(value: Any, out: list[bytes]) -> None:
     kind = type(value)
     if value is None:
@@ -167,6 +180,13 @@ def _encode_into(value: Any, out: list[bytes]) -> None:
         _encode_into(value.n, out)
         _encode_into(value.wire_bytes, out)
         _encode_into(value.fields, out)
+    elif kind is _pool_ref_cls():
+        out.append(
+            _U8.pack(_T_POOLREF)
+            + _I64.pack(value.rank)
+            + _I64.pack(value.offset)
+            + _I64.pack(value.length)
+        )
     else:
         raise WireError(f"unsupported wire type {kind.__name__}")
 
@@ -251,6 +271,13 @@ def _decode_from(buf: memoryview, off: int) -> tuple[Any, int]:
         fields, off = _decode_from(buf, off)
         payload_cls = _compressed_payload_cls()
         return payload_cls(codec=codec, n=n, wire_bytes=wire_bytes, fields=fields), off
+    if tag == _T_POOLREF:
+        rank, offset, length = (
+            _I64.unpack_from(buf, off)[0],
+            _I64.unpack_from(buf, off + 8)[0],
+            _I64.unpack_from(buf, off + 16)[0],
+        )
+        return _pool_ref_cls()(rank=rank, offset=offset, length=length), off + 24
     raise WireError(f"corrupt wire data: unknown tag 0x{tag:02x}")
 
 

@@ -30,7 +30,14 @@ from .collectives import (
     ring_reduce_scatter,
     send_recv,
 )
-from .fastpath import fast_path_enabled, set_fast_path, use_fast_path
+from .fastpath import (
+    fast_path_enabled,
+    pool_ref_enabled,
+    set_fast_path,
+    set_pool_ref,
+    use_fast_path,
+    use_pool_ref,
+)
 from .group import CommGroup
 from .hierarchical import HierarchicalComm
 from .scatter_reduce import scatter_reduce
@@ -83,4 +90,8 @@ __all__ = [
     "fast_path_enabled",
     "set_fast_path",
     "use_fast_path",
+    # pool-ref collectives switch
+    "pool_ref_enabled",
+    "set_pool_ref",
+    "use_pool_ref",
 ]

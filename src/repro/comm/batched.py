@@ -35,6 +35,7 @@ import numpy as np
 from ..compression.base import Compressor
 from ..compression.error_feedback import ErrorFeedback
 from .chunking import check_arrays, chunk_bounds
+from .fastpath import resolve_pool_ref
 from .group import CommGroup
 
 #: tuple-header bytes of the ``(index, payload)`` envelope the loop
@@ -223,6 +224,25 @@ def scatter_reduce_batched(
     widths = [hi - lo for lo, hi in bounds]
 
     if codec is None and n > 1:
+        row_bytes = [_F64_BYTES * w for w in widths]
+        if resolve_pool_ref(group.transport):
+            refs = group.transport.backend.resolve_pool_refs(arrays, group.ranks)
+            if refs is not None:
+                # Pool-ref fast path: every member's bucket is a dense view
+                # into its own pool segment, so nothing needs to travel —
+                # partition owner j folds chunk j across all segments in
+                # place (rows 0..n-1, the sequential-fold order below, with
+                # the same trailing ``+ 0.0``) and writes every member's
+                # slice.  The stub rounds are the ones the byte-moving path
+                # emits, so clocks, stats and traces are untouched by the
+                # optimization.
+                order = tuple(range(n))
+                alltoall_sizes(group, [row_bytes] * n)
+                group.transport.backend.pool_ref_reduce(
+                    refs, [(lo, hi, order) for lo, hi in bounds], add_zero=True
+                )
+                allgather_sizes(group, row_bytes)
+                return list(arrays)
         # Full-precision path: nothing is quantized, so the merged partition
         # is a plain sequential fold over the input rows and the (world, n)
         # stack never needs materializing.  ``np.add.reduce`` accumulates the
@@ -230,7 +250,6 @@ def scatter_reduce_batched(
         # to contiguous-axis reductions), so this fold is the same operation
         # order as :func:`_merge_rows`; the trailing ``+ 0.0`` normalizes the
         # all-``-0.0`` column case exactly as there.
-        row_bytes = [_F64_BYTES * w for w in widths]
         alltoall_sizes(group, [row_bytes] * n)
         merged = arrays[0].astype(np.float64)
         for a in arrays[1:]:
@@ -296,6 +315,52 @@ def scatter_reduce_batched(
 # ----------------------------------------------------------------------
 # Ring kernels
 # ----------------------------------------------------------------------
+def _ring_reduce_scatter_rounds(
+    group: CommGroup, bounds: Sequence[tuple[int, int]]
+) -> None:
+    """The n-1 reduce-scatter stub rounds (shared by both data paths)."""
+    n = group.size
+    ranks = group.ranks
+    transport = group.transport
+    for r in range(n - 1):
+        sends = []
+        for i in range(n):
+            chunk = (i - r) % n
+            lo, hi = bounds[chunk]
+            sends.append(
+                (
+                    ranks[i],
+                    ranks[(i + 1) % n],
+                    _HEADER_BYTES + _F64_BYTES * (hi - lo),
+                    f"rs.r{r}.c{chunk}",
+                )
+            )
+        transport.exchange_sized(sends)
+
+
+def _ring_all_gather_rounds(
+    group: CommGroup, bounds: Sequence[tuple[int, int]], owners: Sequence[int]
+) -> None:
+    """The n-1 all-gather stub rounds (shared by both data paths)."""
+    n = group.size
+    ranks = group.ranks
+    transport = group.transport
+    for r in range(n - 1):
+        sends = []
+        for i in range(n):
+            chunk_id = owners[(i - r) % n]
+            lo, hi = bounds[chunk_id]
+            sends.append(
+                (
+                    ranks[i],
+                    ranks[(i + 1) % n],
+                    _HEADER_BYTES + _F64_BYTES * (hi - lo),
+                    f"ag.r{r}.c{chunk_id}",
+                )
+            )
+        transport.exchange_sized(sends)
+
+
 def ring_reduce_scatter_batched(
     arrays: Sequence[np.ndarray], group: CommGroup
 ) -> list[np.ndarray]:
@@ -313,22 +378,7 @@ def ring_reduce_scatter_batched(
         return [np.asarray(arrays[0], dtype=np.float64).copy()]
     bounds = chunk_bounds(total, n)
     matrix = _stack_f64(arrays)
-    ranks = group.ranks
-    transport = group.transport
-    for r in range(n - 1):
-        sends = []
-        for i in range(n):
-            chunk = (i - r) % n
-            lo, hi = bounds[chunk]
-            sends.append(
-                (
-                    ranks[i],
-                    ranks[(i + 1) % n],
-                    _HEADER_BYTES + _F64_BYTES * (hi - lo),
-                    f"rs.r{r}.c{chunk}",
-                )
-            )
-        transport.exchange_sized(sends)
+    _ring_reduce_scatter_rounds(group, bounds)
     out = []
     for i in range(n):
         chunk = (i + 1) % n
@@ -354,22 +404,7 @@ def ring_all_gather_chunks_batched(
     for i in range(n):
         lo, hi = bounds[owners[i]]
         full[lo:hi] = chunks[i]
-    ranks = group.ranks
-    transport = group.transport
-    for r in range(n - 1):
-        sends = []
-        for i in range(n):
-            chunk_id = owners[(i - r) % n]
-            lo, hi = bounds[chunk_id]
-            sends.append(
-                (
-                    ranks[i],
-                    ranks[(i + 1) % n],
-                    _HEADER_BYTES + _F64_BYTES * (hi - lo),
-                    f"ag.r{r}.c{chunk_id}",
-                )
-            )
-        transport.exchange_sized(sends)
+    _ring_all_gather_rounds(group, bounds, owners)
     return _replicate(full, n)
 
 
@@ -382,8 +417,28 @@ def ring_allreduce_batched(
     if n == 1:
         return [np.asarray(arrays[0], dtype=np.float64).copy()]
     total = arrays[0].shape[0]
-    reduced = ring_reduce_scatter_batched(arrays, group)
     owners = [(i + 1) % n for i in range(n)]
+    if resolve_pool_ref(group.transport):
+        refs = group.transport.backend.resolve_pool_refs(arrays, group.ranks)
+        if refs is not None:
+            # Pool-ref fast path: member i's executor reduces its ring chunk
+            # ``(i+1) % n`` in place across all segments, folding rows in the
+            # ring's arrival order ``c, c+1, ..., c+n-1 (mod n)`` (no ``+
+            # 0.0`` — the ring fold never normalizes), then writes every
+            # member's slice — the all-gather phase collapsed into the same
+            # disjoint-chunk write.  Stub rounds are identical to the
+            # byte-moving two-phase path below.
+            bounds = chunk_bounds(total, n)
+            chunks = []
+            for i in range(n):
+                c = owners[i]
+                lo, hi = bounds[c]
+                chunks.append((lo, hi, tuple((c + t) % n for t in range(n))))
+            _ring_reduce_scatter_rounds(group, bounds)
+            group.transport.backend.pool_ref_reduce(refs, chunks, add_zero=False)
+            _ring_all_gather_rounds(group, bounds, owners)
+            return list(arrays)
+    reduced = ring_reduce_scatter_batched(arrays, group)
     return ring_all_gather_chunks_batched(reduced, owners, group, total)
 
 

@@ -20,6 +20,15 @@ Resolution order for each collective call:
 
 With no explicit setting anywhere the default remains the fast path, so
 behavior is unchanged for existing callers.
+
+The **pool-ref** switch below is the same shape for a different axis: whether
+dense full-precision collectives over pool-resident buckets ship zero-copy
+``PoolRef`` descriptors and reduce in place on the shared pool
+(``backend.pool_ref_reduce``) instead of moving payload bytes.  Resolution:
+explicit global (``REPRO_POOL_REF`` / :func:`set_pool_ref` /
+:func:`use_pool_ref`) first, then the backend's capability flag
+(``backend.supports_pool_ref``) — on for ``shm``, off for the in-process
+backends, where delivery is already zero-copy.
 """
 
 from __future__ import annotations
@@ -82,3 +91,60 @@ def use_fast_path(enabled: bool) -> Iterator[None]:
     finally:
         _enabled = previous
         _explicit = previous_explicit
+
+
+# ----------------------------------------------------------------------
+# Pool-ref collectives switch (zero-copy in-place reduction on the pool)
+# ----------------------------------------------------------------------
+_pool_enabled: bool = os.environ.get("REPRO_POOL_REF", "1").lower() not in ("0", "false", "no")
+_pool_explicit: bool = "REPRO_POOL_REF" in os.environ
+
+
+def pool_ref_enabled() -> bool:
+    """Current global default for the pool-ref descriptor fast path."""
+    return _pool_enabled
+
+
+def set_pool_ref(enabled: bool | None) -> None:
+    """Set the global pool-ref default (True = descriptor reduction).
+
+    ``None`` clears any explicit global: the default reverts to the
+    environment (``REPRO_POOL_REF``) and resolution defers to the transport
+    backend's ``supports_pool_ref`` capability again.
+    """
+    global _pool_enabled, _pool_explicit
+    if enabled is None:
+        _pool_enabled = os.environ.get("REPRO_POOL_REF", "1").lower() not in ("0", "false", "no")
+        _pool_explicit = "REPRO_POOL_REF" in os.environ
+        return
+    _pool_enabled = bool(enabled)
+    _pool_explicit = True
+
+
+def resolve_pool_ref(transport: Transport | None) -> bool:
+    """Whether collectives should try the pool-ref path on this transport.
+
+    An explicit global wins; otherwise the backend's capability flag
+    decides.  This only gates the *attempt* — the path still engages per
+    call only when every member array resolves to a pool descriptor
+    (``backend.resolve_pool_refs``), so non-pool payloads keep the codec
+    path regardless of the switch.
+    """
+    if _pool_explicit or transport is None:
+        return _pool_enabled
+    return transport.backend.supports_pool_ref
+
+
+@contextmanager
+def use_pool_ref(enabled: bool) -> Iterator[None]:
+    """Temporarily force the pool-ref path on or off (tests, benchmarks)."""
+    global _pool_enabled, _pool_explicit
+    previous = _pool_enabled
+    previous_explicit = _pool_explicit
+    _pool_enabled = bool(enabled)
+    _pool_explicit = True
+    try:
+        yield
+    finally:
+        _pool_enabled = previous
+        _pool_explicit = previous_explicit

@@ -57,6 +57,10 @@ CONDITIONAL_SPEEDUP_FLOORS: dict[tuple[str, int], tuple[float, int]] = {
     # (PR 9 acceptance criterion): only meaningful when the 4 workers and
     # the parent are not fighting for 2 cores.
     ("shm_round_latency", 4): (3.0, 4),
+    # Worker-parallel in-place pool reduction vs the parent executing the
+    # same chunk schedule serially (PR 10 acceptance criterion): the four
+    # workers fold concurrently, so the floor needs ≥4 real cores.
+    ("shm_pool_reduce", 4): (2.0, 4),
 }
 
 CALIBRATION_REPEATS = 5
@@ -386,6 +390,67 @@ def _bench_shm_round_latency(world: int, repeats: int) -> list[BenchRecord]:
     return [BenchRecord("shm_round_latency", world, rounds, times[False], times[True])]
 
 
+def _bench_shm_pool_reduce(
+    world: int, sizes: Iterable[int], repeats: int
+) -> list[BenchRecord]:
+    """In-place pool reduction: parent-serial vs worker-parallel (PR 10).
+
+    Both legs execute the *same* scatter-reduce chunk schedule in place on
+    the same cross-process mapped pools — ``loop_s`` through the base
+    class's generic executor (the parent folds every chunk serially on its
+    own mappings), ``fast_s`` through the shm backend's override (each
+    chunk ships to its owner's worker as a 25-byte descriptor and all
+    workers fold concurrently).  Results are asserted bitwise identical
+    before timing counts, so the speedup column is pure multi-core scaling
+    of the reduction itself.
+    """
+    from ..cluster.backends.base import TransportBackend
+    from ..cluster.backends.shm import SharedMemoryBackend
+
+    records = []
+    backend = SharedMemoryBackend(world_size=world, ring_bytes=1 << 16)
+    try:
+        for size in sizes:
+            pools = [backend.allocate_pool(rank, size) for rank in range(world)]
+            rng = np.random.default_rng(size)
+            seed = [rng.standard_normal(size) for _ in range(world)]
+            refs = backend.resolve_pool_refs(pools, list(range(world)))
+            if refs is None:
+                raise AssertionError("pool arrays did not resolve to PoolRefs")
+            order = tuple(range(world))
+            chunks = [(lo, hi, order) for lo, hi in chunk_bounds(size, world)]
+
+            def reset() -> None:
+                for pool, data in zip(pools, seed):
+                    pool[:] = data
+
+            # Bitwise identity of the two executors on this schedule.
+            reset()
+            TransportBackend.pool_ref_reduce(backend, refs, chunks, add_zero=True)
+            expected = [pool.copy() for pool in pools]
+            reset()
+            backend.pool_ref_reduce(refs, chunks, add_zero=True)
+            for rank, (pool, want) in enumerate(zip(pools, expected)):
+                if not np.array_equal(pool, want):
+                    raise AssertionError(
+                        f"worker-parallel pool reduce diverged at rank {rank}"
+                    )
+
+            loop_s = _best_of(
+                lambda: TransportBackend.pool_ref_reduce(
+                    backend, refs, chunks, add_zero=True
+                ),
+                repeats,
+            )
+            fast_s = _best_of(
+                lambda: backend.pool_ref_reduce(refs, chunks, add_zero=True), repeats
+            )
+            records.append(BenchRecord("shm_pool_reduce", world, size, loop_s, fast_s))
+    finally:
+        backend.close()
+    return records
+
+
 def _bench_wire_codec(repeats: int) -> list[BenchRecord]:
     """Wire-codec round-trip vs pickle on compressed round payloads.
 
@@ -442,6 +507,7 @@ def run_suite(quick: bool = False, repeats: int | None = None) -> dict:
     records += _bench_epoch(WORLDS_QUICK[:1] if quick else worlds)
     records += _bench_backend_epoch(4, repeats)
     records += _bench_shm_round_latency(4, repeats)
+    records += _bench_shm_pool_reduce(4, (1 << 19,) if quick else (1 << 19, 1 << 21), repeats)
     records += _bench_wire_codec(repeats)
 
     from ..cluster.backends import BACKEND_ENV_VAR, DEFAULT_BACKEND

@@ -241,6 +241,220 @@ class TestTracedRounds:
         assert events["local"] == events["shm"]
 
 
+class TestPoolRefIdentity:
+    """Pool-ref collectives (PR 10): shm descriptors vs the local oracle.
+
+    Member arrays live inside each backend's bucket pool, so on shm the
+    dense batched collectives resolve them to 25-byte ``PoolRef``
+    descriptors and reduce in place on the cross-process pool, while local
+    keeps the stub path.  Results, final pool contents, virtual clocks,
+    traffic stats and traces must all stay bit-identical — the pool-ref
+    path is a wall-clock optimization only.
+    """
+
+    # Three legs: the plain local oracle (pool refs off — stub schedule,
+    # inputs untouched), local with pool refs forced (the base class's
+    # generic *serial* in-place executor) and shm with pool refs (the
+    # worker-parallel in-place executor).  All three must agree on result
+    # bits, clocks, stats and traces; the two in-place legs must also
+    # agree on the final pool contents.
+    _LEGS = (("oracle", "local", False), ("local", "local", True), ("shm", None, True))
+
+    def _compare_poolref(self, world, base, run, expect_reduces):
+        from repro.comm import use_pool_ref
+
+        spec = _spec(world)
+        outputs, pools, states, traces = {}, {}, {}, {}
+        for name, backend, pool_refs in self._LEGS:
+            transport = Transport(
+                spec, backend=_shm_backend(world) if backend is None else backend
+            )
+            group = CommGroup(transport, list(range(world)))
+            recorder = _Recorder()
+            transport.tracer = recorder
+            arrays = [
+                transport.backend.allocate_pool(rank, base[rank].size)
+                for rank in range(world)
+            ]
+            for array, data in zip(arrays, base):
+                array[:] = data
+            if name == "shm":
+                before = transport.backend.shm_stats["reduces"]
+            with use_pool_ref(pool_refs):
+                outputs[name] = [np.asarray(a).copy() for a in run(group, arrays)]
+            pools[name] = [a.copy() for a in arrays]
+            states[name] = _transport_state(group)
+            traces[name] = recorder.rounds
+            if name == "shm":
+                engaged = transport.backend.shm_stats["reduces"] > before
+                assert engaged == expect_reduces, (
+                    "pool-ref in-place reduction "
+                    + ("did not engage" if expect_reduces else "engaged unexpectedly")
+                )
+        for name in ("local", "shm"):
+            for a, b in zip(outputs["oracle"], outputs[name]):
+                assert a.dtype == b.dtype
+                assert a.tobytes() == b.tobytes(), f"{name} pool-ref result bits differ"
+            assert states["oracle"] == states[name]
+            assert traces["oracle"] == traces[name]
+        for a, b in zip(pools["local"], pools["shm"]):
+            assert a.tobytes() == b.tobytes(), "in-place pool contents diverged"
+        return outputs["oracle"]
+
+    @settings(max_examples=8, deadline=None)
+    @given(world=worlds, size=sizes, seed=st.integers(0, 2**16))
+    def test_scatter_reduce_in_place(self, world, size, seed):
+        rng = np.random.default_rng(seed)
+        base = [rng.standard_normal(size) for _ in range(world)]
+        self._compare_poolref(
+            world, base, lambda g, arrays: scatter_reduce(arrays, g, fast_path=True),
+            expect_reduces=True,
+        )
+
+    @settings(max_examples=8, deadline=None)
+    @given(world=worlds, size=sizes, seed=st.integers(0, 2**16))
+    def test_ring_allreduce_in_place(self, world, size, seed):
+        rng = np.random.default_rng(seed)
+        base = [rng.standard_normal(size) for _ in range(world)]
+        self._compare_poolref(
+            world, base, lambda g, arrays: ring_allreduce(arrays, g, fast_path=True),
+            expect_reduces=True,
+        )
+
+    @settings(max_examples=4, deadline=None)
+    @given(world=worlds, size=sizes, seed=st.integers(0, 2**16))
+    def test_routed_rounds_ship_descriptors(self, world, size, seed):
+        # Dense pool-resident payloads routed through a round cross the
+        # wire as 25-byte descriptors, resolve back to the *same* pool
+        # storage on delivery, and stay bit-identical to local delivery.
+        from repro.cluster.transport import Message
+
+        spec = _spec(world)
+        rng = np.random.default_rng(seed)
+        base = [rng.standard_normal(size) for _ in range(world)]
+        delivered = {}
+        for name, backend in (("local", "local"), ("shm", _shm_backend(world))):
+            transport = Transport(spec, backend=backend)
+            pools = [transport.backend.allocate_pool(rank, size) for rank in range(world)]
+            for pool, data in zip(pools, base):
+                pool[:] = data
+            if name == "shm":
+                before = transport.backend.shm_stats["pool_ref_payloads"]
+            messages = [
+                Message(src, (src + 1) % world, pools[src], match_id=f"pr.s{src}")
+                for src in range(world)
+            ]
+            inbox = transport.exchange(messages)
+            got = {
+                dst: inbox[dst][0].payload for dst in range(world) if inbox.get(dst)
+            }
+            delivered[name] = {dst: payload.tobytes() for dst, payload in got.items()}
+            if name == "shm":
+                assert transport.backend.shm_stats["pool_ref_payloads"] > before, (
+                    "dense pool-resident round payloads did not ship as descriptors"
+                )
+                for dst, payload in got.items():
+                    assert payload is pools[(dst - 1) % world], (
+                        "delivered payload is not the source pool view (copied?)"
+                    )
+        assert delivered["local"] == delivered["shm"]
+
+    @pytest.mark.parametrize("codec_name", sorted(CODEC_FACTORIES))
+    def test_compressed_keeps_codec_path(self, codec_name):
+        # Compressed collectives over pool-resident buckets: the pool-ref
+        # path must not engage (payloads are codec objects, not dense f64).
+        rng = np.random.default_rng(41)
+        base = [rng.standard_normal(64) for _ in range(4)]
+
+        def run(group, arrays):
+            codec = CODEC_FACTORIES[codec_name]()
+            return c_lp_s(arrays, group, codec, fast_path=False)
+
+        self._compare_poolref(4, base, run, expect_reduces=False)
+
+    def test_error_feedback_residuals_across_steps(self):
+        rng = np.random.default_rng(43)
+        base = [rng.standard_normal(64) for _ in range(4)]
+        residuals = {}
+
+        def run(group, arrays):
+            codec = CODEC_FACTORIES["qsgd8"]()
+            worker_err = [ErrorFeedback(codec) for _ in range(4)]
+            server_err = [ErrorFeedback(codec) for _ in range(4)]
+            out = None
+            for _ in range(3):  # residuals accumulate across steps
+                out = c_lp_s(
+                    arrays, group, codec,
+                    worker_errors=worker_err, server_errors=server_err,
+                    fast_path=False,
+                )
+            residuals[group.transport.backend.name] = (worker_err, server_err)
+            return out
+
+        self._compare_poolref(4, base, run, expect_reduces=False)
+        for local_ef, shm_ef in zip(residuals["local"], residuals["shm"]):
+            for a, b in zip(local_ef, shm_ef):
+                assert a._residuals.keys() == b._residuals.keys()
+                for key in a._residuals:
+                    assert a._residuals[key].tobytes() == b._residuals[key].tobytes()
+
+    def test_non_pool_payloads_fall_back(self):
+        # Plain arrays that own their storage never resolve to PoolRefs:
+        # the collective takes the stub/codec path even on shm with the
+        # switch on, and stays bit-identical.
+        rng = np.random.default_rng(47)
+        base = [rng.standard_normal(72) for _ in range(4)]
+        spec = _spec(4)
+        outputs, states = {}, {}
+        for name, backend in (("local", "local"), ("shm", _shm_backend(4))):
+            transport = Transport(spec, backend=backend)
+            group = CommGroup(transport, list(range(4)))
+            arrays = [a.copy() for a in base]
+            if name == "shm":
+                before = dict(transport.backend.shm_stats)
+            outputs[name] = [a.copy() for a in scatter_reduce(arrays, group, fast_path=True)]
+            states[name] = _transport_state(group)
+            if name == "shm":
+                after = transport.backend.shm_stats
+                assert after["reduces"] == before["reduces"]
+                assert after["pool_ref_payloads"] == before["pool_ref_payloads"]
+        for a, b in zip(outputs["local"], outputs["shm"]):
+            assert a.tobytes() == b.tobytes()
+        assert states["local"] == states["shm"]
+
+    def test_trace_recorder_and_hb_reports_identical(self):
+        from repro.analysis import AnalysisSubject, check_hb
+        from repro.analysis.recorder import TraceRecorder
+
+        spec = _spec(4)
+        rng = np.random.default_rng(53)
+        base = [rng.standard_normal(96) for _ in range(4)]
+        events, reports = {}, {}
+        for name, backend in (("local", "local"), ("shm", _shm_backend(4))):
+            transport = Transport(spec, backend=backend)
+            group = CommGroup(transport, list(range(4)))
+            arrays = [
+                transport.backend.allocate_pool(rank, base[rank].size)
+                for rank in range(4)
+            ]
+            for array, data in zip(arrays, base):
+                array[:] = data
+            recorder = TraceRecorder(4).install(transport)
+            scatter_reduce(arrays, group, fast_path=True)
+            ring_allreduce(arrays, group, fast_path=True)
+            events[name] = [
+                (op.rank, op.seq, op.kind, op.round, op.elements, op.nbytes,
+                 op.peers, op.group, op.match)
+                for op in recorder.trace.all_ops()
+            ]
+            subject = AnalysisSubject(world_size=4, trace=recorder.trace)
+            reports[name] = [finding.explain() for finding in check_hb(subject)]
+            recorder.uninstall()
+        assert len(events["local"]) > 0
+        assert events["local"] == events["shm"]
+        assert reports["local"] == reports["shm"] == []
+
+
 class TestEngineEndToEnd:
     def test_trainer_identical_across_backends(self):
         from repro.algorithms import QSGD

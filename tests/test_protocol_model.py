@@ -148,6 +148,18 @@ _POR_SCENARIOS = [
         Workload(batched=True, batch_rounds=1, pool=False, task=False),
         Faults(stale_flag=((0, 1),)),
     ),
+    ("clean-reduce-pipe", Workload(world=2, reduce=True), Faults()),
+    ("clean-reduce-batched", Workload(world=2, batched=True, reduce=True), Faults()),
+    (
+        "unmapped-poolref-batched",
+        Workload(world=2, batched=True, reduce=True),
+        Faults(poolref_unmapped=((0, 1),)),
+    ),
+    (
+        "skip-reduce-write-batched",
+        Workload(world=2, batched=True, reduce=True),
+        Faults(skip_reduce_write=(0,)),
+    ),
 ]
 
 

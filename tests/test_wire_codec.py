@@ -19,6 +19,7 @@ pickle.  This suite pins the codec's contract:
 from __future__ import annotations
 
 import pickle
+import struct
 
 import numpy as np
 import pytest
@@ -160,6 +161,52 @@ class TestCompressedPayloads:
         # Collectives tag chunks as (chunk_id, array): the common round shape.
         kind, _ = shm._encode((3, np.arange(8, dtype=np.float32)))
         assert kind == shm._CODEC
+
+
+# ----------------------------------------------------------------------
+# PoolRef descriptors (the PR 10 zero-copy round payload).
+# ----------------------------------------------------------------------
+class TestPoolRefDescriptors:
+    def test_roundtrip_is_25_bytes(self):
+        from repro.cluster.backends import PoolRef
+
+        ref = PoolRef(rank=3, offset=4096, length=512)
+        blob = wire.encode(ref)
+        # The whole point of the descriptor: 1 tag byte + three i64 fields,
+        # regardless of how large the referenced pool region is.
+        assert len(blob) == 25
+        out = wire.decode(blob)
+        assert isinstance(out, PoolRef)
+        assert out == ref
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        rank=st.integers(0, 2**16),
+        offset=st.integers(0, 2**40).map(lambda v: v & ~7),
+        length=st.integers(1, 2**32),
+    )
+    def test_roundtrip_hypothesis(self, rank, offset, length):
+        from repro.cluster.backends import PoolRef
+
+        ref = PoolRef(rank=rank, offset=offset, length=length)
+        assert wire.encodable(ref)
+        assert wire.decode(wire.encode(ref)) == ref
+
+    def test_nested_in_round_shapes(self):
+        # Descriptors may ride inside the usual tuple/list round payloads.
+        from repro.cluster.backends import PoolRef
+
+        payload = (7, [PoolRef(rank=1, offset=0, length=64), np.float64(2.5)])
+        out = wire.decode(wire.encode(payload))
+        assert out[1][0] == PoolRef(rank=1, offset=0, length=64)
+        assert_same(out, payload)
+
+    def test_truncated_descriptor_is_rejected(self):
+        from repro.cluster.backends import PoolRef
+
+        blob = wire.encode(PoolRef(rank=0, offset=8, length=8))
+        with pytest.raises((wire.WireError, struct.error)):
+            wire.decode(blob[:-1])
 
 
 # ----------------------------------------------------------------------
